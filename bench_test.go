@@ -1,0 +1,188 @@
+// Benchmarks regenerating the paper's evaluation (§8), one benchmark per
+// table or figure. Each benchmark exercises the same code path as the
+// full-scale harness in cmd/bench, at sizes that keep `go test -bench=.`
+// tractable on a laptop; run cmd/bench for the paper-scale sweeps:
+//
+//	go run ./cmd/bench -experiment violations -count 152
+//	go run ./cmd/bench -experiment fig7 -count 152
+//	go run ./cmd/bench -experiment fig8 -pods 2,4,6
+//	go run ./cmd/bench -experiment ablation -pods 4
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/netgen"
+	"repro/internal/network"
+	"repro/internal/properties"
+	"repro/internal/simulator"
+	"repro/internal/testnets"
+	"repro/internal/topogen"
+)
+
+// BenchmarkSection81Violations regenerates the §8.1 violations table on a
+// small slice of the population (full population via cmd/bench). The
+// violation counts are reported as benchmark metrics.
+func BenchmarkSection81Violations(b *testing.B) {
+	pop, err := netgen.Population(8, 1, netgen.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sum *harness.Section81Summary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err = harness.RunSection81(pop, harness.AllSection81Props())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sum.Violations[harness.PropMgmtReach]), "hijacks")
+	b.ReportMetric(float64(sum.Violations[harness.PropLocalEquiv]), "equiv-violations")
+	b.ReportMetric(float64(sum.Violations[harness.PropBlackholes]), "blackholes")
+	b.ReportMetric(float64(sum.Violations[harness.PropFaultInvar]), "fault-invariance")
+}
+
+// benchFig7 measures one §8.1 property on one mid-size operational
+// network: the per-network timing that makes up Figure 7's panels.
+func benchFig7(b *testing.B, prop string) {
+	n, err := netgen.Generate("bench", 17, netgen.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n.Lines), "config-lines")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.CheckNetwork(n, []string{prop}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7MgmtReachability(b *testing.B) { benchFig7(b, harness.PropMgmtReach) }
+func BenchmarkFig7LocalEquivalence(b *testing.B) { benchFig7(b, harness.PropLocalEquiv) }
+func BenchmarkFig7Blackholes(b *testing.B)       { benchFig7(b, harness.PropBlackholes) }
+func BenchmarkFig7FaultInvariance(b *testing.B)  { benchFig7(b, harness.PropFaultInvar) }
+
+// BenchmarkFig8 regenerates Figure 8's series: verification time per
+// property per fabric size. Pod counts are kept small here; cmd/bench
+// runs the larger sizes.
+func BenchmarkFig8(b *testing.B) {
+	pods := []int{2}
+	if !testing.Short() {
+		pods = []int{2, 4}
+	}
+	for _, k := range pods {
+		f, err := harness.BuildFabric(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		props := harness.AllFig8Props()
+		if k >= 4 {
+			// Keep the default benchmark run affordable: the slow
+			// whole-fabric properties at k≥4 are covered by cmd/bench.
+			props = []string{harness.Fig8NoBlackholes, harness.Fig8LocalConsist, harness.Fig8EqualLengthPod}
+		}
+		for _, prop := range props {
+			b.Run(fmt.Sprintf("pods=%d/%s", k, prop), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					row, err := harness.RunFig8Property(f, prop)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !row.Verified {
+						b.Fatalf("%s unexpectedly violated", prop)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkOptimizations regenerates the §8.3 ablation: single-source
+// reachability with the hoisting and slicing optimizations toggled.
+func BenchmarkOptimizations(b *testing.B) {
+	f, err := harness.BuildFabric(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range harness.AblationConfigs() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			var row *harness.AblationRow
+			for i := 0; i < b.N; i++ {
+				row, err = harness.RunAblation(f, cfg.Name, cfg.Opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(row.RecordVars), "record-vars")
+			b.ReportMetric(float64(row.SATVars), "sat-vars")
+			b.ReportMetric(float64(row.SATClauses), "sat-clauses")
+		})
+	}
+}
+
+// BenchmarkEncode measures formula construction alone (the translation
+// front-end the paper attributes to Batfish + model generation).
+func BenchmarkEncode(b *testing.B) {
+	for _, k := range []int{2, 4} {
+		f, err := harness.BuildFabric(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("pods=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Encode(f.G, core.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulator measures the concrete control-plane oracle used for
+// differential validation (the Batfish stand-in).
+func BenchmarkSimulator(b *testing.B) {
+	f, err := harness.BuildFabric(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := simulator.New(f.G)
+	dst := network.MustParseIP("10.0.0.10")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(dst, simulator.NewEnvironment()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHijackQuery measures the paper's headline bug-finding query on
+// the canonical vulnerable network.
+func BenchmarkHijackQuery(b *testing.B) {
+	net := testnets.Hijackable(false)
+	for i := 0; i < b.N; i++ {
+		m, err := core.Encode(net.Graph, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Check(properties.ManagementReachable(m), m.NoFailures())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verified {
+			b.Fatal("hijack not found")
+		}
+	}
+}
+
+// BenchmarkFabricGeneration measures the workload generators.
+func BenchmarkFabricGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := topogen.Generate(6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Command bench regenerates the paper's evaluation tables and figures
+// (§8): the four-property violation counts over an operational population
+// (§8.1), the per-network verification-time series of Figure 7, the
+// data-center property sweep of Figure 8, and the §8.3 optimization
+// ablation. Output is tab-separated rows, one series per block, matching
+// the rows/series the paper reports.
+//
+// Usage:
+//
+//	bench -experiment violations [-count 152] [-seed 1]
+//	bench -experiment fig7       [-count 152] [-seed 1]
+//	bench -experiment fig8       [-pods 2,4,6] [-props all]
+//	bench -experiment ablation   [-pods 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/netgen"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "violations | fig7 | fig8 | ablation")
+		count      = flag.Int("count", 152, "population size for violations/fig7")
+		seed       = flag.Int64("seed", 1, "population base seed")
+		podsFlag   = flag.String("pods", "2,4,6", "comma-separated pod counts for fig8/ablation")
+		propsFlag  = flag.String("props", "all", "comma-separated figure-8 properties, or 'all'")
+	)
+	flag.Parse()
+	var err error
+	switch *experiment {
+	case "violations":
+		err = runViolations(*count, *seed)
+	case "fig7":
+		err = runFig7(*count, *seed)
+	case "fig8":
+		err = runFig8(parseInts(*podsFlag), parseProps(*propsFlag))
+	case "ablation":
+		ks := parseInts(*podsFlag)
+		if len(ks) == 0 {
+			ks = []int{4}
+		}
+		err = runAblation(ks[0])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|ablation")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err == nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func parseProps(s string) []string {
+	if s == "all" {
+		return harness.AllFig8Props()
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// runViolations reproduces the §8.1 violation counts.
+func runViolations(count int, seed int64) error {
+	pop, err := netgen.Population(count, seed, netgen.DefaultParams())
+	if err != nil {
+		return err
+	}
+	sum, err := harness.RunSection81(pop, harness.AllSection81Props())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# §8.1 violations over %d networks (paper: 67, 29, 24, 0 of 152)\n", sum.Total)
+	fmt.Println("property\tviolations")
+	for _, prop := range harness.AllSection81Props() {
+		fmt.Printf("%s\t%d\n", prop, sum.Violations[prop])
+	}
+	fmt.Printf("total\t%d\n", sum.Violations[harness.PropMgmtReach]+
+		sum.Violations[harness.PropLocalEquiv]+
+		sum.Violations[harness.PropBlackholes]+
+		sum.Violations[harness.PropFaultInvar])
+	return nil
+}
+
+// runFig7 reproduces the four timing panels of Figure 7: verification time
+// per network, sorted by total lines of configuration.
+func runFig7(count int, seed int64) error {
+	pop, err := netgen.Population(count, seed, netgen.DefaultParams())
+	if err != nil {
+		return err
+	}
+	sum, err := harness.RunSection81(pop, harness.AllSection81Props())
+	if err != nil {
+		return err
+	}
+	sort.Slice(sum.PerNet, func(i, j int) bool { return sum.PerNet[i].Lines < sum.PerNet[j].Lines })
+	fmt.Println("# Figure 7: per-network verification time (ms), sorted by config lines")
+	fmt.Println("network\trouters\tlines\tmgmt_ms\tequiv_ms\tblackhole_ms\tfaultinv_ms")
+	for _, nc := range sum.PerNet {
+		fmt.Printf("%s\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			nc.Name, nc.Routers, nc.Lines,
+			ms(nc, harness.PropMgmtReach), ms(nc, harness.PropLocalEquiv),
+			ms(nc, harness.PropBlackholes), ms(nc, harness.PropFaultInvar))
+	}
+	fmt.Printf("# violations: mgmt=%d equiv=%d blackholes=%d fault-invariance=%d of %d\n",
+		sum.Violations[harness.PropMgmtReach], sum.Violations[harness.PropLocalEquiv],
+		sum.Violations[harness.PropBlackholes], sum.Violations[harness.PropFaultInvar], sum.Total)
+	return nil
+}
+
+func ms(nc *harness.NetCheck, prop string) float64 {
+	return float64(nc.Results[prop].Elapsed.Microseconds()) / 1000
+}
+
+// runFig8 reproduces Figure 8: verification time per property per fabric
+// size.
+func runFig8(pods []int, props []string) error {
+	fmt.Println("# Figure 8: verification time (ms) per property and fabric size")
+	fmt.Println("pods\trouters\tproperty\tms\tverified\tsat_vars\tsat_clauses")
+	for _, k := range pods {
+		f, err := harness.BuildFabric(k)
+		if err != nil {
+			return err
+		}
+		for _, prop := range props {
+			row, err := harness.RunFig8Property(f, prop)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d\t%d\t%s\t%.1f\t%v\t%d\t%d\n",
+				row.Pods, row.Routers, row.Property,
+				float64(row.Elapsed.Microseconds())/1000, row.Verified,
+				row.SATVars, row.SATClauses)
+		}
+	}
+	return nil
+}
+
+// runAblation reproduces the §8.3 optimization-effectiveness measurement.
+func runAblation(k int) error {
+	f, err := harness.BuildFabric(k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# §8.3 ablation: single-source reachability on a %d-pod fabric (%d routers)\n",
+		k, len(f.FT.Routers))
+	fmt.Println("config\tencode_ms\tcheck_ms\trecord_vars\tsat_vars\tsat_clauses\tspeedup")
+	var baseline float64
+	for _, cfg := range harness.AblationConfigs() {
+		row, err := harness.RunAblation(f, cfg.Name, cfg.Opts)
+		if err != nil {
+			return err
+		}
+		checkMs := float64(row.Check.Microseconds()) / 1000
+		if cfg.Name == "none" {
+			baseline = checkMs
+		}
+		speed := baseline / checkMs
+		fmt.Printf("%s\t%.1f\t%.1f\t%d\t%d\t%d\t%.1fx\n",
+			cfg.Name, float64(row.Encode.Microseconds())/1000, checkMs,
+			row.RecordVars, row.SATVars, row.SATClauses, speed)
+	}
+	return nil
+}

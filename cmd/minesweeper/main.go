@@ -1,0 +1,257 @@
+// Command minesweeper verifies router configurations: it loads a
+// directory of config files, builds the symbolic control-plane model and
+// checks the requested property over all packets and all environments,
+// printing either "verified" or a concrete counterexample (environment,
+// packet and forwarding state).
+//
+// Usage:
+//
+//	minesweeper -configs DIR -check reachability -src R1 -subnet 10.0.0.0/24
+//	minesweeper -configs DIR -check mgmt-reachability
+//	minesweeper -configs DIR -check blackholes [-max-failures 1]
+//	minesweeper -configs DIR -check multipath-consistency
+//	minesweeper -configs DIR -check loops
+//	minesweeper -configs DIR -check bounded-length -src R1 -subnet P -hops 4
+//	minesweeper -configs DIR -check isolation -src R1 -subnet P
+//	minesweeper -configs DIR -check waypoint -src R1 -via FW1 -subnet P
+//	minesweeper -configs DIR -check equivalence -pair routerA,routerB
+//	minesweeper -configs DIR -check no-leak -maxlen 24
+//	minesweeper -configs DIR -check fault-invariance [-max-failures 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/network"
+	"repro/internal/properties"
+	"repro/internal/smt"
+)
+
+func main() {
+	var (
+		configDir   = flag.String("configs", "", "directory of router configuration files")
+		check       = flag.String("check", "", "property to verify (see package comment)")
+		src         = flag.String("src", "", "source router")
+		via         = flag.String("via", "", "waypoint router")
+		subnet      = flag.String("subnet", "", "destination subnet (CIDR)")
+		pair        = flag.String("pair", "", "router pair a,b for equivalence")
+		hops        = flag.Int("hops", 4, "hop bound for bounded-length")
+		maxLen      = flag.Int("maxlen", 24, "maximum exported prefix length for no-leak")
+		maxFailures = flag.Int("max-failures", 0, "environments may fail up to this many links")
+		verbose     = flag.Bool("v", false, "print model statistics and forwarding state")
+		replay      = flag.Bool("replay", false, "replay counterexamples in the concrete simulator")
+	)
+	flag.Parse()
+	if *configDir == "" || *check == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*configDir, *check, *src, *via, *subnet, *pair, *hops, *maxLen, *maxFailures, *verbose, *replay); err != nil {
+		fmt.Fprintln(os.Stderr, "minesweeper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, check, src, via, subnet, pair string, hops, maxLen, maxFailures int, verbose, replay bool) error {
+	routers, err := loadConfigs(dir)
+	if err != nil {
+		return err
+	}
+	g, err := harness.BuildGraph(routers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d routers, %d links, %d external peers (%d config lines)\n",
+		len(g.Topo.Nodes), len(g.Topo.Links), len(g.Topo.Externals), config.TotalLines(routers))
+
+	// Pair-based checks have their own flow.
+	switch check {
+	case "equivalence":
+		parts := strings.Split(pair, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("-pair a,b required")
+		}
+		res, err := core.CheckLocalEquivalence(g, parts[0], parts[1], core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if res.Equivalent {
+			fmt.Printf("%s and %s are behaviourally equivalent\n", parts[0], parts[1])
+		} else {
+			fmt.Printf("NOT equivalent: %s\n", res.Difference)
+		}
+		return nil
+	case "fault-invariance":
+		k := maxFailures
+		if k == 0 {
+			k = 1
+		}
+		pr, prop, err := core.FaultInvariance(g, core.DefaultOptions(), k)
+		if err != nil {
+			return err
+		}
+		res, err := pr.Check(prop)
+		if err != nil {
+			return err
+		}
+		report("fault-invariance", res, nil, verbose)
+		return nil
+	}
+
+	m, err := core.Encode(g, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	var sub network.Prefix
+	if subnet != "" {
+		sub, err = network.ParsePrefix(subnet)
+		if err != nil {
+			return err
+		}
+	}
+	needSubnet := func() error {
+		if subnet == "" {
+			return fmt.Errorf("-subnet required for %s", check)
+		}
+		return nil
+	}
+	needSrc := func() error {
+		if src == "" || g.Topo.Node(src) == nil {
+			return fmt.Errorf("-src must name a router for %s", check)
+		}
+		return nil
+	}
+
+	var p *smt.Term
+	switch check {
+	case "reachability":
+		if err := needSrc(); err != nil {
+			return err
+		}
+		if err := needSubnet(); err != nil {
+			return err
+		}
+		p = properties.Reachable(m, src, sub)
+	case "isolation":
+		if err := needSrc(); err != nil {
+			return err
+		}
+		if err := needSubnet(); err != nil {
+			return err
+		}
+		p = properties.Isolated(m, src, sub)
+	case "mgmt-reachability":
+		p = properties.ManagementReachable(m)
+	case "blackholes":
+		p = properties.NoBlackholes(m)
+	case "multipath-consistency":
+		p = properties.MultipathConsistent(m)
+	case "loops":
+		p = properties.NoForwardingLoops(m, nil)
+	case "bounded-length":
+		if err := needSrc(); err != nil {
+			return err
+		}
+		if err := needSubnet(); err != nil {
+			return err
+		}
+		p = properties.BoundedLength(m, src, sub, hops)
+	case "waypoint":
+		if err := needSrc(); err != nil {
+			return err
+		}
+		if err := needSubnet(); err != nil {
+			return err
+		}
+		if via == "" || g.Topo.Node(via) == nil {
+			return fmt.Errorf("-via must name a router")
+		}
+		p = properties.Waypointed(m, src, via, sub)
+	case "no-leak":
+		p = properties.NoLeak(m, nil, maxLen)
+	default:
+		return fmt.Errorf("unknown check %q", check)
+	}
+
+	assumptions := []*smt.Term{}
+	if maxFailures > 0 {
+		assumptions = append(assumptions, m.AtMostFailures(maxFailures))
+	} else {
+		assumptions = append(assumptions, m.NoFailures())
+	}
+	res, err := m.Check(p, assumptions...)
+	if err != nil {
+		return err
+	}
+	report(check, res, m, verbose)
+	if replay && res.Counterexample != nil {
+		diffs, err := m.ReplayAgrees(res.Counterexample)
+		if err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		if len(diffs) == 0 {
+			fmt.Println("replay: the concrete simulator reproduces the counterexample state")
+		} else {
+			fmt.Println("replay: simulator reached a different stable state (multi-stable network?):")
+			for _, d := range diffs {
+				fmt.Println("  " + d)
+			}
+		}
+	}
+	return nil
+}
+
+func report(check string, res *core.Result, m *core.Model, verbose bool) {
+	fmt.Println(properties.Describe(check, res))
+	if verbose && res.Counterexample != nil && m != nil {
+		fmt.Println("forwarding state:")
+		for _, line := range m.DecodeForwarding(m.Main, res.Counterexample.Assignment) {
+			fmt.Println("  " + line)
+		}
+	}
+	if verbose {
+		fmt.Printf("solver: %d conflicts, %d decisions, %d propagations\n",
+			res.Stats.Conflicts, res.Stats.Decisions, res.Stats.Propagations)
+	}
+}
+
+func loadConfigs(dir string) ([]*config.Router, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".cfg") || strings.HasSuffix(e.Name(), ".conf") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .cfg/.conf files in %s", dir)
+	}
+	var routers []*config.Router
+	for _, name := range names {
+		text, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		r, err := config.Parse(string(text))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		routers = append(routers, r)
+	}
+	return routers, nil
+}

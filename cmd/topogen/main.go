@@ -1,0 +1,78 @@
+// Command topogen emits synthetic network configurations: k-pod
+// folded-Clos BGP fabrics (the §8.2 benchmarks) or seeded operational-style
+// populations (the §8.1 benchmarks).
+//
+// Usage:
+//
+//	topogen -pods 4 -out fabric/             # one fat-tree
+//	topogen -population 152 -seed 1 -out pop/ # §8.1-style population
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/config"
+	"repro/internal/netgen"
+	"repro/internal/topogen"
+)
+
+func main() {
+	var (
+		pods       = flag.Int("pods", 0, "generate a fat-tree with this many pods (even)")
+		population = flag.Int("population", 0, "generate this many operational-style networks")
+		seed       = flag.Int64("seed", 1, "base seed for -population")
+		out        = flag.String("out", "", "output directory")
+	)
+	flag.Parse()
+	if *out == "" || (*pods == 0) == (*population == 0) {
+		fmt.Fprintln(os.Stderr, "usage: topogen (-pods K | -population N [-seed S]) -out DIR")
+		os.Exit(2)
+	}
+	if err := run(*pods, *population, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pods, population int, seed int64, out string) error {
+	if pods > 0 {
+		ft, err := topogen.Generate(pods)
+		if err != nil {
+			return err
+		}
+		if err := writeRouters(out, ft.Routers); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d router configs (%d lines) to %s\n",
+			len(ft.Routers), config.TotalLines(ft.Routers), out)
+		return nil
+	}
+	pop, err := netgen.Population(population, seed, netgen.DefaultParams())
+	if err != nil {
+		return err
+	}
+	for _, n := range pop {
+		dir := filepath.Join(out, n.Name)
+		if err := writeRouters(dir, n.Routers); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d networks to %s\n", len(pop), out)
+	return nil
+}
+
+func writeRouters(dir string, routers []*config.Router) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range routers {
+		path := filepath.Join(dir, r.Name+".cfg")
+		if err := os.WriteFile(path, []byte(config.Print(r)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/network"
+)
+
+// Print renders the router configuration back to the text dialect accepted
+// by Parse. Print∘Parse is the identity up to formatting, and the emitted
+// text is what the Figure 7 benchmarks count as "lines of configuration".
+func Print(r *Router) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostname %s\n!\n", r.Name)
+
+	for _, i := range r.Interfaces {
+		fmt.Fprintf(&b, "interface %s\n", i.Name)
+		fmt.Fprintf(&b, " ip address %v %v\n", i.Addr, network.MaskOf(i.Prefix.Len))
+		if i.OSPFCost > 1 {
+			fmt.Fprintf(&b, " ip ospf cost %d\n", i.OSPFCost)
+		}
+		if i.InACL != "" {
+			fmt.Fprintf(&b, " ip access-group %s in\n", i.InACL)
+		}
+		if i.OutACL != "" {
+			fmt.Fprintf(&b, " ip access-group %s out\n", i.OutACL)
+		}
+		if i.Management {
+			b.WriteString(" management\n")
+		}
+		if i.Shutdown {
+			b.WriteString(" shutdown\n")
+		}
+		b.WriteString("!\n")
+	}
+
+	if o := r.OSPF; o != nil {
+		fmt.Fprintf(&b, "router ospf %d\n", o.ProcessID)
+		for _, n := range o.Networks {
+			fmt.Fprintf(&b, " network %v %v area 0\n", n.Addr, network.IP(^uint32(network.MaskOf(n.Len))))
+		}
+		for _, rd := range o.Redistribute {
+			printRedistribute(&b, rd)
+		}
+		if o.MaxPaths > 1 {
+			fmt.Fprintf(&b, " maximum-paths %d\n", o.MaxPaths)
+		}
+		if o.AdminDistance != 0 {
+			fmt.Fprintf(&b, " distance %d\n", o.AdminDistance)
+		}
+		b.WriteString("!\n")
+	}
+
+	if rp := r.RIP; rp != nil {
+		b.WriteString("router rip\n")
+		for _, n := range rp.Networks {
+			fmt.Fprintf(&b, " network %v\n", n)
+		}
+		for _, rd := range rp.Redistribute {
+			printRedistribute(&b, rd)
+		}
+		b.WriteString("!\n")
+	}
+
+	if g := r.BGP; g != nil {
+		fmt.Fprintf(&b, "router bgp %d\n", g.ASN)
+		if g.RouterID != 0 {
+			fmt.Fprintf(&b, " bgp router-id %v\n", g.RouterID)
+		}
+		if g.AlwaysCompareMED {
+			b.WriteString(" bgp always-compare-med\n")
+		}
+		for _, n := range g.Neighbors {
+			fmt.Fprintf(&b, " neighbor %v remote-as %d\n", n.Addr, n.RemoteAS)
+			if n.Description != "" {
+				fmt.Fprintf(&b, " neighbor %v description %s\n", n.Addr, n.Description)
+			}
+			if n.InMap != "" {
+				fmt.Fprintf(&b, " neighbor %v route-map %s in\n", n.Addr, n.InMap)
+			}
+			if n.OutMap != "" {
+				fmt.Fprintf(&b, " neighbor %v route-map %s out\n", n.Addr, n.OutMap)
+			}
+			if n.RouteReflectorClient {
+				fmt.Fprintf(&b, " neighbor %v route-reflector-client\n", n.Addr)
+			}
+		}
+		for _, n := range g.Networks {
+			fmt.Fprintf(&b, " network %v mask %v\n", n.Addr, network.MaskOf(n.Len))
+		}
+		for _, rd := range g.Redistribute {
+			printRedistribute(&b, rd)
+		}
+		for _, agg := range g.Aggregates {
+			fmt.Fprintf(&b, " aggregate-address %v %v", agg.Prefix.Addr, network.MaskOf(agg.Prefix.Len))
+			if agg.SummaryOnly {
+				b.WriteString(" summary-only")
+			}
+			b.WriteString("\n")
+		}
+		if g.MaxPaths > 1 {
+			fmt.Fprintf(&b, " maximum-paths %d\n", g.MaxPaths)
+		}
+		if g.AdminDistance != 0 {
+			fmt.Fprintf(&b, " distance %d\n", g.AdminDistance)
+		}
+		b.WriteString("!\n")
+	}
+
+	for _, s := range r.Statics {
+		target := s.Interface
+		if s.Drop {
+			target = "null0"
+		} else if target == "" {
+			target = s.NextHop.String()
+		}
+		fmt.Fprintf(&b, "ip route %v %v %s", s.Prefix.Addr, network.MaskOf(s.Prefix.Len), target)
+		if s.AdminDistance != 0 {
+			fmt.Fprintf(&b, " %d", s.AdminDistance)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Statics) > 0 {
+		b.WriteString("!\n")
+	}
+
+	for _, name := range sortedKeys(r.PrefixLists) {
+		for _, e := range r.PrefixLists[name].Entries {
+			fmt.Fprintf(&b, "ip prefix-list %s seq %d %v %v", name, e.Seq, e.Action, e.Prefix)
+			if e.Ge != 0 {
+				fmt.Fprintf(&b, " ge %d", e.Ge)
+			}
+			if e.Le != 0 {
+				fmt.Fprintf(&b, " le %d", e.Le)
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("!\n")
+	}
+
+	for _, name := range sortedKeys(r.CommunityLists) {
+		l := r.CommunityLists[name]
+		fmt.Fprintf(&b, "ip community-list %s permit %s\n!\n", name, strings.Join(l.Values, " "))
+	}
+
+	for _, name := range sortedKeys(r.RouteMaps) {
+		for _, cl := range r.RouteMaps[name].Clauses {
+			fmt.Fprintf(&b, "route-map %s %v %d\n", name, cl.Action, cl.Seq)
+			if cl.MatchPrefixList != "" {
+				fmt.Fprintf(&b, " match ip address prefix-list %s\n", cl.MatchPrefixList)
+			}
+			if cl.MatchCommunity != "" {
+				fmt.Fprintf(&b, " match community %s\n", cl.MatchCommunity)
+			}
+			if cl.SetLocalPref != 0 {
+				fmt.Fprintf(&b, " set local-preference %d\n", cl.SetLocalPref)
+			}
+			if cl.HasSetMetric {
+				fmt.Fprintf(&b, " set metric %d\n", cl.SetMetric)
+			}
+			if cl.HasSetMED {
+				fmt.Fprintf(&b, " set med %d\n", cl.SetMED)
+			}
+			if len(cl.SetCommunity) > 0 {
+				fmt.Fprintf(&b, " set community %s additive\n", strings.Join(cl.SetCommunity, " "))
+			}
+			for _, d := range cl.DelCommunity {
+				fmt.Fprintf(&b, " set comm-list %s delete\n", d)
+			}
+			if cl.HasSetNextHop {
+				fmt.Fprintf(&b, " set ip next-hop %v\n", cl.SetNextHop)
+			}
+			if cl.SetPrepend > 0 {
+				b.WriteString(" set as-path prepend")
+				for i := 0; i < cl.SetPrepend; i++ {
+					b.WriteString(" 65000")
+				}
+				b.WriteString("\n")
+			}
+			b.WriteString("!\n")
+		}
+	}
+
+	for _, name := range sortedKeys(r.ACLs) {
+		for _, e := range r.ACLs[name].Entries {
+			fmt.Fprintf(&b, "access-list %s %v %s %s%s %s%s\n", name, e.Action,
+				aclProto(e.Protocol),
+				aclAddr(e.SrcPrefix), aclPorts(e.SrcPortLo, e.SrcPortHi),
+				aclAddr(e.DstPrefix), aclPorts(e.DstPortLo, e.DstPortHi))
+		}
+		b.WriteString("!\n")
+	}
+
+	return b.String()
+}
+
+// Lines counts the configuration lines of a router, the x-axis measure of
+// Figure 7.
+func Lines(r *Router) int {
+	n := 0
+	for _, l := range strings.Split(Print(r), "\n") {
+		if s := strings.TrimSpace(l); s != "" && s != "!" {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalLines sums Lines over a network's routers.
+func TotalLines(routers []*Router) int {
+	n := 0
+	for _, r := range routers {
+		n += Lines(r)
+	}
+	return n
+}
+
+func printRedistribute(b *strings.Builder, rd Redistribution) {
+	fmt.Fprintf(b, " redistribute %v", rd.From)
+	if rd.Metric != 0 {
+		fmt.Fprintf(b, " metric %d", rd.Metric)
+	}
+	if rd.RouteMap != "" {
+		fmt.Fprintf(b, " route-map %s", rd.RouteMap)
+	}
+	b.WriteString("\n")
+}
+
+func aclProto(p int) string {
+	switch p {
+	case 6:
+		return "tcp"
+	case 17:
+		return "udp"
+	case 1:
+		return "icmp"
+	}
+	return "ip"
+}
+
+func aclAddr(p network.Prefix) string {
+	if p.Len == 0 {
+		return "any"
+	}
+	if p.Len == 32 {
+		return "host " + p.Addr.String()
+	}
+	return fmt.Sprintf("%v %v", p.Addr, network.IP(^uint32(network.MaskOf(p.Len))))
+}
+
+func aclPorts(lo, hi int) string {
+	switch {
+	case lo == 0 && hi == 65535:
+		return ""
+	case lo == hi:
+		return fmt.Sprintf(" eq %d", lo)
+	default:
+		return fmt.Sprintf(" range %d %d", lo, hi)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,127 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// BuildTopology infers the layer-3 topology from a set of router
+// configurations, the way Batfish does: two internal interfaces on the
+// same subnet form a link; a BGP neighbor address covered by an interface
+// subnet but not owned by any internal router is an external peer.
+func BuildTopology(routers []*Router) (*network.Topology, error) {
+	names := make([]string, len(routers))
+	byName := make(map[string]*Router, len(routers))
+	for i, r := range routers {
+		names[i] = r.Name
+		if byName[r.Name] != nil {
+			return nil, fmt.Errorf("config: duplicate router %q", r.Name)
+		}
+		byName[r.Name] = r
+	}
+	t := network.NewTopology(names)
+
+	// Index every interface address.
+	type ifaceRef struct {
+		r *Router
+		i *Interface
+	}
+	owned := map[network.IP]ifaceRef{}
+	var refs []ifaceRef
+	for _, r := range routers {
+		for _, i := range r.Interfaces {
+			if i.Shutdown {
+				continue
+			}
+			if prev, dup := owned[i.Addr]; dup {
+				return nil, fmt.Errorf("config: address %v on both %s/%s and %s/%s",
+					i.Addr, prev.r.Name, prev.i.Name, r.Name, i.Name)
+			}
+			owned[i.Addr] = ifaceRef{r, i}
+			refs = append(refs, ifaceRef{r, i})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		if refs[a].r.Name != refs[b].r.Name {
+			return refs[a].r.Name < refs[b].r.Name
+		}
+		return refs[a].i.Name < refs[b].i.Name
+	})
+
+	// Internal links: pairs of interfaces sharing a subnet.
+	linked := map[[2]string]bool{}
+	for ai, a := range refs {
+		for _, b := range refs[ai+1:] {
+			if a.r == b.r {
+				continue
+			}
+			if a.i.Prefix != b.i.Prefix || a.i.Prefix.Len == 32 {
+				continue
+			}
+			k := [2]string{a.r.Name + "/" + a.i.Name, b.r.Name + "/" + b.i.Name}
+			if linked[k] {
+				continue
+			}
+			linked[k] = true
+			t.AddLink(a.r.Name, a.i.Name, b.r.Name, b.i.Name, a.i.Prefix, a.i.Addr, b.i.Addr)
+		}
+	}
+
+	// External peers: BGP neighbors whose address no internal interface
+	// owns. The neighbor is reachable through the interface whose subnet
+	// covers its address.
+	for _, r := range routers {
+		if r.BGP == nil {
+			continue
+		}
+		extN := 0
+		for _, n := range r.BGP.Neighbors {
+			if _, internal := owned[n.Addr]; internal {
+				continue
+			}
+			var via *Interface
+			for _, i := range r.Interfaces {
+				if !i.Shutdown && i.Prefix.Len < 32 && i.Prefix.Contains(n.Addr) {
+					via = i
+					break
+				}
+			}
+			if via == nil {
+				return nil, fmt.Errorf("config: %s: BGP neighbor %v is on no connected subnet", r.Name, n.Addr)
+			}
+			extN++
+			name := n.Description
+			if name == "" {
+				name = fmt.Sprintf("%s-ext%d", r.Name, extN)
+			}
+			t.AddExternal(r.Name, via.Name, name, n.Addr, via.Addr, n.RemoteAS)
+		}
+	}
+
+	return t, nil
+}
+
+// FindBGPNeighbor returns the neighbor stanza for a peer address, or nil.
+func FindBGPNeighbor(r *Router, addr network.IP) *BGPNeighbor {
+	if r.BGP == nil {
+		return nil
+	}
+	for _, n := range r.BGP.Neighbors {
+		if n.Addr == addr {
+			return n
+		}
+	}
+	return nil
+}
+
+// OwnsAddress reports whether any interface of r owns the address.
+func OwnsAddress(r *Router, addr network.IP) bool {
+	for _, i := range r.Interfaces {
+		if !i.Shutdown && i.Addr == addr {
+			return true
+		}
+	}
+	return false
+}

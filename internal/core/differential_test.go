@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/simulator"
+	"repro/internal/smt"
+	"repro/internal/testnets"
+)
+
+// pinEnvironment constrains the model to one concrete environment and
+// packet, so the formula's stable state can be compared against the
+// simulator's.
+func pinEnvironment(m *Model, dst network.IP, env *simulator.Environment) []*smt.Term {
+	c := m.Ctx
+	var out []*smt.Term
+	out = append(out,
+		c.Eq(m.DstIP, c.BV(uint64(dst), WidthIP)),
+		c.Eq(m.SrcIP, c.BV(0, WidthIP)),
+		c.Eq(m.SrcPort, c.BV(0, 16)),
+		c.Eq(m.DstPort, c.BV(80, 16)),
+		c.Eq(m.IPProto, c.BV(6, 8)),
+	)
+	pinSliceEnv := func(sl *Slice, sliceDst network.IP) {
+		for _, e := range m.G.Topo.Externals {
+			rec := sl.Env[e.Name]
+			ann := env.Anns[e.Name]
+			if ann == nil || !ann.Prefix.Contains(sliceDst) {
+				out = append(out, c.Not(rec.Valid))
+				continue
+			}
+			out = append(out,
+				rec.Valid,
+				c.Eq(rec.PrefixLen, c.BV(uint64(ann.Prefix.Len), WidthPrefixLen)),
+				c.Eq(rec.Metric, c.BV(uint64(ann.PathLen), WidthMetric)),
+			)
+			if m.medActive {
+				out = append(out, c.Eq(rec.MED, c.BV(uint64(ann.MED), WidthMED)))
+			}
+			if rec.Prefix != nil {
+				out = append(out, c.Eq(rec.Prefix, c.BV(uint64(ann.Prefix.Addr), WidthIP)))
+			}
+			has := map[string]bool{}
+			for _, cm := range ann.Communities {
+				has[cm] = true
+			}
+			for cm, bit := range rec.Comms {
+				if bit.Op() != smt.OpBoolVar {
+					continue
+				}
+				if has[cm] {
+					out = append(out, bit)
+				} else {
+					out = append(out, c.Not(bit))
+				}
+			}
+		}
+	}
+	pinSliceEnv(m.Main, dst)
+	for addr, sl := range m.Addr {
+		pinSliceEnv(sl, addr)
+	}
+	for id, v := range m.Failed {
+		if env.FailedLinks[id] {
+			out = append(out, v)
+		} else {
+			out = append(out, c.Not(v))
+		}
+	}
+	return out
+}
+
+// solveConcrete pins the environment and extracts the unique stable state.
+func solveConcrete(t *testing.T, m *Model, dst network.IP, env *simulator.Environment) smt.Assignment {
+	t.Helper()
+	c := m.Ctx
+	solver := smt.NewSolver(c)
+	for _, a := range m.Asserts {
+		solver.Assert(a)
+	}
+	for _, a := range pinEnvironment(m, dst, env) {
+		solver.Assert(a)
+	}
+	st := solver.Check()
+	if st.String() != "sat" {
+		t.Fatalf("no stable state found (%v) for dst %v env %v", st, dst, env)
+	}
+	return solver.Model()
+}
+
+// compareStates checks the decoded symbolic stable state against the
+// simulator's.
+func compareStates(t *testing.T, m *Model, asg smt.Assignment, simres *simulator.Result, dst network.IP, env *simulator.Environment) {
+	t.Helper()
+	for _, n := range m.G.Topo.Nodes {
+		name := n.Name
+		sym := DecodeRecord(m.Main.Best[name], asg)
+		conc := simres.States[name].Best
+		ctx := fmt.Sprintf("router %s dst %v env [%v]", name, dst, env)
+		if sym.Valid != conc.Valid {
+			t.Fatalf("%s: valid mismatch sym=%v conc=%v", ctx, sym, conc)
+		}
+		if conc.Valid {
+			if sym.PrefixLen != conc.PrefixLen || sym.AD != conc.AD ||
+				sym.LocalPref != conc.LocalPref || sym.Metric != conc.Metric {
+				t.Fatalf("%s: record mismatch sym=%+v conc=%v", ctx, sym, conc)
+			}
+			if m.ibgpActive && sym.Internal != conc.Internal {
+				t.Fatalf("%s: internal mismatch sym=%+v conc=%v", ctx, sym, conc)
+			}
+		}
+		// Forwarding decisions.
+		simHops := map[Hop]bool{}
+		for _, h := range simres.States[name].Hops {
+			simHops[Hop{Node: h.Node, Ext: h.Ext}] = true
+		}
+		for h, bit := range m.Main.CtrlFwd[name] {
+			got := smt.Eval(bit, asg).Bool
+			if got != simHops[h] {
+				t.Fatalf("%s: fwd %v sym=%v conc=%v (sym best %+v, conc %v)", ctx, h, got, simHops[h], sym, conc)
+			}
+			delete(simHops, h)
+		}
+		for h, want := range simHops {
+			if want {
+				t.Fatalf("%s: simulator forwards to %v but model has no such edge", ctx, h)
+			}
+		}
+		if got := smt.Eval(m.Main.DeliveredLocal[name], asg).Bool; got != simres.States[name].DeliveredLocal {
+			t.Fatalf("%s: deliveredLocal sym=%v conc=%v", ctx, got, simres.States[name].DeliveredLocal)
+		}
+		if got := smt.Eval(m.Main.DroppedNull[name], asg).Bool; got != simres.States[name].DroppedNull {
+			t.Fatalf("%s: droppedNull sym=%v conc=%v", ctx, got, simres.States[name].DroppedNull)
+		}
+	}
+	// Exports to external neighbors.
+	for extName, symRec := range m.Main.ExtExports {
+		sym := DecodeRecord(symRec, asg)
+		conc := simres.ExportsToExt[extName]
+		if sym.Valid != conc.Valid {
+			t.Fatalf("export to %s: valid sym=%v conc=%v (dst %v env %v)", extName, sym.Valid, conc.Valid, dst, env)
+		}
+		if conc.Valid && sym.Metric != conc.Metric {
+			t.Fatalf("export to %s: metric sym=%d conc=%d", extName, sym.Metric, conc.Metric)
+		}
+	}
+}
+
+// runDifferential compares encoder and simulator over a set of
+// destinations and environments.
+func runDifferential(t *testing.T, net *testnets.Net, opts Options, dsts []network.IP, envs []*simulator.Environment) {
+	t.Helper()
+	m, err := Encode(net.Graph, opts)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	sim := simulator.New(net.Graph)
+	for _, dst := range dsts {
+		for _, env := range envs {
+			simres, err := sim.Run(dst, env)
+			if err != nil {
+				t.Fatalf("simulate dst %v env %v: %v", dst, env, err)
+			}
+			asg := solveConcrete(t, m, dst, env)
+			compareStates(t, m, asg, simres, dst, env)
+		}
+	}
+}
+
+func ip(s string) network.IP         { return network.MustParseIP(s) }
+func pfx(s string) network.Prefix    { return network.MustParsePrefix(s) }
+func newEnv() *simulator.Environment { return simulator.NewEnvironment() }
+func allOpts() map[string]Options {
+	return map[string]Options{
+		"optimized": DefaultOptions(),
+		"nohoist":   {Hoisting: false, Slicing: true},
+		"noslice":   {Hoisting: true, Slicing: false},
+		"naive":     {Hoisting: false, Slicing: false},
+	}
+}
+
+func TestDifferentialOSPFChain(t *testing.T) {
+	net := testnets.OSPFChain(4)
+	dsts := []network.IP{testnets.StubIP(4), testnets.StubIP(1), ip("9.9.9.9")}
+	envs := []*simulator.Environment{
+		newEnv(),
+		newEnv().Fail("R2", "R3"),
+		newEnv().Fail("R1", "R2").Fail("R3", "R4"),
+	}
+	for name, opts := range allOpts() {
+		t.Run(name, func(t *testing.T) {
+			runDifferential(t, net, opts, dsts, envs)
+		})
+	}
+}
+
+func TestDifferentialRIPChain(t *testing.T) {
+	net := testnets.RIPChain(4)
+	dsts := []network.IP{testnets.StubIP(4), testnets.StubIP(2)}
+	envs := []*simulator.Environment{newEnv(), newEnv().Fail("R1", "R2")}
+	runDifferential(t, net, DefaultOptions(), dsts, envs)
+}
+
+func TestDifferentialEBGPTriangle(t *testing.T) {
+	net := testnets.EBGPTriangle()
+	dsts := []network.IP{testnets.StubIP(1), testnets.StubIP(2), testnets.StubIP(3)}
+	envs := []*simulator.Environment{
+		newEnv(),
+		newEnv().Fail("R1", "R3"),
+		newEnv().Fail("R1", "R2").Fail("R2", "R3"),
+	}
+	for name, opts := range allOpts() {
+		t.Run(name, func(t *testing.T) {
+			runDifferential(t, net, opts, dsts, envs)
+		})
+	}
+}
+
+func TestDifferentialFigure2(t *testing.T) {
+	net := testnets.Figure2()
+	ext := pfx("8.8.8.0/24")
+	dsts := []network.IP{ip("8.8.8.8"), ip("10.3.3.1"), ip("10.1.1.1")}
+	envs := []*simulator.Environment{
+		newEnv(),
+		newEnv().Announce("N1", simulator.Announcement{Prefix: ext, PathLen: 3}).
+			Announce("N2", simulator.Announcement{Prefix: ext, PathLen: 3}).
+			Announce("N3", simulator.Announcement{Prefix: ext, PathLen: 3}),
+		newEnv().Announce("N2", simulator.Announcement{Prefix: ext, PathLen: 2}).
+			Announce("N3", simulator.Announcement{Prefix: ext, PathLen: 1}),
+		newEnv().Announce("N1", simulator.Announcement{Prefix: ext, PathLen: 3}).Fail("R1", "R2"),
+	}
+	runDifferential(t, net, DefaultOptions(), dsts, envs)
+}
+
+// TestFigure2RedistributionDispute covers a genuinely multi-stable
+// configuration: with only N3 announcing a default route at local-pref
+// 100, Figure 2's mutual BGP↔OSPF redistribution admits two stable states
+// at R1 (the iBGP-supported OSPF state, or the OSPF-import-supported BGP
+// state). The encoder's semantics is "any stable state" (§3), so the test
+// accepts either, but requires the returned state to be one of the two and
+// well-founded (no circular support).
+func TestFigure2RedistributionDispute(t *testing.T) {
+	net := testnets.Figure2()
+	m, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv().Announce("N3", simulator.Announcement{Prefix: pfx("0.0.0.0/0"), PathLen: 5})
+	asg := solveConcrete(t, m, ip("8.8.8.8"), env)
+	best := DecodeRecord(m.Main.Best["R1"], asg)
+	stateA := best.Valid && best.AD == 110 && best.Metric == 20 // OSPF, redistributed at R1
+	stateB := best.Valid && best.AD == 20 && best.Metric == 0   // BGP, redistributed from the OSPF import
+	if !stateA && !stateB {
+		t.Fatalf("R1 in neither legitimate stable state: %+v", best)
+	}
+	// In either state the traffic must head toward R2 and exit via N3.
+	if !smt.Eval(m.Main.CtrlFwd["R1"][Hop{Node: "R2"}], asg).Bool {
+		t.Fatalf("R1 should forward to R2 (state %+v)", best)
+	}
+	if !smt.Eval(m.Main.CtrlFwd["R2"][Hop{Ext: "N3"}], asg).Bool {
+		t.Fatal("R2 should exit via N3")
+	}
+}
+
+func TestDifferentialFigure2Unoptimized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unoptimized encodings are slow")
+	}
+	net := testnets.Figure2()
+	ext := pfx("8.8.8.0/24")
+	dsts := []network.IP{ip("8.8.8.8")}
+	envs := []*simulator.Environment{
+		newEnv().Announce("N1", simulator.Announcement{Prefix: ext, PathLen: 3}).
+			Announce("N3", simulator.Announcement{Prefix: ext, PathLen: 1}),
+	}
+	for name, opts := range allOpts() {
+		t.Run(name, func(t *testing.T) {
+			runDifferential(t, net, opts, dsts, envs)
+		})
+	}
+}
+
+func TestDifferentialACLSquare(t *testing.T) {
+	net := testnets.ACLSquare()
+	dsts := []network.IP{ip("10.50.0.1"), ip("10.0.25.2")}
+	envs := []*simulator.Environment{newEnv(), newEnv().Fail("R1", "R2")}
+	runDifferential(t, net, DefaultOptions(), dsts, envs)
+}
+
+func TestDifferentialStaticNull(t *testing.T) {
+	net := testnets.StaticNull()
+	dsts := []network.IP{ip("10.100.2.1"), ip("172.16.9.9"), ip("1.1.1.1")}
+	envs := []*simulator.Environment{newEnv(), newEnv().Fail("R1", "R2")}
+	runDifferential(t, net, DefaultOptions(), dsts, envs)
+}
+
+func TestDifferentialHijack(t *testing.T) {
+	mgmt := ip("192.168.50.1")
+	hijack := simulator.Announcement{Prefix: pfx("192.168.50.1/32"), PathLen: 1}
+	for _, filtered := range []bool{false, true} {
+		net := testnets.Hijackable(filtered)
+		envs := []*simulator.Environment{
+			newEnv(),
+			newEnv().Announce("N", hijack),
+			newEnv().Announce("N", simulator.Announcement{Prefix: pfx("192.168.0.0/16"), PathLen: 2}),
+		}
+		runDifferential(t, net, DefaultOptions(), []network.IP{mgmt}, envs)
+	}
+}
+
+// TestDataFwdRespectsACL pins the ACLSquare network and checks the
+// control/data plane divergence appears in the model exactly where the
+// ACL sits.
+func TestDataFwdRespectsACL(t *testing.T) {
+	net := testnets.ACLSquare()
+	m, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := solveConcrete(t, m, ip("10.50.0.1"), newEnv())
+	ctrl := m.Main.CtrlFwd["R3"][Hop{Node: "R5"}]
+	data := m.Main.DataFwd["R3"][Hop{Node: "R5"}]
+	if !smt.Eval(ctrl, asg).Bool {
+		t.Fatal("R3 should forward to R5 in the control plane")
+	}
+	if smt.Eval(data, asg).Bool {
+		t.Fatal("ACL should block R3->R5 in the data plane")
+	}
+	// The R2 path is clean.
+	if !smt.Eval(m.Main.DataFwd["R2"][Hop{Node: "R5"}], asg).Bool {
+		t.Fatal("R2->R5 should pass")
+	}
+}
+
+// TestComparatorAgainstSimulator cross-checks the symbolic preference
+// circuits against the simulator's concrete comparators on enumerated
+// records.
+func TestComparatorAgainstSimulator(t *testing.T) {
+	c := smt.NewContext()
+	mk := func(tag string) (*Record, func(r simulator.Record) smt.Assignment) {
+		rec := &Record{
+			Valid:      c.True(),
+			PrefixLen:  c.BVVar(tag+".plen", WidthPrefixLen),
+			AD:         c.BVVar(tag+".ad", WidthAD),
+			LocalPref:  c.BVVar(tag+".lp", WidthLP),
+			Metric:     c.BVVar(tag+".metric", WidthMetric),
+			MED:        c.BVVar(tag+".med", WidthMED),
+			NbrASN:     c.BVVar(tag+".asn", WidthASN),
+			RID:        c.BVVar(tag+".rid", WidthRID),
+			Internal:   c.BoolVar(tag + ".int"),
+			FromClient: c.False(),
+			Comms:      map[string]*smt.Term{},
+		}
+		asgOf := func(r simulator.Record) smt.Assignment {
+			return smt.Assignment{
+				tag + ".plen":   {BV: uint64(r.PrefixLen)},
+				tag + ".ad":     {BV: uint64(r.AD)},
+				tag + ".lp":     {BV: uint64(r.LocalPref)},
+				tag + ".metric": {BV: uint64(r.Metric)},
+				tag + ".med":    {BV: uint64(r.MED)},
+				tag + ".asn":    {BV: uint64(r.NbrASN)},
+				tag + ".rid":    {BV: uint64(r.RID)},
+				tag + ".int":    {Bool: r.Internal},
+			}
+		}
+		return rec, asgOf
+	}
+	ra, asgA := mk("a")
+	rb, asgB := mk("b")
+	intraT := betterIntra(c, ra, rb, cmpMode{})
+	overallT := betterOverall(c, ra, rb, cmpMode{})
+	eqT := equallyGood(c, ra, rb, cmpMode{})
+
+	recs := []simulator.Record{}
+	for _, plen := range []int{16, 24} {
+		for _, ad := range []int{20, 110, 200} {
+			for _, lp := range []int{100, 120} {
+				for _, metric := range []int{1, 3} {
+					for _, internal := range []bool{false, true} {
+						for _, rid := range []uint32{1, 9} {
+							recs = append(recs, simulator.Record{
+								Valid: true, PrefixLen: plen, AD: ad, LocalPref: lp,
+								Metric: metric, Internal: internal, RID: rid,
+								MED: int(rid) % 2, NbrASN: uint32(1 + int(rid)%2),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, a := range recs {
+		for _, b := range recs {
+			asg := smt.Assignment{}
+			for k, v := range asgA(a) {
+				asg[k] = v
+			}
+			for k, v := range asgB(b) {
+				asg[k] = v
+			}
+			if got, want := smt.Eval(intraT, asg).Bool, simulator.BetterIntra(a, b, simulator.CompareMode{}); got != want {
+				t.Fatalf("betterIntra(%v, %v) = %v, want %v", a, b, got, want)
+			}
+			if got, want := smt.Eval(overallT, asg).Bool, simulator.Better(a, b, simulator.CompareMode{}); got != want {
+				t.Fatalf("betterOverall(%v, %v) = %v, want %v", a, b, got, want)
+			}
+			if got, want := smt.Eval(eqT, asg).Bool, simulator.EquallyGood(a, b, simulator.CompareMode{}); got != want {
+				t.Fatalf("equallyGood(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestEncodeStats(t *testing.T) {
+	net := testnets.Figure2()
+	opt, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Encode(net.Graph, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumRecordVars >= naive.NumRecordVars {
+		t.Fatalf("slicing should reduce record variables: %d vs %d", opt.NumRecordVars, naive.NumRecordVars)
+	}
+	if len(opt.Asserts) == 0 {
+		t.Fatal("no constraints generated")
+	}
+	_ = config.Protocol(0)
+}

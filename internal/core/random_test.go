@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/simulator"
+	"repro/internal/testnets"
+)
+
+// randEnv draws a random environment: each external peer may announce a
+// random prefix (sometimes covering dst, sometimes not), and up to two
+// links may fail.
+func randEnv(rng *rand.Rand, net *testnets.Net, dst network.IP, maxFail int) *simulator.Environment {
+	env := simulator.NewEnvironment()
+	pool := []network.Prefix{
+		{Addr: dst.Mask(32), Len: 32},
+		{Addr: dst.Mask(24), Len: 24},
+		{Addr: dst.Mask(16), Len: 16},
+		{Addr: dst.Mask(8), Len: 8},
+		{Addr: 0, Len: 0},
+		network.MustParsePrefix("203.0.113.0/24"), // never covers fixtures
+	}
+	for _, e := range net.Topo.Externals {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		p := pool[rng.Intn(len(pool))]
+		env.Announce(e.Name, simulator.Announcement{
+			Prefix:  p,
+			PathLen: rng.Intn(6),
+			MED:     rng.Intn(3),
+		})
+	}
+	fails := rng.Intn(maxFail + 1)
+	for i := 0; i < fails && len(net.Topo.Links) > 0; i++ {
+		l := net.Topo.Links[rng.Intn(len(net.Topo.Links))]
+		env.Fail(l.A.Name, l.B.Name)
+	}
+	if len(net.Topo.Externals) > 0 && rng.Intn(4) == 0 {
+		e := net.Topo.Externals[rng.Intn(len(net.Topo.Externals))]
+		env.FailExternal(e.Router.Name, e.Name)
+	}
+	return env
+}
+
+// fuzzDifferential compares encoder and simulator over random
+// environments. Fixtures must have unique stable states (no
+// mutual-redistribution disputes).
+func fuzzDifferential(t *testing.T, net *testnets.Net, dsts []network.IP, iters int, seed int64) {
+	t.Helper()
+	m, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulator.New(net.Graph)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < iters; i++ {
+		dst := dsts[rng.Intn(len(dsts))]
+		env := randEnv(rng, net, dst, 2)
+		simres, err := sim.Run(dst, env)
+		if err != nil {
+			t.Fatalf("iter %d: simulate: %v (env %v)", i, err, env)
+		}
+		asg := solveConcrete(t, m, dst, env)
+		compareStates(t, m, asg, simres, dst, env)
+	}
+}
+
+func TestFuzzOSPFChain(t *testing.T) {
+	net := testnets.OSPFChain(4)
+	dsts := []network.IP{testnets.StubIP(1), testnets.StubIP(3), testnets.StubIP(4), ip("7.7.7.7")}
+	fuzzDifferential(t, net, dsts, 25, 11)
+}
+
+func TestFuzzEBGPTriangle(t *testing.T) {
+	net := testnets.EBGPTriangle()
+	dsts := []network.IP{testnets.StubIP(1), testnets.StubIP(2), testnets.StubIP(3)}
+	fuzzDifferential(t, net, dsts, 25, 12)
+}
+
+func TestFuzzHijackable(t *testing.T) {
+	for _, filtered := range []bool{false, true} {
+		net := testnets.Hijackable(filtered)
+		dsts := []network.IP{ip("192.168.50.1"), ip("10.0.12.2"), ip("44.44.44.44")}
+		fuzzDifferential(t, net, dsts, 25, 13)
+	}
+}
+
+func TestFuzzACLSquare(t *testing.T) {
+	net := testnets.ACLSquare()
+	dsts := []network.IP{ip("10.50.0.1"), ip("10.0.25.2"), ip("9.9.9.9")}
+	fuzzDifferential(t, net, dsts, 25, 14)
+}

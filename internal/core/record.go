@@ -1,0 +1,237 @@
+// Package core implements the Minesweeper encoding: it translates router
+// configurations into an SMT formula whose satisfying assignments are the
+// stable states of the network control plane (§3–§4 of the paper),
+// together with the hoisting and slicing optimizations of §6.
+//
+// The formula is built over internal/smt terms and decided by the CDCL
+// solver in internal/sat. Properties (internal/properties) instrument the
+// model with additional constraints and ask for a satisfying assignment of
+// N ∧ ¬P: a counterexample if one exists.
+package core
+
+import (
+	"repro/internal/smt"
+)
+
+// Field widths, following Figure 3 of the paper (prefix length needs six
+// bits for the values 0–32).
+const (
+	WidthPrefixLen = 6
+	WidthAD        = 8
+	WidthLP        = 32
+	WidthMetric    = 16
+	WidthMED       = 32
+	WidthASN       = 32
+	WidthRID       = 32
+	WidthIP        = 32
+)
+
+// Record is the symbolic control-plane record of Figure 3: one per
+// protocol-level edge (import and export), per protocol origination
+// point, and per selection result. All fields are terms; concrete
+// configurations yield constant fields that the simplifier folds away —
+// which is precisely how most of the paper's slicing optimizations
+// manifest in this encoding.
+type Record struct {
+	Valid     *smt.Term // bool: a route is present
+	PrefixLen *smt.Term // BV6: destination prefix length
+	AD        *smt.Term // BV8: administrative distance
+	LocalPref *smt.Term // BV32: BGP local preference
+	Metric    *smt.Term // BV16: path cost / AS-path length
+	MED       *smt.Term // BV32: multi-exit discriminator
+	NbrASN    *smt.Term // BV32: AS the route was learned from
+	RID       *smt.Term // BV32: router id of the sender (tie-break)
+	Internal  *smt.Term // bool: learned via iBGP
+	// FromClient marks routes learned from a route-reflector client.
+	FromClient *smt.Term
+	// Comms maps community strings (the universe found in the configs)
+	// to presence bits.
+	Comms map[string]*smt.Term
+	// Prefix is only materialized when prefix hoisting is disabled
+	// (§6.1 ablation): a BV32 holding the announced prefix bits.
+	Prefix *smt.Term
+
+	// Through maps "risky" router names to loop-prevention bits: true
+	// when the advertisement already traversed that router. Only
+	// materialized when the loop-detection hoisting cannot discharge
+	// loops (§6.1).
+	Through map[string]*smt.Term
+}
+
+// invalidRecord returns the canonical absent record (everything zero).
+func invalidRecord(c *smt.Context, commUniverse []string, risky []string) *Record {
+	r := &Record{
+		Valid:      c.False(),
+		PrefixLen:  c.BV(0, WidthPrefixLen),
+		AD:         c.BV(0, WidthAD),
+		LocalPref:  c.BV(0, WidthLP),
+		Metric:     c.BV(0, WidthMetric),
+		MED:        c.BV(0, WidthMED),
+		NbrASN:     c.BV(0, WidthASN),
+		RID:        c.BV(0, WidthRID),
+		Internal:   c.False(),
+		FromClient: c.False(),
+		Comms:      map[string]*smt.Term{},
+	}
+	for _, cm := range commUniverse {
+		r.Comms[cm] = c.False()
+	}
+	for _, rt := range risky {
+		if r.Through == nil {
+			r.Through = map[string]*smt.Term{}
+		}
+		r.Through[rt] = c.False()
+	}
+	return r
+}
+
+// clone shallow-copies the record (term references are shared; maps are
+// copied).
+func (r *Record) clone() *Record {
+	out := *r
+	out.Comms = make(map[string]*smt.Term, len(r.Comms))
+	for k, v := range r.Comms {
+		out.Comms[k] = v
+	}
+	if r.Through != nil {
+		out.Through = make(map[string]*smt.Term, len(r.Through))
+		for k, v := range r.Through {
+			out.Through[k] = v
+		}
+	}
+	return &out
+}
+
+// gate returns a copy of the record whose validity is additionally
+// conditioned on cond.
+func (r *Record) gate(c *smt.Context, cond *smt.Term) *Record {
+	out := r.clone()
+	out.Valid = c.And(r.Valid, cond)
+	return out
+}
+
+// muxRecord returns the field-wise if-then-else of two records.
+func muxRecord(c *smt.Context, cond *smt.Term, a, b *Record) *Record {
+	out := &Record{
+		Valid:      c.Ite(cond, a.Valid, b.Valid),
+		PrefixLen:  c.Ite(cond, a.PrefixLen, b.PrefixLen),
+		AD:         c.Ite(cond, a.AD, b.AD),
+		LocalPref:  c.Ite(cond, a.LocalPref, b.LocalPref),
+		Metric:     c.Ite(cond, a.Metric, b.Metric),
+		MED:        c.Ite(cond, a.MED, b.MED),
+		NbrASN:     c.Ite(cond, a.NbrASN, b.NbrASN),
+		RID:        c.Ite(cond, a.RID, b.RID),
+		Internal:   c.Ite(cond, a.Internal, b.Internal),
+		FromClient: c.Ite(cond, a.FromClient, b.FromClient),
+		Comms:      map[string]*smt.Term{},
+	}
+	for k := range a.Comms {
+		out.Comms[k] = c.Ite(cond, a.Comms[k], b.Comms[k])
+	}
+	if a.Prefix != nil && b.Prefix != nil {
+		out.Prefix = c.Ite(cond, a.Prefix, b.Prefix)
+	}
+	if a.Through != nil {
+		out.Through = map[string]*smt.Term{}
+		for k := range a.Through {
+			out.Through[k] = c.Ite(cond, a.Through[k], b.Through[k])
+		}
+	}
+	return out
+}
+
+// cmpMode mirrors simulator.CompareMode for the symbolic comparators.
+type cmpMode struct {
+	alwaysCompareMED bool
+}
+
+// betterAttrs builds the strict-preference circuit over the shared
+// attribute order (local-pref, metric, MED, eBGP-over-iBGP, router id).
+// Both records are assumed valid.
+func betterAttrs(c *smt.Context, a, b *Record, mode cmpMode) *smt.Term {
+	// Keys from most to least significant: (strictlyBetter, equalEnough).
+	type key struct{ lt, eq *smt.Term }
+	medEnabled := c.Eq(a.NbrASN, b.NbrASN)
+	if mode.alwaysCompareMED {
+		medEnabled = c.True()
+	}
+	keys := []key{
+		{c.Ugt(a.LocalPref, b.LocalPref), c.Eq(a.LocalPref, b.LocalPref)},
+		{c.Ult(a.Metric, b.Metric), c.Eq(a.Metric, b.Metric)},
+		{c.And(medEnabled, c.Ult(a.MED, b.MED)), c.Or(c.Not(medEnabled), c.Eq(a.MED, b.MED))},
+		{c.And(c.Not(a.Internal), b.Internal), c.Eq(a.Internal, b.Internal)},
+		{c.Ult(a.RID, b.RID), c.Eq(a.RID, b.RID)},
+	}
+	// Fold right: better = L1 ∨ (E1 ∧ (L2 ∨ (E2 ∧ ...))).
+	out := c.False()
+	for i := len(keys) - 1; i >= 0; i-- {
+		out = c.Or(keys[i].lt, c.And(keys[i].eq, out))
+	}
+	return out
+}
+
+// betterIntra is the within-protocol strict order: longest prefix, then
+// the attribute order (no administrative distance — inside BGP, local
+// preference dominates even though iBGP routes carry AD 200).
+func betterIntra(c *smt.Context, a, b *Record, mode cmpMode) *smt.Term {
+	pl := c.Ugt(a.PrefixLen, b.PrefixLen)
+	pe := c.Eq(a.PrefixLen, b.PrefixLen)
+	return c.Or(pl, c.And(pe, betterAttrs(c, a, b, mode)))
+}
+
+// betterOverall is the cross-protocol strict order: longest prefix, then
+// lowest administrative distance, then the attribute order.
+func betterOverall(c *smt.Context, a, b *Record, mode cmpMode) *smt.Term {
+	pl := c.Ugt(a.PrefixLen, b.PrefixLen)
+	pe := c.Eq(a.PrefixLen, b.PrefixLen)
+	ad := c.Ult(a.AD, b.AD)
+	ae := c.Eq(a.AD, b.AD)
+	return c.Or(pl, c.And(pe, c.Or(ad, c.And(ae, betterAttrs(c, a, b, mode)))))
+}
+
+// equallyGood is the multipath relaxation (§4): neither record strictly
+// preferred when the router-id tie-break is ignored.
+func equallyGood(c *smt.Context, a, b *Record, mode cmpMode) *smt.Term {
+	medEnabled := c.Eq(a.NbrASN, b.NbrASN)
+	if mode.alwaysCompareMED {
+		medEnabled = c.True()
+	}
+	return c.And(
+		c.Eq(a.PrefixLen, b.PrefixLen),
+		c.Eq(a.AD, b.AD),
+		c.Eq(a.LocalPref, b.LocalPref),
+		c.Eq(a.Metric, b.Metric),
+		c.Or(c.Not(medEnabled), c.Eq(a.MED, b.MED)),
+		c.Eq(a.Internal, b.Internal),
+	)
+}
+
+// sameChoice tests whether a candidate record is exactly the selected one
+// (all preference keys including the router-id tie-break): the encoder's
+// analogue of "e4.valid ∧ e4 = bestoverall" from §3(5).
+func sameChoice(c *smt.Context, cand, best *Record, mode cmpMode) *smt.Term {
+	medEnabled := c.Eq(cand.NbrASN, best.NbrASN)
+	if mode.alwaysCompareMED {
+		medEnabled = c.True()
+	}
+	return c.And(
+		c.Eq(cand.PrefixLen, best.PrefixLen),
+		c.Eq(cand.AD, best.AD),
+		c.Eq(cand.LocalPref, best.LocalPref),
+		c.Eq(cand.Metric, best.Metric),
+		c.Or(c.Not(medEnabled), c.Eq(cand.MED, best.MED)),
+		c.Eq(cand.Internal, best.Internal),
+		c.Eq(cand.RID, best.RID),
+	)
+}
+
+// selectBest folds candidates into the selected record using the given
+// strict order. Returns the invalid record when no candidate is valid.
+func selectBest(c *smt.Context, cands []*Record, better func(a, b *Record) *smt.Term, inv *Record) *Record {
+	best := inv
+	for _, cand := range cands {
+		takeCand := c.And(cand.Valid, c.Or(c.Not(best.Valid), better(cand, best)))
+		best = muxRecord(c, takeCand, cand, best)
+	}
+	return best
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/smt"
+)
+
+// applyRouteMap translates a route map into record constraints (the
+// symbolic analogue of Figure 4). Clauses apply first-match; a permit
+// clause executes its set actions, a deny clause (and the implicit tail)
+// invalidates the record. With hoisting, prefix-list matches become range
+// tests on the slice's destination IP plus bounds on the record's prefix
+// length (§6.1); without it they test the record's explicit prefix field.
+func (m *Model) applyRouteMap(sl *Slice, cfg *config.Router, name string, rec *Record) *Record {
+	c := m.Ctx
+	rm := cfg.RouteMaps[name]
+	if rm == nil {
+		return m.inv()
+	}
+	out := m.inv() // implicit deny tail
+	for i := len(rm.Clauses) - 1; i >= 0; i-- {
+		cl := rm.Clauses[i]
+		match := m.clauseMatch(sl, cfg, cl, rec)
+		var res *Record
+		if cl.Action == config.Deny {
+			res = m.inv()
+		} else {
+			res = m.applySets(cfg, cl, rec)
+		}
+		out = muxRecord(c, match, res, out)
+	}
+	out.Valid = c.And(rec.Valid, out.Valid)
+	return out
+}
+
+// clauseMatch builds the condition under which a route-map clause applies.
+func (m *Model) clauseMatch(sl *Slice, cfg *config.Router, cl *config.RouteMapClause, rec *Record) *smt.Term {
+	c := m.Ctx
+	cond := c.True()
+	if cl.MatchPrefixList != "" {
+		pl := cfg.PrefixLists[cl.MatchPrefixList]
+		if pl == nil {
+			return c.False()
+		}
+		cond = c.And(cond, m.prefixListPermits(sl, pl, rec))
+	}
+	if cl.MatchCommunity != "" {
+		l := cfg.CommunityLists[cl.MatchCommunity]
+		if l == nil {
+			return c.False()
+		}
+		var any []*smt.Term
+		for _, v := range l.Values {
+			if bit, ok := rec.Comms[v]; ok {
+				any = append(any, bit)
+			}
+		}
+		cond = c.And(cond, c.Or(any...))
+	}
+	return cond
+}
+
+// prefixListPermits folds a prefix list's entries with first-match
+// semantics into a permit bit.
+func (m *Model) prefixListPermits(sl *Slice, pl *config.PrefixList, rec *Record) *smt.Term {
+	c := m.Ctx
+	out := c.False() // implicit deny
+	for i := len(pl.Entries) - 1; i >= 0; i-- {
+		e := pl.Entries[i]
+		out = c.Ite(m.entryMatches(sl, e, rec), c.Bool(e.Action == config.Permit), out)
+	}
+	return out
+}
+
+// entryMatches builds one prefix-list entry test. The hoisted form tests
+// the destination IP against the entry's constant prefix and bounds the
+// record's prefix length — sound because record validity already implies
+// the announced prefix covers the destination and the length bounds sit at
+// or above the entry's length (§6.1).
+func (m *Model) entryMatches(sl *Slice, e config.PrefixListEntry, rec *Record) *smt.Term {
+	c := m.Ctx
+	lo, hi := e.Prefix.Len, e.Prefix.Len
+	if e.Ge != 0 {
+		lo, hi = e.Ge, 32
+	}
+	if e.Le != 0 {
+		hi = e.Le
+		if e.Ge == 0 {
+			lo = e.Prefix.Len
+		}
+	}
+	bounds := c.And(
+		c.Ule(c.BV(uint64(lo), WidthPrefixLen), rec.PrefixLen),
+		c.Ule(rec.PrefixLen, c.BV(uint64(hi), WidthPrefixLen)),
+	)
+	if m.Opts.Hoisting {
+		return c.And(m.inPrefix(sl.DstIP, e.Prefix), bounds)
+	}
+	return c.And(m.fbmConst(rec.Prefix, e.Prefix.Addr, e.Prefix.Len), bounds)
+}
+
+// applySets executes a permit clause's set actions on a copy of the
+// record.
+func (m *Model) applySets(cfg *config.Router, cl *config.RouteMapClause, rec *Record) *Record {
+	c := m.Ctx
+	out := rec.clone()
+	if cl.SetLocalPref != 0 {
+		out.LocalPref = c.BV(uint64(cl.SetLocalPref), WidthLP)
+	}
+	if cl.HasSetMetric {
+		out.Metric = c.BV(uint64(cl.SetMetric), WidthMetric)
+	}
+	if cl.HasSetMED {
+		out.MED = c.BV(uint64(cl.SetMED), WidthMED)
+	}
+	for _, v := range cl.SetCommunity {
+		if _, ok := out.Comms[v]; ok {
+			out.Comms[v] = c.True()
+		}
+	}
+	for _, listName := range cl.DelCommunity {
+		if l := cfg.CommunityLists[listName]; l != nil {
+			for _, v := range l.Values {
+				if _, ok := out.Comms[v]; ok {
+					out.Comms[v] = c.False()
+				}
+			}
+		}
+	}
+	if cl.SetPrepend > 0 {
+		out.Metric = c.Add(out.Metric, c.BV(uint64(cl.SetPrepend), WidthMetric))
+	}
+	return out
+}
+
+// aclPermits translates an interface ACL into a packet predicate (§3(7)).
+// A missing interface or ACL permits everything.
+func (m *Model) aclPermits(cfg *config.Router, ifaceName string, inbound bool, pkt pktFields) *smt.Term {
+	c := m.Ctx
+	if ifaceName == "" {
+		return c.True()
+	}
+	iface := cfg.Iface(ifaceName)
+	if iface == nil {
+		return c.True()
+	}
+	name := iface.OutACL
+	if inbound {
+		name = iface.InACL
+	}
+	if name == "" {
+		return c.True()
+	}
+	acl := cfg.ACLs[name]
+	if acl == nil {
+		return c.True()
+	}
+	out := c.False() // implicit deny
+	for i := len(acl.Entries) - 1; i >= 0; i-- {
+		e := acl.Entries[i]
+		out = c.Ite(m.aclEntryMatches(e, pkt), c.Bool(e.Action == config.Permit), out)
+	}
+	return out
+}
+
+func (m *Model) aclEntryMatches(e config.ACLEntry, pkt pktFields) *smt.Term {
+	c := m.Ctx
+	cond := c.True()
+	if e.SrcPrefix.Len > 0 {
+		cond = c.And(cond, m.inPrefix(pkt.src, e.SrcPrefix))
+	}
+	if e.DstPrefix.Len > 0 {
+		cond = c.And(cond, m.inPrefix(pkt.dst, e.DstPrefix))
+	}
+	if e.Protocol >= 0 {
+		cond = c.And(cond, c.Eq(pkt.proto, c.BV(uint64(e.Protocol), 8)))
+	}
+	if e.SrcPortLo > 0 || e.SrcPortHi < 65535 {
+		cond = c.And(cond, c.InRange(pkt.sport, uint64(e.SrcPortLo), uint64(e.SrcPortHi)))
+	}
+	if e.DstPortLo > 0 || e.DstPortHi < 65535 {
+		cond = c.And(cond, c.InRange(pkt.dport, uint64(e.DstPortLo), uint64(e.DstPortHi)))
+	}
+	return cond
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/sat"
+	"repro/internal/simulator"
+	"repro/internal/smt"
+)
+
+// Counterexample is a concrete stable state violating a property: the
+// packet, the environment (announcements and failures) and the decoded
+// variable assignment. It can be replayed in the simulator.
+type Counterexample struct {
+	Assignment smt.Assignment
+	Packet     config.Packet
+	Env        *simulator.Environment
+}
+
+// Result is the outcome of one verification query.
+type Result struct {
+	// Verified is true when no stable state violates the property
+	// (the formula N ∧ ¬P is unsatisfiable).
+	Verified bool
+	// Counterexample is set when Verified is false.
+	Counterexample *Counterexample
+	// Formula/solver statistics for the performance experiments.
+	Elapsed    time.Duration
+	SATVars    int
+	SATClauses int
+	Stats      sat.Stats
+}
+
+// Check decides whether the property holds in every stable state: it
+// asserts N ∧ ¬property and searches for a satisfying assignment.
+// Additional constraints (e.g. restricting the destination or bounding
+// failures) can be passed as assumptions.
+func (m *Model) Check(property *smt.Term, assumptions ...*smt.Term) (*Result, error) {
+	c := m.Ctx
+	start := time.Now()
+	solver := smt.NewSolver(c)
+	for _, a := range m.Asserts {
+		solver.Assert(a)
+	}
+	for _, a := range assumptions {
+		solver.Assert(a)
+	}
+	solver.Assert(c.Not(property))
+	status := solver.Check()
+	res := &Result{
+		Elapsed:    time.Since(start),
+		SATVars:    solver.NumSATVars(),
+		SATClauses: solver.NumSATClauses(),
+		Stats:      solver.SATStats(),
+	}
+	switch status {
+	case sat.Unsat:
+		res.Verified = true
+	case sat.Sat:
+		res.Counterexample = m.Decode(solver.Model())
+	default:
+		return nil, fmt.Errorf("core: solver returned %v", status)
+	}
+	return res, nil
+}
+
+// CheckSat searches for a stable state satisfying the given condition
+// (rather than verifying its absence): SAT returns the witness.
+func (m *Model) CheckSat(condition *smt.Term) (*Counterexample, error) {
+	res, err := m.Check(m.Ctx.Not(condition))
+	if err != nil {
+		return nil, err
+	}
+	return res.Counterexample, nil
+}
+
+// Decode reconstructs the concrete environment and packet from a model
+// assignment.
+func (m *Model) Decode(asg smt.Assignment) *Counterexample {
+	cex := &Counterexample{Assignment: asg, Env: simulator.NewEnvironment()}
+	dst := network.IP(asg[m.prefix+"pkt.dstIP"].BV)
+	cex.Packet = config.Packet{
+		DstIP:    dst,
+		SrcIP:    network.IP(asg[m.prefix+"pkt.srcIP"].BV),
+		SrcPort:  int(asg[m.prefix+"pkt.srcPort"].BV),
+		DstPort:  int(asg[m.prefix+"pkt.dstPort"].BV),
+		Protocol: int(asg[m.prefix+"pkt.proto"].BV),
+	}
+	for _, e := range m.G.Topo.Externals {
+		rec := m.Main.Env[e.Name]
+		if !evalBool(rec.Valid, asg) {
+			continue
+		}
+		plen := int(smt.Eval(rec.PrefixLen, asg).BV)
+		if plen > 32 {
+			plen = 32
+		}
+		ann := simulator.Announcement{
+			Prefix:  network.Prefix{Addr: dst.Mask(plen), Len: plen},
+			PathLen: int(smt.Eval(rec.Metric, asg).BV),
+			MED:     int(smt.Eval(rec.MED, asg).BV),
+		}
+		if !m.Opts.Hoisting && rec.Prefix != nil {
+			ann.Prefix = network.Prefix{Addr: network.IP(smt.Eval(rec.Prefix, asg).BV).Mask(plen), Len: plen}
+		}
+		for _, cm := range m.commUni {
+			if bit, ok := rec.Comms[cm]; ok && evalBool(bit, asg) {
+				ann.Communities = append(ann.Communities, cm)
+			}
+		}
+		cex.Env.Announce(e.Name, ann)
+	}
+	for id, v := range m.Failed {
+		if evalBool(v, asg) {
+			cex.Env.FailedLinks[id] = true
+		}
+	}
+	return cex
+}
+
+func evalBool(t *smt.Term, asg smt.Assignment) bool {
+	return smt.Eval(t, asg).Bool
+}
+
+// RecordValue is a decoded record for diagnostics.
+type RecordValue struct {
+	Valid     bool
+	PrefixLen int
+	AD        int
+	LocalPref int
+	Metric    int
+	MED       int
+	Internal  bool
+	RID       uint32
+	Comms     []string
+}
+
+// DecodeRecord evaluates a symbolic record under an assignment.
+func DecodeRecord(r *Record, asg smt.Assignment) RecordValue {
+	v := RecordValue{
+		Valid:     smt.Eval(r.Valid, asg).Bool,
+		PrefixLen: int(smt.Eval(r.PrefixLen, asg).BV),
+		AD:        int(smt.Eval(r.AD, asg).BV),
+		LocalPref: int(smt.Eval(r.LocalPref, asg).BV),
+		Metric:    int(smt.Eval(r.Metric, asg).BV),
+		MED:       int(smt.Eval(r.MED, asg).BV),
+		Internal:  smt.Eval(r.Internal, asg).Bool,
+		RID:       uint32(smt.Eval(r.RID, asg).BV),
+	}
+	for cm, bit := range r.Comms {
+		if smt.Eval(bit, asg).Bool {
+			v.Comms = append(v.Comms, cm)
+		}
+	}
+	sort.Strings(v.Comms)
+	return v
+}
+
+// DecodeForwarding lists the active control-plane forwarding decisions of
+// a slice under an assignment, for counterexample reports.
+func (m *Model) DecodeForwarding(sl *Slice, asg smt.Assignment) []string {
+	var out []string
+	names := make([]string, 0, len(sl.CtrlFwd))
+	for n := range sl.CtrlFwd {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, h := range sortedHops(sl.CtrlFwd[n]) {
+			if evalBool(sl.CtrlFwd[n][h], asg) {
+				out = append(out, n+" -> "+h.String())
+			}
+		}
+		if evalBool(sl.DeliveredLocal[n], asg) {
+			out = append(out, n+" delivers locally")
+		}
+		if evalBool(sl.DroppedNull[n], asg) {
+			out = append(out, n+" drops (null0)")
+		}
+	}
+	return out
+}
+
+// String renders a counterexample for operators.
+func (c *Counterexample) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "packet: dst=%v src=%v proto=%d sport=%d dport=%d\n",
+		c.Packet.DstIP, c.Packet.SrcIP, c.Packet.Protocol, c.Packet.SrcPort, c.Packet.DstPort)
+	fmt.Fprintf(&b, "environment: %s", c.Env)
+	return b.String()
+}
+
+// Replay runs the counterexample's environment through the concrete
+// simulator and returns the resulting stable state, letting callers
+// confirm a finding outside the symbolic model (the CLI's -replay flag
+// and several tests use this).
+func (m *Model) Replay(cex *Counterexample) (*simulator.Result, error) {
+	sim := simulator.New(m.G)
+	return sim.Run(cex.Packet.DstIP, cex.Env)
+}
+
+// ReplayAgrees replays the counterexample and compares the simulator's
+// stable state with the decoded model state router by router (overall
+// best route and forwarding). It returns a list of disagreements — empty
+// when the concrete and symbolic worlds agree, which is strong evidence
+// the finding is real. Networks with multiple stable states may disagree
+// legitimately; see DESIGN.md.
+func (m *Model) ReplayAgrees(cex *Counterexample) ([]string, error) {
+	simres, err := m.Replay(cex)
+	if err != nil {
+		return nil, err
+	}
+	var diffs []string
+	for _, n := range m.G.Topo.Nodes {
+		sym := DecodeRecord(m.Main.Best[n.Name], cex.Assignment)
+		conc := simres.States[n.Name].Best
+		if sym.Valid != conc.Valid {
+			diffs = append(diffs, fmt.Sprintf("%s: model best valid=%v, simulator=%v", n.Name, sym.Valid, conc.Valid))
+			continue
+		}
+		if conc.Valid && (sym.PrefixLen != conc.PrefixLen || sym.AD != conc.AD ||
+			sym.LocalPref != conc.LocalPref || sym.Metric != conc.Metric) {
+			diffs = append(diffs, fmt.Sprintf("%s: model best %+v, simulator %v", n.Name, sym, conc))
+		}
+	}
+	return diffs, nil
+}

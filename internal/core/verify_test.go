@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simulator"
+	"repro/internal/testnets"
+)
+
+func TestCheckSatFindsWitness(t *testing.T) {
+	net := testnets.Hijackable(false)
+	m, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Witness: some stable state where R2 exits via N.
+	cond := m.Main.CtrlFwd["R2"][Hop{Ext: "N"}]
+	cex, err := m.CheckSat(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex == nil {
+		t.Fatal("no witness found")
+	}
+	if cex.Env.Anns["N"] == nil {
+		t.Fatalf("witness needs an announcement: %v", cex.Env)
+	}
+}
+
+func TestReplayAgreement(t *testing.T) {
+	net := testnets.Hijackable(false)
+	m, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := m.Ctx.And(
+		m.Main.CtrlFwd["R2"][Hop{Ext: "N"}],
+		m.NoFailures(),
+		m.Ctx.Eq(m.DstIP, m.Ctx.BV(uint64(ip("192.168.50.1")), WidthIP)),
+	)
+	cex, err := m.CheckSat(cond)
+	if err != nil || cex == nil {
+		t.Fatalf("witness: %v %v", cex, err)
+	}
+	diffs, err := m.ReplayAgrees(cex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("replay disagrees: %v", diffs)
+	}
+	simres, err := m.Replay(cex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simres.States["R2"].Best.Valid {
+		t.Fatal("replayed state lost the route")
+	}
+}
+
+func TestCounterexampleString(t *testing.T) {
+	net := testnets.Hijackable(false)
+	m, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cex, err := m.CheckSat(m.Main.Env["N"].Valid)
+	if err != nil || cex == nil {
+		t.Fatalf("%v %v", cex, err)
+	}
+	s := cex.String()
+	if !strings.Contains(s, "packet:") || !strings.Contains(s, "environment:") {
+		t.Fatalf("render: %q", s)
+	}
+	_ = simulator.NewEnvironment()
+}

@@ -1,0 +1,384 @@
+// Package harness drives the paper's evaluation (§8): the four-property
+// audit of the operational-network population (§8.1 violations table and
+// Figure 7 timing panels), the synthetic data-center property sweep
+// (Figure 8) and the optimization ablation (§8.3). cmd/bench and the
+// repository benchmarks are thin wrappers over this package.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/netgen"
+	"repro/internal/properties"
+	"repro/internal/protograph"
+	"repro/internal/smt"
+	"repro/internal/topogen"
+)
+
+// BuildGraph assembles the protocol graph from router configurations.
+func BuildGraph(routers []*config.Router) (*protograph.Graph, error) {
+	topo, err := config.BuildTopology(routers)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*config.Router, len(routers))
+	for _, r := range routers {
+		byName[r.Name] = r
+	}
+	return protograph.Build(topo, byName)
+}
+
+// PropResult is one property check outcome.
+type PropResult struct {
+	Violated bool
+	Elapsed  time.Duration
+	Detail   string
+}
+
+// Section 8.1 property names.
+const (
+	PropMgmtReach  = "mgmt-reachability"
+	PropLocalEquiv = "local-equivalence"
+	PropBlackholes = "blackholes"
+	PropFaultInvar = "fault-invariance"
+)
+
+// AllSection81Props lists the four §8.1 properties in paper order.
+func AllSection81Props() []string {
+	return []string{PropMgmtReach, PropLocalEquiv, PropBlackholes, PropFaultInvar}
+}
+
+// NetCheck is the audit result for one network.
+type NetCheck struct {
+	Name    string
+	Routers int
+	Lines   int
+	Results map[string]PropResult
+}
+
+// CheckNetwork runs the requested §8.1 properties on one generated
+// network.
+func CheckNetwork(n *netgen.Network, props []string) (*NetCheck, error) {
+	g, err := BuildGraph(n.Routers)
+	if err != nil {
+		return nil, err
+	}
+	out := &NetCheck{Name: n.Name, Routers: len(n.Routers), Lines: n.Lines, Results: map[string]PropResult{}}
+	for _, prop := range props {
+		var pr PropResult
+		switch prop {
+		case PropMgmtReach:
+			pr, err = checkMgmt(g)
+		case PropLocalEquiv:
+			pr, err = checkLocalEquiv(g, n.Roles)
+		case PropBlackholes:
+			pr, err = checkDropsAtEdge(g, n)
+		case PropFaultInvar:
+			pr, err = checkFaultInvariance(g)
+		default:
+			err = fmt.Errorf("harness: unknown property %q", prop)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", n.Name, prop, err)
+		}
+		out.Results[prop] = pr
+	}
+	return out, nil
+}
+
+func checkMgmt(g *protograph.Graph) (PropResult, error) {
+	m, err := core.Encode(g, core.DefaultOptions())
+	if err != nil {
+		return PropResult{}, err
+	}
+	res, err := m.Check(properties.ManagementReachable(m), m.NoFailures())
+	if err != nil {
+		return PropResult{}, err
+	}
+	pr := PropResult{Violated: !res.Verified, Elapsed: res.Elapsed}
+	if !res.Verified {
+		pr.Detail = res.Counterexample.String()
+	}
+	return pr, nil
+}
+
+func checkLocalEquiv(g *protograph.Graph, roles map[string][]string) (PropResult, error) {
+	start := time.Now()
+	pr := PropResult{}
+	for _, members := range roles {
+		for i := 0; i+1 < len(members); i++ {
+			res, err := core.CheckLocalEquivalence(g, members[i], members[i+1], core.DefaultOptions())
+			if err != nil {
+				return pr, err
+			}
+			if !res.Equivalent && !pr.Violated {
+				pr.Violated = true
+				pr.Detail = fmt.Sprintf("%s vs %s: %s", members[i], members[i+1], res.Difference)
+			}
+		}
+	}
+	pr.Elapsed = time.Since(start)
+	return pr, nil
+}
+
+func checkDropsAtEdge(g *protograph.Graph, n *netgen.Network) (PropResult, error) {
+	m, err := core.Encode(g, core.DefaultOptions())
+	if err != nil {
+		return PropResult{}, err
+	}
+	edge := map[string]bool{}
+	for _, r := range n.Access {
+		edge[r] = true
+	}
+	for _, r := range n.Borders {
+		edge[r] = true
+	}
+	p := properties.DropsAtEdgeOnly(m, func(r string) bool { return edge[r] })
+	res, err := m.Check(p, m.NoFailures())
+	if err != nil {
+		return PropResult{}, err
+	}
+	pr := PropResult{Violated: !res.Verified, Elapsed: res.Elapsed}
+	if !res.Verified {
+		pr.Detail = res.Counterexample.String()
+	}
+	return pr, nil
+}
+
+func checkFaultInvariance(g *protograph.Graph) (PropResult, error) {
+	pair, prop, err := core.FaultInvariance(g, core.DefaultOptions(), 1)
+	if err != nil {
+		return PropResult{}, err
+	}
+	// §8.1 asks whether router-pair reachability survives any single
+	// failure; environment-induced changes are the hijack property's
+	// business, so the announcements are held silent here (they are
+	// linked across the two copies already).
+	silent := pair.Ctx.True()
+	for _, rec := range pair.A.Main.Env {
+		silent = pair.Ctx.And(silent, pair.Ctx.Not(rec.Valid))
+	}
+	res, err := pair.Check(prop, silent)
+	if err != nil {
+		return PropResult{}, err
+	}
+	pr := PropResult{Violated: !res.Verified, Elapsed: res.Elapsed}
+	if !res.Verified {
+		pr.Detail = res.Counterexample.String()
+	}
+	return pr, nil
+}
+
+// Section81Summary aggregates an §8.1 audit.
+type Section81Summary struct {
+	Total      int
+	Violations map[string]int
+	PerNet     []*NetCheck
+}
+
+// RunSection81 audits a population.
+func RunSection81(pop []*netgen.Network, props []string) (*Section81Summary, error) {
+	sum := &Section81Summary{Total: len(pop), Violations: map[string]int{}}
+	for _, n := range pop {
+		nc, err := CheckNetwork(n, props)
+		if err != nil {
+			return nil, err
+		}
+		sum.PerNet = append(sum.PerNet, nc)
+		for prop, pr := range nc.Results {
+			if pr.Violated {
+				sum.Violations[prop]++
+			}
+		}
+	}
+	return sum, nil
+}
+
+// Figure 8 property names (paper legend order).
+const (
+	Fig8NoBlackholes   = "no-blackholes"
+	Fig8Multipath      = "multipath-consistency"
+	Fig8LocalConsist   = "local-consistency"
+	Fig8ReachSingle    = "single-tor-reachability"
+	Fig8ReachAll       = "all-tor-reachability"
+	Fig8BoundedSingle  = "single-tor-bounded-length"
+	Fig8BoundedAll     = "all-tor-bounded-length"
+	Fig8EqualLengthPod = "equal-length-pod"
+)
+
+// AllFig8Props lists the Figure 8 properties.
+func AllFig8Props() []string {
+	return []string{
+		Fig8NoBlackholes, Fig8Multipath, Fig8LocalConsist,
+		Fig8ReachSingle, Fig8ReachAll,
+		Fig8BoundedSingle, Fig8BoundedAll, Fig8EqualLengthPod,
+	}
+}
+
+// Fig8Row is one point of Figure 8.
+type Fig8Row struct {
+	Pods, Routers int
+	Property      string
+	Elapsed       time.Duration
+	Verified      bool
+	SATVars       int
+	SATClauses    int
+}
+
+// Fabric caches a generated fat-tree and its graph.
+type Fabric struct {
+	FT *topogen.FatTree
+	G  *protograph.Graph
+}
+
+// BuildFabric generates a k-pod fabric.
+func BuildFabric(k int) (*Fabric, error) {
+	ft, err := topogen.Generate(k)
+	if err != nil {
+		return nil, err
+	}
+	g, err := BuildGraph(ft.Routers)
+	if err != nil {
+		return nil, err
+	}
+	return &Fabric{FT: ft, G: g}, nil
+}
+
+// RunFig8Property checks one Figure 8 property on a fabric. The
+// destination is the first ToR's subnet, the far source the last pod's
+// first ToR, matching the paper's fixed-destination queries.
+func RunFig8Property(f *Fabric, prop string) (*Fig8Row, error) {
+	k := f.FT.K
+	row := &Fig8Row{Pods: k, Routers: len(f.FT.Routers), Property: prop}
+	dst := topogen.ToRSubnet(0, 0)
+	destToR := topogen.ToRName(0, 0)
+	farToR := topogen.ToRName(k-1, 0)
+	allToRs := func() []string {
+		var out []string
+		for _, t := range f.FT.AllToRs() {
+			if t != destToR {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+
+	if prop == Fig8LocalConsist {
+		// n−1 pairwise equivalence queries over the core tier, as in
+		// §8.2 ("to ensure all n spine routers are equivalent... n−1
+		// separate queries").
+		start := time.Now()
+		cores := f.FT.Cores
+		row.Verified = true
+		for i := 0; i+1 < len(cores); i++ {
+			res, err := core.CheckLocalEquivalence(f.G, cores[i], cores[i+1], core.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			if !res.Equivalent {
+				row.Verified = false
+			}
+		}
+		row.Elapsed = time.Since(start)
+		return row, nil
+	}
+
+	m, err := core.Encode(f.G, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	var p = m.Ctx.True()
+	assumptions := []*smt.Term{m.NoFailures()}
+	switch prop {
+	case Fig8NoBlackholes:
+		p = properties.NoBlackholes(m)
+	case Fig8Multipath:
+		p = properties.MultipathConsistent(m)
+	case Fig8ReachSingle:
+		p = properties.Reachable(m, farToR, dst)
+		assumptions = append(assumptions, properties.DstIn(m, dst))
+	case Fig8ReachAll:
+		p = properties.ReachableAll(m, allToRs(), dst)
+		assumptions = append(assumptions, properties.DstIn(m, dst))
+	case Fig8BoundedSingle:
+		p = properties.BoundedLength(m, farToR, dst, 4)
+		assumptions = append(assumptions, properties.DstIn(m, dst))
+	case Fig8BoundedAll:
+		p = properties.BoundedLengthAll(m, allToRs(), dst, 4)
+		assumptions = append(assumptions, properties.DstIn(m, dst))
+	case Fig8EqualLengthPod:
+		// ToRs of a pod other than the destination's use equal-length
+		// paths.
+		p = properties.EqualLengths(m, f.FT.ToRs[k-1], dst)
+		assumptions = append(assumptions, properties.DstIn(m, dst))
+	default:
+		return nil, fmt.Errorf("harness: unknown figure-8 property %q", prop)
+	}
+	res, err := m.Check(p, assumptions...)
+	if err != nil {
+		return nil, err
+	}
+	row.Elapsed = res.Elapsed
+	row.Verified = res.Verified
+	row.SATVars = res.SATVars
+	row.SATClauses = res.SATClauses
+	return row, nil
+}
+
+// AblationRow is one §8.3 data point: single-source reachability with a
+// given optimization configuration.
+type AblationRow struct {
+	Config        string
+	Opts          core.Options
+	Pods, Routers int
+	Encode        time.Duration
+	Check         time.Duration
+	Verified      bool
+	RecordVars    int
+	SATVars       int
+	SATClauses    int
+}
+
+// AblationConfigs enumerates the §8.3 configurations.
+func AblationConfigs() []struct {
+	Name string
+	Opts core.Options
+} {
+	return []struct {
+		Name string
+		Opts core.Options
+	}{
+		{"none", core.Options{}},
+		{"hoisting", core.Options{Hoisting: true}},
+		{"slicing", core.Options{Slicing: true}},
+		{"hoisting+slicing", core.DefaultOptions()},
+	}
+}
+
+// RunAblation measures the optimizations on single-source reachability
+// over a k-pod fabric.
+func RunAblation(f *Fabric, name string, opts core.Options) (*AblationRow, error) {
+	k := f.FT.K
+	row := &AblationRow{Config: name, Opts: opts, Pods: k, Routers: len(f.FT.Routers)}
+	t0 := time.Now()
+	m, err := core.Encode(f.G, opts)
+	if err != nil {
+		return nil, err
+	}
+	row.Encode = time.Since(t0)
+	row.RecordVars = m.NumRecordVars
+	dst := topogen.ToRSubnet(0, 0)
+	p := properties.Reachable(m, topogen.ToRName(k-1, 0), dst)
+	res, err := m.Check(p, m.NoFailures(), properties.DstIn(m, dst))
+	if err != nil {
+		return nil, err
+	}
+	row.Check = res.Elapsed
+	row.Verified = res.Verified
+	row.SATVars = res.SATVars
+	row.SATClauses = res.SATClauses
+	return row, nil
+}

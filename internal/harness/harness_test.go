@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+func TestSection81DetectsInjectedBugs(t *testing.T) {
+	// A small population with high bug rates: the verifier's findings
+	// must match the generator's ground truth per network.
+	p := netgen.DefaultParams()
+	p.MinRouters, p.MaxRouters = 5, 10
+	p.PHijack, p.PACLException, p.PDeepDrop = 0.5, 0.5, 0.5
+	pop, err := netgen.Population(10, 42, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunSection81(pop, []string{PropMgmtReach, PropLocalEquiv, PropBlackholes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != 10 || len(sum.PerNet) != 10 {
+		t.Fatalf("summary %+v", sum)
+	}
+	for i, n := range pop {
+		nc := sum.PerNet[i]
+		if got := nc.Results[PropMgmtReach].Violated; got != n.Bugs.HijackableMgmt {
+			t.Errorf("%s: hijack found=%v injected=%v", n.Name, got, n.Bugs.HijackableMgmt)
+		}
+		wantEquiv := n.Bugs.ACLException && len(n.Roles["access"]) >= 2
+		if got := nc.Results[PropLocalEquiv].Violated; got != wantEquiv {
+			t.Errorf("%s: equiv violated=%v injected=%v", n.Name, got, wantEquiv)
+		}
+		wantDeep := n.Bugs.DeepDrop && len(n.Cores) > 0 && len(n.Access) > 0
+		if got := nc.Results[PropBlackholes].Violated; got != wantDeep {
+			t.Errorf("%s: deep drop found=%v injected=%v", n.Name, got, wantDeep)
+		}
+	}
+}
+
+func TestFig8SmallFabric(t *testing.T) {
+	f, err := BuildFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prop := range AllFig8Props() {
+		row, err := RunFig8Property(f, prop)
+		if err != nil {
+			t.Fatalf("%s: %v", prop, err)
+		}
+		if !row.Verified {
+			t.Errorf("%s violated on a clean fabric", prop)
+		}
+		if row.Elapsed <= 0 {
+			t.Errorf("%s: no time recorded", prop)
+		}
+	}
+}
+
+func TestAblationMonotone(t *testing.T) {
+	f, err := BuildFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var none, both *AblationRow
+	for _, cfg := range AblationConfigs() {
+		row, err := RunAblation(f, cfg.Name, cfg.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !row.Verified {
+			t.Fatalf("%s: reachability must verify", cfg.Name)
+		}
+		switch cfg.Name {
+		case "none":
+			none = row
+		case "hoisting+slicing":
+			both = row
+		}
+	}
+	if none.RecordVars <= both.RecordVars {
+		t.Fatalf("optimizations should shrink the formula: %d vs %d", none.RecordVars, both.RecordVars)
+	}
+	if none.SATClauses <= both.SATClauses {
+		t.Fatalf("optimizations should shrink the CNF: %d vs %d", none.SATClauses, both.SATClauses)
+	}
+}

@@ -1,0 +1,401 @@
+// Package netgen generates operational-style networks standing in for the
+// paper's 152 proprietary cloud-provider networks (§8.1): 2–25 routers
+// mixing OSPF, eBGP, iBGP, static routes, ACLs, redistribution and
+// management interfaces, with seeded injection of the three violation
+// classes the paper found — management-interface hijackability, ACL
+// copy-paste exceptions between same-role routers, and traffic dropped
+// deep in the network instead of at the edge.
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/config"
+)
+
+// Bugs records the ground truth injected into one generated network.
+type Bugs struct {
+	// HijackableMgmt: a border router imports external routes without
+	// filtering management space, so management interfaces can be
+	// hijacked by a more-specific announcement.
+	HijackableMgmt bool
+	// ACLException: one access router of a role pair carries an extra
+	// ACL entry (the local-equivalence violation class).
+	ACLException bool
+	// DeepDrop: an edge ACL was (also) placed on a core router, so
+	// traffic is dropped in the network interior.
+	DeepDrop bool
+}
+
+// Network is one generated operational network.
+type Network struct {
+	Name    string
+	Routers []*config.Router
+	Bugs    Bugs
+	// Roles maps a role name to the routers filling it (access-router
+	// pairs are the equivalence-check targets).
+	Roles map[string][]string
+	// Borders and Cores list the backbone routers; Access the edge.
+	Borders, Cores, Access []string
+	// MgmtPrefix covers all management loopbacks.
+	MgmtPrefix string
+	// Lines is the total configuration line count (Figure 7 x-axis).
+	Lines int
+}
+
+// Params tune the generator.
+type Params struct {
+	// MinRouters and MaxRouters bound the size (paper: 2–25).
+	MinRouters, MaxRouters int
+	// PHijack, PACLException and PDeepDrop are per-network injection
+	// probabilities, calibrated so a 152-network population approximates
+	// the paper's violation counts (67, 29, 24 of 152).
+	PHijack, PACLException, PDeepDrop float64
+	// WithIBGP enables iBGP between borders (multihop over loopbacks).
+	WithIBGP bool
+}
+
+// DefaultParams mirror the §8.1 population.
+func DefaultParams() Params {
+	return Params{
+		MinRouters: 2, MaxRouters: 25,
+		PHijack: 0.44, PACLException: 0.19, PDeepDrop: 0.16,
+		WithIBGP: true,
+	}
+}
+
+// Generate builds one network from a seed.
+func Generate(name string, seed int64, p Params) (*Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	size := p.MinRouters + rng.Intn(p.MaxRouters-p.MinRouters+1)
+
+	bugs := Bugs{
+		HijackableMgmt: rng.Float64() < p.PHijack,
+		ACLException:   rng.Float64() < p.PACLException,
+		DeepDrop:       rng.Float64() < p.PDeepDrop,
+	}
+
+	// Partition routers into borders, cores and access.
+	nBorder := 1
+	if size >= 5 && rng.Intn(2) == 0 {
+		nBorder = 2
+	}
+	nCore := 0
+	if size-nBorder >= 3 {
+		nCore = 2
+	} else if size-nBorder >= 2 {
+		nCore = 1
+	}
+	nAccess := size - nBorder - nCore
+	if nAccess < 0 {
+		nAccess = 0
+	}
+	// Need at least one access router to host subnets when possible.
+	g := &gen{rng: rng, name: name, bugs: bugs, params: p}
+	net := &Network{Name: name, Bugs: bugs, Roles: map[string][]string{}, MgmtPrefix: "192.168.100.0/24"}
+
+	for i := 0; i < nBorder; i++ {
+		net.Borders = append(net.Borders, fmt.Sprintf("border%d", i+1))
+	}
+	for i := 0; i < nCore; i++ {
+		net.Cores = append(net.Cores, fmt.Sprintf("core%d", i+1))
+	}
+	for i := 0; i < nAccess; i++ {
+		net.Access = append(net.Access, fmt.Sprintf("access%d", i+1))
+	}
+
+	// Topology: borders ↔ cores (or border ↔ border / border ↔ access
+	// when there are no cores); access dual-homed to cores.
+	all := append(append(append([]string{}, net.Borders...), net.Cores...), net.Access...)
+	for _, r := range all {
+		g.router(r)
+	}
+	switch {
+	case nCore > 0:
+		for _, b := range net.Borders {
+			for _, c := range net.Cores {
+				g.link(b, c)
+			}
+		}
+		for _, a := range net.Access {
+			for _, c := range net.Cores {
+				g.link(a, c)
+			}
+		}
+		if nCore == 2 {
+			g.link(net.Cores[0], net.Cores[1])
+		}
+	default:
+		// Tiny network: a ring (or a parallel pair of links for two
+		// routers) so single failures never change reachability,
+		// matching the paper's zero fault-invariance violations.
+		chain := append(append([]string{}, net.Borders...), net.Access...)
+		prev := chain[0]
+		for _, r := range chain[1:] {
+			g.link(prev, r)
+			prev = r
+		}
+		if len(chain) >= 3 {
+			g.link(chain[len(chain)-1], chain[0])
+		} else if len(chain) == 2 {
+			g.link(chain[0], chain[1])
+		}
+	}
+
+	// Management loopbacks everywhere.
+	for i, r := range all {
+		g.mgmt(r, fmt.Sprintf("192.168.100.%d", i+1))
+	}
+	// Access subnets and edge ACLs.
+	aclException := bugs.ACLException && len(net.Access) >= 2
+	for i, a := range net.Access {
+		g.hostSubnet(a, fmt.Sprintf("10.%d.0.0", 10+i))
+		g.edgeACL(a, aclException && i == 1)
+		net.Roles["access"] = append(net.Roles["access"], a)
+	}
+	// The deep-drop bug clones the edge ACL onto a core interface.
+	if bugs.DeepDrop && nCore > 0 && len(net.Access) > 0 {
+		g.deepDrop(net.Cores[0])
+	}
+	// External peers on borders.
+	for i, b := range net.Borders {
+		g.externalPeer(b, fmt.Sprintf("N%d", i+1), uint32(65100+i), !bugs.HijackableMgmt)
+	}
+	// iBGP full mesh between borders over loopbacks.
+	if p.WithIBGP && len(net.Borders) >= 2 {
+		for i := 0; i < len(net.Borders); i++ {
+			for j := i + 1; j < len(net.Borders); j++ {
+				g.ibgp(net.Borders[i], net.Borders[j])
+			}
+		}
+	}
+	// A static default on one access router toward a core, for protocol
+	// variety (and the occasional redistribution).
+	if len(net.Access) > 0 && nCore > 0 && rng.Intn(2) == 0 {
+		g.staticRoute(net.Access[0], "172.30.0.0 255.255.0.0", g.addrOf(net.Cores[0], net.Access[0]))
+	}
+
+	for _, r := range all {
+		text := g.render(r)
+		cfg, err := config.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("netgen %s/%s: %w\n%s", name, r, err, text)
+		}
+		net.Routers = append(net.Routers, cfg)
+	}
+	net.Lines = config.TotalLines(net.Routers)
+	return net, nil
+}
+
+// Population generates count networks with consecutive seeds.
+func Population(count int, baseSeed int64, p Params) ([]*Network, error) {
+	out := make([]*Network, 0, count)
+	for i := 0; i < count; i++ {
+		n, err := Generate(fmt.Sprintf("net%03d", i+1), baseSeed+int64(i), p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// gen assembles per-router configuration fragments.
+type gen struct {
+	rng    *rand.Rand
+	name   string
+	bugs   Bugs
+	params Params
+
+	nextLink int
+	drafts   map[string]*draft
+	// linkAddr[a][b] is a's address on the a–b link.
+	linkAddr map[string]map[string]string
+}
+
+type draft struct {
+	name    string
+	ifaces  []string
+	ospf    []string
+	bgp     []string
+	statics []string
+	extra   []string
+	nIface  int
+	asn     uint32
+	loop    string
+}
+
+func (g *gen) router(name string) *draft {
+	if g.drafts == nil {
+		g.drafts = map[string]*draft{}
+		g.linkAddr = map[string]map[string]string{}
+	}
+	d := &draft{name: name}
+	g.drafts[name] = d
+	return d
+}
+
+func (g *gen) link(a, b string) {
+	da, db := g.drafts[a], g.drafts[b]
+	base := fmt.Sprintf("10.200.%d", g.nextLink)
+	g.nextLink++
+	ipA, ipB := base+".1", base+".2"
+	ifA := fmt.Sprintf("Eth%d", da.nIface)
+	ifB := fmt.Sprintf("Eth%d", db.nIface)
+	da.nIface++
+	db.nIface++
+	da.ifaces = append(da.ifaces, fmt.Sprintf("interface %s\n ip address %s 255.255.255.252\n!", ifA, ipA))
+	db.ifaces = append(db.ifaces, fmt.Sprintf("interface %s\n ip address %s 255.255.255.252\n!", ifB, ipB))
+	da.ospf = append(da.ospf, fmt.Sprintf(" network %s.0 0.0.0.3 area 0", base))
+	db.ospf = append(db.ospf, fmt.Sprintf(" network %s.0 0.0.0.3 area 0", base))
+	if g.linkAddr[a] == nil {
+		g.linkAddr[a] = map[string]string{}
+	}
+	if g.linkAddr[b] == nil {
+		g.linkAddr[b] = map[string]string{}
+	}
+	g.linkAddr[a][b] = ipA
+	g.linkAddr[b][a] = ipB
+}
+
+// addrOf returns of's address on the of–seenFrom link.
+func (g *gen) addrOf(of, seenFrom string) string { return g.linkAddr[of][seenFrom] }
+
+func (g *gen) mgmt(r, addr string) {
+	d := g.drafts[r]
+	d.loop = addr
+	d.ifaces = append(d.ifaces, fmt.Sprintf("interface Management0\n ip address %s 255.255.255.255\n management\n!", addr))
+	d.ospf = append(d.ospf, fmt.Sprintf(" network %s 0.0.0.0 area 0", addr))
+}
+
+func (g *gen) hostSubnet(r, base string) {
+	d := g.drafts[r]
+	addr := strings.Replace(base, ".0.0", ".0.1", 1)
+	d.ifaces = append(d.ifaces, fmt.Sprintf("interface Hosts0\n ip address %s 255.255.255.0\n!", addr))
+	d.ospf = append(d.ospf, fmt.Sprintf(" network %s 0.0.0.255 area 0", base))
+}
+
+// edgeACL installs the standard edge filter; exception adds the stray
+// entry that breaks role equivalence.
+func (g *gen) edgeACL(r string, exception bool) {
+	d := g.drafts[r]
+	d.extra = append(d.extra, "access-list 120 deny ip any 192.0.2.0 0.0.0.255")
+	if exception {
+		d.extra = append(d.extra, "access-list 120 deny ip any 198.18.0.0 0.0.255.255")
+	}
+	d.extra = append(d.extra, "access-list 120 permit ip any any", "!")
+	// Attach outbound on the host-facing interface.
+	for i, iface := range d.ifaces {
+		if strings.HasPrefix(iface, "interface Hosts0") {
+			d.ifaces[i] = strings.Replace(iface, "\n!", "\n ip access-group 120 out\n!", 1)
+		}
+	}
+}
+
+// deepDrop clones the edge deny onto a core transit interface.
+func (g *gen) deepDrop(r string) {
+	d := g.drafts[r]
+	d.extra = append(d.extra,
+		"access-list 130 deny ip any 192.0.2.0 0.0.0.255",
+		"access-list 130 permit ip any any", "!")
+	if len(d.ifaces) > 0 {
+		d.ifaces[0] = strings.Replace(d.ifaces[0], "\n!", "\n ip access-group 130 out\n!", 1)
+	}
+}
+
+func (g *gen) externalPeer(r, peerName string, asn uint32, filtered bool) {
+	d := g.drafts[r]
+	base := fmt.Sprintf("198.51.%d", g.nextLink)
+	g.nextLink++
+	ifName := fmt.Sprintf("Ext%d", d.nIface)
+	d.nIface++
+	d.ifaces = append(d.ifaces, fmt.Sprintf("interface %s\n ip address %s.1 255.255.255.252\n!", ifName, base))
+	if d.asn == 0 {
+		d.asn = 65001
+	}
+	d.bgp = append(d.bgp,
+		fmt.Sprintf(" neighbor %s.2 remote-as %d", base, asn),
+		fmt.Sprintf(" neighbor %s.2 description %s", base, peerName))
+	if filtered {
+		d.bgp = append(d.bgp, fmt.Sprintf(" neighbor %s.2 route-map PROTECT in", base))
+		if !containsLine(d.extra, "route-map PROTECT permit 10") {
+			d.extra = append(d.extra,
+				"ip prefix-list PROTECT seq 5 deny 192.168.0.0/16 le 32",
+				"ip prefix-list PROTECT seq 10 deny 10.0.0.0/8 le 32",
+				"ip prefix-list PROTECT seq 15 permit 0.0.0.0/0 le 32",
+				"!",
+				"route-map PROTECT permit 10",
+				" match ip address prefix-list PROTECT",
+				"!",
+			)
+		}
+	}
+}
+
+func (g *gen) ibgp(a, b string) {
+	da, db := g.drafts[a], g.drafts[b]
+	da.bgp = append(da.bgp, fmt.Sprintf(" neighbor %s remote-as 65001", db.loop))
+	db.bgp = append(db.bgp, fmt.Sprintf(" neighbor %s remote-as 65001", da.loop))
+}
+
+func (g *gen) staticRoute(r, dest, nextHop string) {
+	if nextHop == "" {
+		return
+	}
+	d := g.drafts[r]
+	d.statics = append(d.statics, fmt.Sprintf("ip route %s %s", dest, nextHop))
+}
+
+func containsLine(lines []string, want string) bool {
+	for _, l := range lines {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *gen) render(r string) string {
+	d := g.drafts[r]
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hostname %s\n!\n", d.name)
+	for _, i := range d.ifaces {
+		sb.WriteString(i + "\n")
+	}
+	sb.WriteString("router ospf 1\n")
+	for _, l := range d.ospf {
+		sb.WriteString(l + "\n")
+	}
+	if len(d.bgp) > 0 {
+		sb.WriteString(" redistribute bgp metric 20\n")
+	}
+	sb.WriteString("!\n")
+	if len(d.bgp) > 0 {
+		if d.asn == 0 {
+			d.asn = 65001
+		}
+		fmt.Fprintf(&sb, "router bgp %d\n", d.asn)
+		for _, l := range d.bgp {
+			sb.WriteString(l + "\n")
+		}
+		// Borders advertise the data-space aggregate (null0-anchored)
+		// rather than redistributing the IGP — redistributing OSPF into
+		// BGP would shadow external routes and mask the hijack class.
+		sb.WriteString(" network 10.0.0.0 mask 255.0.0.0\n")
+		sb.WriteString(" redistribute connected\n")
+		sb.WriteString("!\n")
+		sb.WriteString("ip route 10.0.0.0 255.0.0.0 null0\n!\n")
+	}
+	for _, l := range d.statics {
+		sb.WriteString(l + "\n")
+	}
+	if len(d.statics) > 0 {
+		sb.WriteString("!\n")
+	}
+	for _, l := range d.extra {
+		sb.WriteString(l + "\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,197 @@
+package protograph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func build(t *testing.T, texts ...string) *Graph {
+	t.Helper()
+	var list []*config.Router
+	byName := map[string]*config.Router{}
+	for _, x := range texts {
+		r, err := config.Parse(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		list = append(list, r)
+		byName[r.Name] = r
+	}
+	topo, err := config.BuildTopology(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(topo, byName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+const pgR1 = `
+hostname R1
+!
+interface Eth0
+ ip address 10.0.12.1 255.255.255.252
+ ip ospf cost 5
+!
+interface Loopback0
+ ip address 192.168.0.1 255.255.255.255
+!
+interface Serial0
+ ip address 10.9.1.1 255.255.255.252
+!
+router ospf 1
+ network 10.0.12.0 0.0.0.3 area 0
+ network 192.168.0.1 0.0.0.0 area 0
+!
+router bgp 65001
+ neighbor 10.9.1.2 remote-as 65100
+ neighbor 10.9.1.2 description N1
+ neighbor 192.168.0.2 remote-as 65001
+!
+`
+
+const pgR2 = `
+hostname R2
+!
+interface Eth0
+ ip address 10.0.12.2 255.255.255.252
+ ip ospf cost 7
+!
+interface Loopback0
+ ip address 192.168.0.2 255.255.255.255
+!
+router ospf 1
+ network 10.0.12.0 0.0.0.3 area 0
+ network 192.168.0.2 0.0.0.0 area 0
+!
+router bgp 65001
+ neighbor 192.168.0.1 remote-as 65001
+!
+`
+
+func TestDecomposition(t *testing.T) {
+	g := build(t, pgR1, pgR2)
+
+	// Instances: R1 has connected+ospf+bgp, R2 likewise.
+	var names []string
+	for _, i := range g.Instances {
+		names = append(names, i.String())
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"R1/ospf", "R1/bgp", "R1/connected", "R2/ospf"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing instance %s in %v", want, names)
+		}
+	}
+
+	// One OSPF adjacency with per-side costs.
+	if len(g.OSPFAdjs) != 1 {
+		t.Fatalf("ospf adjacencies: %d", len(g.OSPFAdjs))
+	}
+	adj := g.OSPFAdjs[0]
+	costR1, costR2 := adj.CostA, adj.CostB
+	if adj.Link.A.Name == "R2" {
+		costR1, costR2 = costR2, costR1
+	}
+	if costR1 != 5 || costR2 != 7 {
+		t.Fatalf("costs %d/%d, want 5/7", costR1, costR2)
+	}
+
+	// Two sessions: one external eBGP at R1, one multihop iBGP.
+	if len(g.Sessions) != 2 {
+		t.Fatalf("sessions: %d", len(g.Sessions))
+	}
+	var ext, ibgp *BGPSession
+	for _, s := range g.Sessions {
+		switch s.Kind {
+		case EBGPExternal:
+			ext = s
+		case IBGP:
+			ibgp = s
+		}
+	}
+	if ext == nil || ext.Ext.Name != "N1" || ext.A.Name != "R1" {
+		t.Fatalf("external session %+v", ext)
+	}
+	if ibgp == nil || ibgp.Link != nil {
+		t.Fatalf("iBGP session should be multihop: %+v", ibgp)
+	}
+	if ibgp.RemoteEnd(ibgp.A) != ibgp.B || ibgp.StanzaOf(ibgp.A) != ibgp.NbrAtA {
+		t.Fatal("session accessors broken")
+	}
+	if len(g.IBGPSpeakers) != 2 {
+		t.Fatalf("iBGP speakers %v", g.IBGPSpeakers)
+	}
+	if g.HasCustomLocalPref() {
+		t.Fatal("no local-pref maps configured")
+	}
+	// Per-node views.
+	r1 := g.Topo.Node("R1")
+	if len(g.SessionsOf(r1)) != 2 || len(g.OSPFAdjsOf(r1)) != 1 {
+		t.Fatal("per-node views")
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	// A neighbor statement with no reciprocal stanza must be rejected.
+	oneWay := strings.Replace(pgR2, " neighbor 192.168.0.1 remote-as 65001\n", "", 1)
+	r1 := config.MustParse(pgR1)
+	r2 := config.MustParse(oneWay)
+	topo, err := config.BuildTopology([]*config.Router{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(topo, map[string]*config.Router{"R1": r1, "R2": r2}); err == nil {
+		t.Fatal("one-way session accepted")
+	}
+
+	// AS mismatch must be rejected.
+	badAS := strings.Replace(pgR2, "remote-as 65001", "remote-as 65009", 1)
+	r2b := config.MustParse(badAS)
+	topo2, err := config.BuildTopology([]*config.Router{r1, r2b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(topo2, map[string]*config.Router{"R1": r1, "R2": r2b}); err == nil {
+		t.Fatal("AS mismatch accepted")
+	}
+}
+
+func TestRIPAdjacency(t *testing.T) {
+	a := `
+hostname A
+!
+interface Eth0
+ ip address 10.0.1.1 255.255.255.252
+!
+router rip
+ network 10.0.1.0/30
+!
+`
+	b := strings.ReplaceAll(strings.Replace(a, "hostname A", "hostname B", 1), "10.0.1.1", "10.0.1.2")
+	g := build(t, a, b)
+	if len(g.RIPAdjs) != 1 {
+		t.Fatalf("rip adjacencies %d", len(g.RIPAdjs))
+	}
+	if len(g.RIPAdjsOf(g.Topo.Node("A"))) != 1 {
+		t.Fatal("per-node rip view")
+	}
+}
+
+func TestCustomLocalPrefDetection(t *testing.T) {
+	r1 := strings.Replace(pgR1, "neighbor 192.168.0.2 remote-as 65001",
+		`neighbor 192.168.0.2 remote-as 65001
+ neighbor 192.168.0.2 route-map LP in`, 1) + `
+route-map LP permit 10
+ set local-preference 200
+!
+`
+	g := build(t, r1, pgR2)
+	if !g.HasCustomLocalPref() {
+		t.Fatal("custom local-pref not detected")
+	}
+}

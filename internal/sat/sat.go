@@ -1,0 +1,857 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver. It is the solving substrate for the SMT layer used by the
+// Minesweeper encoder: quantifier-free bitvector formulas are bit-blasted
+// into CNF and decided here.
+//
+// The design follows MiniSat: two-watched-literal propagation, 1UIP
+// conflict analysis with clause minimization, exponential VSIDS branching,
+// phase saving, Luby restarts and activity/LBD-based deletion of learned
+// clauses.
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Var identifies a boolean variable. Variables are allocated densely
+// starting at 0 via Solver.NewVar.
+type Var int32
+
+// Lit is a literal: a variable together with a sign. The encoding is the
+// MiniSat one: Lit = 2*Var for the positive literal and 2*Var+1 for the
+// negation.
+type Lit int32
+
+// MkLit builds a literal from a variable and a sign. neg=true yields ¬v.
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal as v3 or ~v3.
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("~v%d", l.Var())
+	}
+	return fmt.Sprintf("v%d", l.Var())
+}
+
+// Tribool is a three-valued boolean used for assignments.
+type Tribool int8
+
+// Tribool values.
+const (
+	Unknown Tribool = iota
+	True
+	False
+)
+
+func (t Tribool) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	}
+	return "unknown"
+}
+
+// not negates a tribool, leaving Unknown fixed.
+func (t Tribool) not() Tribool {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unknown
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	// Unsolved means the search was aborted (budget exhausted).
+	Unsolved Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unsolved"
+}
+
+// ErrBudget is returned by SolveLimited when the conflict budget is
+// exhausted before a verdict is reached.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// clause is a disjunction of literals plus solver bookkeeping.
+type clause struct {
+	lits     []Lit
+	activity float64
+	lbd      int32
+	learnt   bool
+}
+
+// watcher pairs a watched clause with a blocker literal that lets
+// propagation skip the clause when the blocker is already true.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Stats counts solver work, for benchmarking and regression tests.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learned      int64
+	Deleted      int64
+	MaxLevel     int
+}
+
+// Solver is a CDCL SAT solver. The zero value is not ready for use; call
+// New.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learned clauses
+
+	watches [][]watcher // indexed by Lit
+
+	assigns  []Tribool // indexed by Var
+	level    []int32   // decision level per Var
+	reason   []*clause // antecedent clause per Var
+	polarity []bool    // saved phase per Var (true = last assigned false)
+
+	activity []float64 // VSIDS activity per Var
+	varInc   float64
+	varDecay float64
+
+	claInc   float64
+	claDecay float64
+
+	order *varHeap // branching order, max-activity first
+
+	trail    []Lit
+	trailLim []int // trail index per decision level
+	qhead    int
+
+	// conflict analysis scratch
+	seen      []bool
+	analyzeCl []Lit
+	minStack  []Lit
+	minClear  []Lit
+	toClear   []Lit
+	lbdStamp  []int64
+	lbdGen    int64
+
+	// units records top-level unit clauses (kept for CNF export).
+	units []Lit
+
+	ok bool // false once top-level conflict proven
+
+	Stats Stats
+
+	// MaxConflicts, when positive, bounds the search effort for
+	// SolveLimited.
+	MaxConflicts int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc:   1.0,
+		varDecay: 0.95,
+		claInc:   1.0,
+		claDecay: 0.999,
+		ok:       true,
+	}
+	s.order = &varHeap{solver: s}
+	return s
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses currently held.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, Unknown)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.polarity = append(s.polarity, true) // default phase: false
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+// value returns the current assignment of a literal.
+func (s *Solver) value(l Lit) Tribool {
+	a := s.assigns[l.Var()]
+	if a == Unknown {
+		return Unknown
+	}
+	if l.Neg() {
+		return a.not()
+	}
+	return a
+}
+
+// Value returns the model value of v after a Sat result. It reflects the
+// current assignment; call it only after Solve returns Sat.
+func (s *Solver) Value(v Var) Tribool { return s.assigns[v] }
+
+// ValueLit returns the model value of a literal after a Sat result.
+func (s *Solver) ValueLit(l Lit) Tribool { return s.value(l) }
+
+// decisionLevel is the current depth of the decision stack.
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a problem clause. It returns false if the solver is
+// already in an UNSAT state or the clause makes it so at the top level.
+// Duplicate literals are removed; tautologies are silently satisfied.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// A previous Sat result leaves the trail intact so the model stays
+	// readable; adding a clause invalidates it, so backtrack first.
+	s.cancelUntil(0)
+	// Normalize: sort, dedupe, drop false lits, detect tautology/true lits.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = -1
+	for _, l := range ls {
+		if int(l.Var()) >= s.NumVars() {
+			panic(fmt.Sprintf("sat: literal %v references unallocated variable", l))
+		}
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() {
+			return true // tautology: x ∨ ¬x
+		}
+		switch s.value(l) {
+		case True:
+			return true // already satisfied at top level
+		case False:
+			continue // drop falsified literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.units = append(s.units, out[0])
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+// attach registers the first two literals of c as watched.
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c, l0})
+}
+
+// detach removes c from its watch lists.
+func (s *Solver) detach(c *clause) {
+	for _, w := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[w]
+		for i := range ws {
+			if ws[i].c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// uncheckedEnqueue records an assignment implied by reason (nil for
+// decisions and top-level facts).
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = False
+	} else {
+		s.assigns[v] = True
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation over the watch lists and returns the
+// conflicting clause, or nil if a fixed point is reached.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		j := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == True {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (¬p) is lits[1].
+			np := p.Not()
+			if c.lits[0] == np {
+				c.lits[0], c.lits[1] = c.lits[1], np
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == True {
+				ws[j] = watcher{c, first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := c.lits[1].Not()
+					s.watches[nw] = append(s.watches[nw], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c, first}
+			j++
+			if s.value(first) == False {
+				// Conflict: copy back remaining watchers and bail.
+				s.qhead = len(s.trail)
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return nil
+}
+
+// analyze performs 1UIP conflict analysis. It fills s.analyzeCl with the
+// learned clause (asserting literal first) and returns the backtrack level.
+func (s *Solver) analyze(confl *clause) int {
+	s.analyzeCl = s.analyzeCl[:0]
+	s.analyzeCl = append(s.analyzeCl, 0) // placeholder for asserting literal
+	pathC := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		s.claBump(confl)
+		for _, q := range confl.lits {
+			if p >= 0 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.varBump(v)
+				s.seen[v] = true
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					s.analyzeCl = append(s.analyzeCl, q)
+				}
+			}
+		}
+		// Find next literal on the trail to resolve on.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+		confl = s.reason[v]
+	}
+	s.analyzeCl[0] = p.Not()
+
+	// Mark remaining for minimization bookkeeping, remembering every
+	// marked variable so all bits are cleared afterwards — including
+	// literals dropped by minimization.
+	s.toClear = append(s.toClear[:0], s.analyzeCl...)
+	toClear := s.toClear
+	for _, l := range s.analyzeCl[1:] {
+		s.seen[l.Var()] = true
+	}
+	// Clause minimization: drop literals implied by the rest.
+	out := s.analyzeCl[:1]
+	for _, l := range s.analyzeCl[1:] {
+		if s.reason[l.Var()] == nil || !s.litRedundant(l) {
+			out = append(out, l)
+		}
+	}
+	s.analyzeCl = out
+	for _, l := range toClear {
+		s.seen[l.Var()] = false
+	}
+	for _, l := range s.minClear {
+		s.seen[l.Var()] = false
+	}
+	s.minClear = s.minClear[:0]
+
+	// Backtrack level: second-highest level in the clause.
+	if len(s.analyzeCl) == 1 {
+		return 0
+	}
+	maxI := 1
+	for i := 2; i < len(s.analyzeCl); i++ {
+		if s.level[s.analyzeCl[i].Var()] > s.level[s.analyzeCl[maxI].Var()] {
+			maxI = i
+		}
+	}
+	s.analyzeCl[1], s.analyzeCl[maxI] = s.analyzeCl[maxI], s.analyzeCl[1]
+	return int(s.level[s.analyzeCl[1].Var()])
+}
+
+// litRedundant checks whether l is implied by other marked literals, so it
+// can be removed from the learned clause (local minimization).
+func (s *Solver) litRedundant(l Lit) bool {
+	s.minStack = s.minStack[:0]
+	s.minStack = append(s.minStack, l)
+	top := len(s.minClear)
+	for len(s.minStack) > 0 {
+		p := s.minStack[len(s.minStack)-1]
+		s.minStack = s.minStack[:len(s.minStack)-1]
+		c := s.reason[p.Var()]
+		for _, q := range c.lits {
+			v := q.Var()
+			if q == p.Not() || s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] == nil {
+				// Decision literal not in clause: l is not redundant.
+				for _, cl := range s.minClear[top:] {
+					s.seen[cl.Var()] = false
+				}
+				s.minClear = s.minClear[:top]
+				return false
+			}
+			s.seen[v] = true
+			s.minClear = append(s.minClear, q)
+			s.minStack = append(s.minStack, q)
+		}
+	}
+	return true
+}
+
+// computeLBD returns the number of distinct decision levels in lits.
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	for len(s.lbdStamp) < len(s.trailLim)+2 {
+		s.lbdStamp = append(s.lbdStamp, 0)
+	}
+	s.lbdGen++
+	var n int32
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		if int(lv) < len(s.lbdStamp) && s.lbdStamp[lv] != s.lbdGen {
+			s.lbdStamp[lv] = s.lbdGen
+			n++
+		}
+	}
+	return n
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.polarity[v] = s.assigns[v] == False
+		s.assigns[v] = Unknown
+		s.reason[v] = nil
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// varBump increases a variable's VSIDS activity.
+func (s *Solver) varBump(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) varDecayActivity() { s.varInc /= s.varDecay }
+
+func (s *Solver) claBump(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) claDecayActivity() { s.claInc /= s.claDecay }
+
+// pickBranchLit chooses the next decision literal, using VSIDS order and
+// saved phases. It returns -1 when all variables are assigned.
+func (s *Solver) pickBranchLit() Lit {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return -1
+		}
+		if s.assigns[v] == Unknown {
+			return MkLit(v, s.polarity[v])
+		}
+	}
+}
+
+// reduceDB removes roughly half of the learned clauses, keeping low-LBD and
+// high-activity ones.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		a, b := s.learnts[i], s.learnts[j]
+		if a.lbd != b.lbd {
+			return a.lbd < b.lbd
+		}
+		return a.activity > b.activity
+	})
+	keep := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if i < limit || c.lbd <= 3 || s.locked(c) || len(c.lits) == 2 {
+			keep = append(keep, c)
+			continue
+		}
+		s.detach(c)
+		s.Stats.Deleted++
+	}
+	s.learnts = keep
+}
+
+// locked reports whether c is the reason for a current assignment.
+func (s *Solver) locked(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.value(c.lits[0]) == True && s.reason[v] == c
+}
+
+// luby computes the Luby restart sequence term for index i (1-based), with
+// unit u.
+func luby(u float64, i int) float64 {
+	// Find the finite subsequence containing i, and its position.
+	size, seq := 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	return u * math.Pow(2, float64(seq))
+}
+
+// Solve decides the formula under the given assumptions. Assumptions are
+// literals that must hold; they are asserted as pseudo-decisions and the
+// search proves the formula relative to them.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	saved := s.MaxConflicts
+	s.MaxConflicts = 0
+	st, _ := s.SolveLimited(assumptions...)
+	s.MaxConflicts = saved
+	return st
+}
+
+// SolveLimited is Solve with a conflict budget (s.MaxConflicts when
+// positive). On budget exhaustion it returns Unsolved and ErrBudget.
+func (s *Solver) SolveLimited(assumptions ...Lit) (Status, error) {
+	if !s.ok {
+		return Unsat, nil
+	}
+	s.cancelUntil(0)
+
+	restartBase := 100.0
+	var conflictsTotal int64
+
+	for restart := 0; ; restart++ {
+		budget := int64(luby(restartBase, restart))
+		st, conflicts := s.search(budget, assumptions)
+		conflictsTotal += conflicts
+		if st != Unsolved {
+			if st == Sat {
+				// Leave the trail intact so Value() can read the model,
+				// but the next Solve call will cancel.
+				return st, nil
+			}
+			s.cancelUntil(0)
+			return st, nil
+		}
+		s.Stats.Restarts++
+		if s.MaxConflicts > 0 && conflictsTotal >= s.MaxConflicts {
+			s.cancelUntil(0)
+			return Unsolved, ErrBudget
+		}
+	}
+}
+
+// search runs CDCL until a verdict, a conflict budget, or a restart.
+func (s *Solver) search(budget int64, assumptions []Lit) (Status, int64) {
+	var conflicts int64
+	learntLimit := int64(len(s.clauses)/3 + 1000)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			conflicts++
+			s.Stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat, conflicts
+			}
+			btLevel := s.analyze(confl)
+			// Don't backtrack above the assumption levels: if the learned
+			// clause forces backtracking into assumptions, re-propagation
+			// will handle it; but if analyze proves conflict at assumption
+			// level 0 relative to assumptions, the formula is UNSAT under
+			// them.
+			s.cancelUntil(btLevel)
+			learned := append([]Lit(nil), s.analyzeCl...)
+			if len(learned) == 1 {
+				s.uncheckedEnqueue(learned[0], nil)
+			} else {
+				c := &clause{lits: learned, learnt: true, lbd: s.computeLBD(learned)}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.claBump(c)
+				s.uncheckedEnqueue(learned[0], c)
+				s.Stats.Learned++
+			}
+			s.varDecayActivity()
+			s.claDecayActivity()
+			continue
+		}
+
+		if conflicts >= budget || (s.MaxConflicts > 0 && s.Stats.Conflicts >= s.MaxConflicts) {
+			s.cancelUntil(0)
+			return Unsolved, conflicts
+		}
+		if int64(len(s.learnts)) > learntLimit+int64(len(s.trail)) {
+			s.reduceDB()
+		}
+
+		// Assert pending assumptions as decisions.
+		var next Lit = -1
+		for s.decisionLevel() < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case True:
+				// Already satisfied; open a dummy level to keep indices
+				// aligned with assumption count.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case False:
+				// Conflicts with current forced assignments: UNSAT under
+				// assumptions.
+				s.cancelUntil(0)
+				return Unsat, conflicts
+			}
+			next = p
+			break
+		}
+		if next == -1 {
+			next = s.pickBranchLit()
+			if next == -1 {
+				return Sat, conflicts // all variables assigned
+			}
+			s.Stats.Decisions++
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		if dl := s.decisionLevel(); dl > s.Stats.MaxLevel {
+			s.Stats.MaxLevel = dl
+		}
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// Model returns a copy of the current assignment as a []bool indexed by
+// variable. Valid only after Solve returned Sat.
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.assigns))
+	for v := range s.assigns {
+		m[v] = s.assigns[v] == True
+	}
+	return m
+}
+
+// Okay reports whether the solver is still consistent at the top level
+// (no unconditional conflict has been derived).
+func (s *Solver) Okay() bool { return s.ok }
+
+// Clauses returns a copy of the problem clauses (including top-level
+// units), for CNF export.
+func (s *Solver) Clauses() [][]Lit {
+	out := make([][]Lit, 0, len(s.clauses)+len(s.units))
+	for _, u := range s.units {
+		out = append(out, []Lit{u})
+	}
+	for _, c := range s.clauses {
+		out = append(out, append([]Lit(nil), c.lits...))
+	}
+	return out
+}
+
+// varHeap is a max-heap on variable activity used for VSIDS branching.
+type varHeap struct {
+	solver *Solver
+	heap   []Var
+	index  []int32 // position in heap per var, -1 if absent
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	return h.solver.activity[a] > h.solver.activity[b]
+}
+
+func (h *varHeap) ensure(v Var) {
+	for int(v) >= len(h.index) {
+		h.index = append(h.index, -1)
+	}
+}
+
+func (h *varHeap) push(v Var) {
+	h.ensure(v)
+	if h.index[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.index[v] = int32(len(h.heap) - 1)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v Var) { h.push(v) }
+
+func (h *varHeap) pop() (Var, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.index[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.index[v] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v Var) {
+	h.ensure(v)
+	if i := h.index[v]; i >= 0 {
+		h.up(int(i))
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.index[h.heap[i]] = int32(i)
+		i = p
+	}
+	h.heap[i] = v
+	h.index[v] = int32(i)
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.less(h.heap[c+1], h.heap[c]) {
+			c++
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.index[h.heap[i]] = int32(i)
+		i = c
+	}
+	h.heap[i] = v
+	h.index[v] = int32(i)
+}

@@ -1,0 +1,453 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mk builds a literal from a signed integer in DIMACS convention:
+// 1 → v0, -1 → ¬v0, 2 → v1, ...
+func mk(i int) Lit {
+	if i > 0 {
+		return MkLit(Var(i-1), false)
+	}
+	return MkLit(Var(-i-1), true)
+}
+
+// newSolverWithVars allocates n variables.
+func newSolverWithVars(n int) *Solver {
+	s := New()
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	return s
+}
+
+// addDimacs adds clauses given in DIMACS signed-int convention.
+func addDimacs(s *Solver, clauses [][]int) bool {
+	for _, c := range clauses {
+		ls := make([]Lit, len(c))
+		for i, x := range c {
+			ls[i] = mk(x)
+		}
+		if !s.AddClause(ls...) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(5, false)
+	if l.Var() != 5 || l.Neg() {
+		t.Fatalf("positive literal mis-encoded: %v", l)
+	}
+	n := l.Not()
+	if n.Var() != 5 || !n.Neg() {
+		t.Fatalf("negation mis-encoded: %v", n)
+	}
+	if n.Not() != l {
+		t.Fatalf("double negation is not identity")
+	}
+	if l.String() != "v5" || n.String() != "~v5" {
+		t.Fatalf("unexpected strings %q %q", l, n)
+	}
+}
+
+func TestTriboolNot(t *testing.T) {
+	if True.not() != False || False.not() != True || Unknown.not() != Unknown {
+		t.Fatal("tribool negation broken")
+	}
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Fatal("tribool strings broken")
+	}
+}
+
+func TestEmptyFormulaSat(t *testing.T) {
+	s := New()
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("empty formula: got %v, want sat", st)
+	}
+}
+
+func TestSingleUnit(t *testing.T) {
+	s := newSolverWithVars(1)
+	s.AddClause(mk(1))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	if s.Value(0) != True {
+		t.Fatalf("v0 = %v, want true", s.Value(0))
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	s := newSolverWithVars(1)
+	s.AddClause(mk(1))
+	if ok := s.AddClause(mk(-1)); ok {
+		t.Fatal("expected AddClause to report top-level conflict")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want unsat", st)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := newSolverWithVars(2)
+	if !s.AddClause(mk(1), mk(-1)) {
+		t.Fatal("tautology rejected")
+	}
+	if s.NumClauses() != 0 {
+		t.Fatalf("tautology stored: %d clauses", s.NumClauses())
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+}
+
+func TestDuplicateLiterals(t *testing.T) {
+	s := newSolverWithVars(1)
+	s.AddClause(mk(1), mk(1), mk(1))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	if s.Value(0) != True {
+		t.Fatal("duplicate-literal unit not propagated")
+	}
+}
+
+func TestSimpleUnsat(t *testing.T) {
+	// (x∨y) ∧ (x∨¬y) ∧ (¬x∨y) ∧ (¬x∨¬y)
+	s := newSolverWithVars(2)
+	addDimacs(s, [][]int{{1, 2}, {1, -2}, {-1, 2}, {-1, -2}})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want unsat", st)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons into n holes — classically hard UNSAT.
+	for _, n := range []int{3, 4, 5} {
+		s := New()
+		// var p[i][j]: pigeon i in hole j
+		p := make([][]Lit, n+1)
+		for i := range p {
+			p[i] = make([]Lit, n)
+			for j := range p[i] {
+				p[i][j] = MkLit(s.NewVar(), false)
+			}
+		}
+		for i := 0; i <= n; i++ {
+			s.AddClause(p[i]...)
+		}
+		for j := 0; j < n; j++ {
+			for i1 := 0; i1 <= n; i1++ {
+				for i2 := i1 + 1; i2 <= n; i2++ {
+					s.AddClause(p[i1][j].Not(), p[i2][j].Not())
+				}
+			}
+		}
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("PHP(%d+1,%d): got %v, want unsat", n, n, st)
+		}
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// 3-color a 5-cycle (chromatic number 3) — satisfiable.
+	const n, k = 5, 3
+	s := New()
+	color := make([][]Lit, n)
+	for i := range color {
+		color[i] = make([]Lit, k)
+		for j := range color[i] {
+			color[i][j] = MkLit(s.NewVar(), false)
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.AddClause(color[i]...)
+		for c1 := 0; c1 < k; c1++ {
+			for c2 := c1 + 1; c2 < k; c2++ {
+				s.AddClause(color[i][c1].Not(), color[i][c2].Not())
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		for c := 0; c < k; c++ {
+			s.AddClause(color[i][c].Not(), color[j][c].Not())
+		}
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v, want sat", st)
+	}
+	// Verify the model is a proper coloring.
+	for i := 0; i < n; i++ {
+		ci := -1
+		for c := 0; c < k; c++ {
+			if s.ValueLit(color[i][c]) == True {
+				ci = c
+				break
+			}
+		}
+		if ci < 0 {
+			t.Fatalf("node %d has no color", i)
+		}
+		j := (i + 1) % n
+		if s.ValueLit(color[j][ci]) == True {
+			t.Fatalf("edge %d-%d monochromatic", i, j)
+		}
+	}
+}
+
+func Test2ColoringOddCycleUnsat(t *testing.T) {
+	// 2-coloring an odd cycle is unsatisfiable.
+	const n = 7
+	s := New()
+	x := make([]Lit, n) // x[i] true = color A
+	for i := range x {
+		x[i] = MkLit(s.NewVar(), false)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s.AddClause(x[i], x[j])
+		s.AddClause(x[i].Not(), x[j].Not())
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want unsat", st)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	// (a ∨ b) with assumption ¬a forces b.
+	s := newSolverWithVars(2)
+	s.AddClause(mk(1), mk(2))
+	if st := s.Solve(mk(-1)); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	if s.Value(0) != False || s.Value(1) != True {
+		t.Fatalf("model a=%v b=%v", s.Value(0), s.Value(1))
+	}
+	// Assumptions contradicting a unit make it unsat, but the solver
+	// stays usable.
+	s2 := newSolverWithVars(1)
+	s2.AddClause(mk(1))
+	if st := s2.Solve(mk(-1)); st != Unsat {
+		t.Fatalf("got %v, want unsat under assumption", st)
+	}
+	if st := s2.Solve(); st != Sat {
+		t.Fatalf("solver unusable after assumption conflict: %v", st)
+	}
+}
+
+func TestIncrementalUse(t *testing.T) {
+	s := newSolverWithVars(3)
+	addDimacs(s, [][]int{{1, 2}, {-1, 3}})
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("phase 1: %v", st)
+	}
+	// Add more constraints after solving.
+	addDimacs(s, [][]int{{-2}, {-3}})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("phase 2: got %v, want unsat", st)
+	}
+}
+
+func TestModelLength(t *testing.T) {
+	s := newSolverWithVars(4)
+	s.AddClause(mk(1))
+	s.Solve()
+	if m := s.Model(); len(m) != 4 || !m[0] {
+		t.Fatalf("model %v", m)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []float64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if g := luby(1, i); g != w {
+			t.Fatalf("luby(1,%d) = %v, want %v", i, g, w)
+		}
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	// A hard pigeonhole instance with a tiny budget must return Unsolved.
+	n := 8
+	s := New()
+	p := make([][]Lit, n+1)
+	for i := range p {
+		p[i] = make([]Lit, n)
+		for j := range p[i] {
+			p[i][j] = MkLit(s.NewVar(), false)
+		}
+	}
+	for i := 0; i <= n; i++ {
+		s.AddClause(p[i]...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				s.AddClause(p[i1][j].Not(), p[i2][j].Not())
+			}
+		}
+	}
+	s.MaxConflicts = 50
+	st, err := s.SolveLimited()
+	if st != Unsolved || err != ErrBudget {
+		t.Fatalf("got %v/%v, want unsolved/budget", st, err)
+	}
+}
+
+// dpllSolve is a tiny reference solver used to cross-check the CDCL engine
+// on random instances.
+func dpllSolve(nVars int, clauses [][]int, assign []int8) bool {
+	// Unit propagation.
+	for {
+		change := false
+		for _, c := range clauses {
+			unassigned, sat, lastLit := 0, false, 0
+			for _, l := range c {
+				v := abs(l) - 1
+				switch {
+				case assign[v] == 0:
+					unassigned++
+					lastLit = l
+				case (l > 0) == (assign[v] > 0):
+					sat = true
+				}
+			}
+			if sat {
+				continue
+			}
+			if unassigned == 0 {
+				return false
+			}
+			if unassigned == 1 {
+				v := abs(lastLit) - 1
+				if lastLit > 0 {
+					assign[v] = 1
+				} else {
+					assign[v] = -1
+				}
+				change = true
+			}
+		}
+		if !change {
+			break
+		}
+	}
+	// Pick an unassigned variable.
+	pick := -1
+	for v := 0; v < nVars; v++ {
+		if assign[v] == 0 {
+			pick = v
+			break
+		}
+	}
+	if pick == -1 {
+		return true
+	}
+	for _, val := range []int8{1, -1} {
+		cp := append([]int8(nil), assign...)
+		cp[pick] = val
+		if dpllSolve(nVars, clauses, cp) {
+			return true
+		}
+	}
+	return false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRandom3SATAgainstDPLL(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 500; iter++ {
+		nVars := 4 + rng.Intn(10)
+		// Clause/variable ratios straddling the phase transition (~4.26).
+		nClauses := int(float64(nVars) * (3.0 + rng.Float64()*3.0))
+		clauses := make([][]int, 0, nClauses)
+		for i := 0; i < nClauses; i++ {
+			c := make([]int, 0, 3)
+			used := map[int]bool{}
+			for len(c) < 3 {
+				v := 1 + rng.Intn(nVars)
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c = append(c, v)
+			}
+			clauses = append(clauses, c)
+		}
+
+		want := dpllSolve(nVars, clauses, make([]int8, nVars))
+
+		s := newSolverWithVars(nVars)
+		okAdd := addDimacs(s, clauses)
+		got := okAdd && s.Solve() == Sat
+		if got != want {
+			t.Fatalf("iter %d: cdcl=%v dpll=%v clauses=%v", iter, got, want, clauses)
+		}
+		if got {
+			// Check the model actually satisfies every clause.
+			for _, c := range clauses {
+				sat := false
+				for _, l := range c {
+					v := Var(abs(l) - 1)
+					if (l > 0) == (s.Value(v) == True) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: model does not satisfy clause %v", iter, c)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := newSolverWithVars(6)
+	addDimacs(s, [][]int{{1, 2, 3}, {-1, 4}, {-2, 5}, {-3, 6}, {-4, -5}, {-5, -6}, {-4, -6}})
+	s.Solve()
+	if s.Stats.Propagations == 0 {
+		t.Fatal("expected some propagations")
+	}
+}
+
+func BenchmarkSolverPigeonhole7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := 7
+		s := New()
+		p := make([][]Lit, n+1)
+		for i := range p {
+			p[i] = make([]Lit, n)
+			for j := range p[i] {
+				p[i][j] = MkLit(s.NewVar(), false)
+			}
+		}
+		for i := 0; i <= n; i++ {
+			s.AddClause(p[i]...)
+		}
+		for j := 0; j < n; j++ {
+			for i1 := 0; i1 <= n; i1++ {
+				for i2 := i1 + 1; i2 <= n; i2++ {
+					s.AddClause(p[i1][j].Not(), p[i2][j].Not())
+				}
+			}
+		}
+		if st := s.Solve(); st != Unsat {
+			b.Fatalf("got %v", st)
+		}
+	}
+}

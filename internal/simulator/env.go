@@ -1,0 +1,103 @@
+package simulator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/network"
+)
+
+// Announcement is one concrete eBGP advertisement from an external peer:
+// the concrete instantiation of the symbolic environment record.
+type Announcement struct {
+	Prefix network.Prefix
+	// PathLen is the advertised AS-path length.
+	PathLen int
+	// MED is the multi-exit discriminator.
+	MED int
+	// Communities attached to the advertisement.
+	Communities []string
+}
+
+// Environment is one concrete control-plane environment: what each
+// external neighbor announces (at most one announcement per peer,
+// mirroring the one-record-per-edge slice model) and which links have
+// failed.
+type Environment struct {
+	// Anns maps external peer name to its announcement; absent = silent.
+	Anns map[string]*Announcement
+	// FailedLinks holds canonical link ids (see LinkID / ExtLinkID).
+	FailedLinks map[string]bool
+}
+
+// NewEnvironment returns an empty environment (no announcements, no
+// failures).
+func NewEnvironment() *Environment {
+	return &Environment{Anns: map[string]*Announcement{}, FailedLinks: map[string]bool{}}
+}
+
+// Announce records an announcement from the named external peer.
+func (e *Environment) Announce(peer string, a Announcement) *Environment {
+	e.Anns[peer] = &a
+	return e
+}
+
+// Fail marks the internal link between the two named routers as failed.
+func (e *Environment) Fail(a, b string) *Environment {
+	e.FailedLinks[LinkID(a, b)] = true
+	return e
+}
+
+// FailExternal marks the link to the named external peer as failed.
+func (e *Environment) FailExternal(router, ext string) *Environment {
+	e.FailedLinks[ExtLinkID(router, ext)] = true
+	return e
+}
+
+// NumFailed returns the number of failed links.
+func (e *Environment) NumFailed() int { return len(e.FailedLinks) }
+
+// LinkID returns the canonical id of an internal link between two routers.
+func LinkID(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "~" + b
+}
+
+// ExtLinkID returns the canonical id of an external peering link.
+func ExtLinkID(router, ext string) string { return router + "~ext~" + ext }
+
+// String renders the environment for counterexample reports.
+func (e *Environment) String() string {
+	var parts []string
+	peers := make([]string, 0, len(e.Anns))
+	for p := range e.Anns {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		a := e.Anns[p]
+		s := fmt.Sprintf("%s announces %v pathlen=%d", p, a.Prefix, a.PathLen)
+		if a.MED != 0 {
+			s += fmt.Sprintf(" med=%d", a.MED)
+		}
+		if len(a.Communities) > 0 {
+			s += " comms=" + strings.Join(a.Communities, ",")
+		}
+		parts = append(parts, s)
+	}
+	links := make([]string, 0, len(e.FailedLinks))
+	for l := range e.FailedLinks {
+		links = append(links, l)
+	}
+	sort.Strings(links)
+	for _, l := range links {
+		parts = append(parts, "failed "+l)
+	}
+	if len(parts) == 0 {
+		return "<empty environment>"
+	}
+	return strings.Join(parts, "; ")
+}

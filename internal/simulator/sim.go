@@ -1,0 +1,802 @@
+package simulator
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/protograph"
+)
+
+// Hop is one forwarding target: an internal neighbor or an external peer.
+type Hop struct {
+	Node string // internal next hop ("" if external)
+	Ext  string // external peer name ("" if internal)
+}
+
+func (h Hop) String() string {
+	if h.Ext != "" {
+		return "ext:" + h.Ext
+	}
+	return h.Node
+}
+
+// RouterState is the stable state reached by one router for the slice.
+type RouterState struct {
+	// PerProto holds the best record per protocol instance.
+	PerProto map[config.Protocol]Record
+	// Best is the overall best record installed in the FIB.
+	Best Record
+	// Hops are the control-plane forwarding decisions (several under
+	// multipath).
+	Hops []Hop
+	// DeliveredLocal is set when the router delivers the packet onto a
+	// connected subnet.
+	DeliveredLocal bool
+	// DroppedNull is set when a null0 static route blackholes the packet.
+	DroppedNull bool
+}
+
+// Result is the outcome of simulating one slice: one destination IP under
+// one environment.
+type Result struct {
+	DstIP  network.IP
+	Env    *Environment
+	States map[string]*RouterState
+	// ExportsToExt holds the BGP record each router exports to each
+	// external peer (keyed by peer name), for leak/equivalence checks.
+	ExportsToExt map[string]Record
+	Rounds       int
+}
+
+// Simulator computes stable states of the control plane for concrete
+// environments.
+type Simulator struct {
+	G    *protograph.Graph
+	Mode CompareMode
+
+	// addrSlices caches per-address slices used for iBGP next-hop
+	// resolution, keyed by destination address.
+	addrSlices map[network.IP]*Result
+	// inAddrSlice disables multihop iBGP sessions while computing an
+	// address slice: iBGP next-hops must be resolvable by the IGP alone,
+	// which also breaks the mutual recursion between address slices.
+	inAddrSlice bool
+	// sessUp caches the resolved iBGP session status for the current
+	// environment.
+	sessUp map[*protograph.BGPSession]bool
+	envKey string
+}
+
+// New returns a simulator over the protocol graph.
+func New(g *protograph.Graph) *Simulator {
+	mode := CompareMode{}
+	for _, c := range g.Configs {
+		if c.BGP != nil && c.BGP.AlwaysCompareMED {
+			mode.AlwaysCompareMED = true
+		}
+	}
+	return &Simulator{G: g, Mode: mode}
+}
+
+// maxRounds bounds the fixed-point iteration.
+func (s *Simulator) maxRounds() int { return 4*len(s.G.Topo.Nodes) + 10 }
+
+// Run simulates the control plane for packets destined to dstIP under the
+// environment and returns the stable state. It returns an error if the
+// control plane does not converge (e.g. a policy dispute cycle).
+func (s *Simulator) Run(dstIP network.IP, env *Environment) (*Result, error) {
+	if err := s.resolveIBGP(env); err != nil {
+		return nil, err
+	}
+	return s.runSlice(dstIP, env)
+}
+
+// resolveIBGP computes which iBGP sessions are up: both peering addresses
+// must be mutually reachable (the paper's per-next-hop network copies).
+// Sessions riding a direct link are simply gated on that link.
+func (s *Simulator) resolveIBGP(env *Environment) error {
+	key := env.String()
+	if s.sessUp != nil && s.envKey == key {
+		return nil
+	}
+	s.envKey = key
+	s.addrSlices = map[network.IP]*Result{}
+	s.sessUp = map[*protograph.BGPSession]bool{}
+	var multihop []*protograph.BGPSession
+	for _, sess := range s.G.Sessions {
+		if sess.Kind != protograph.IBGP {
+			continue
+		}
+		if sess.Link != nil {
+			s.sessUp[sess] = !env.FailedLinks[LinkID(sess.Link.A.Name, sess.Link.B.Name)]
+			continue
+		}
+		s.sessUp[sess] = true // optimistic start
+		multihop = append(multihop, sess)
+	}
+	if len(multihop) == 0 {
+		return nil
+	}
+	// Address slices are IGP-only (multihop iBGP disabled inside them), so
+	// a single resolution pass suffices.
+	for _, sess := range multihop {
+		// NbrAtA.Addr is B's peering address and vice versa.
+		upAB, err := s.addrReachable(sess.A.Name, sess.NbrAtA.Addr, env)
+		if err != nil {
+			return err
+		}
+		upBA, err := s.addrReachable(sess.B.Name, sess.NbrAtB.Addr, env)
+		if err != nil {
+			return err
+		}
+		s.sessUp[sess] = upAB && upBA
+	}
+	return nil
+}
+
+// addrReachable reports whether a packet from the router reaches the given
+// address, using a dedicated slice.
+func (s *Simulator) addrReachable(from string, addr network.IP, env *Environment) (bool, error) {
+	slice, err := s.addrSlice(addr, env)
+	if err != nil {
+		return false, err
+	}
+	w := s.Walk(slice, from, config.Packet{DstIP: addr, Protocol: 6, DstPort: 179})
+	return w.Outcomes[Delivered], nil
+}
+
+func (s *Simulator) addrSlice(addr network.IP, env *Environment) (*Result, error) {
+	if r, ok := s.addrSlices[addr]; ok {
+		return r, nil
+	}
+	s.inAddrSlice = true
+	r, err := s.runSlice(addr, env)
+	s.inAddrSlice = false
+	if err != nil {
+		return nil, err
+	}
+	s.addrSlices[addr] = r
+	return r, nil
+}
+
+// runSlice iterates the per-router transfer functions to a fixed point.
+func (s *Simulator) runSlice(dstIP network.IP, env *Environment) (*Result, error) {
+	res := &Result{DstIP: dstIP, Env: env, States: map[string]*RouterState{}, ExportsToExt: map[string]Record{}}
+	for _, n := range s.G.Topo.Nodes {
+		res.States[n.Name] = &RouterState{PerProto: map[config.Protocol]Record{}}
+	}
+	for round := 0; ; round++ {
+		if round >= s.maxRounds() {
+			return nil, fmt.Errorf("simulator: no convergence for dst %v after %d rounds", dstIP, round)
+		}
+		changed := false
+		for _, n := range s.G.Topo.Nodes {
+			ns := s.computeRouter(n, res, dstIP, env)
+			old := res.States[n.Name]
+			if !statesEqual(old, ns) {
+				changed = true
+			}
+			res.States[n.Name] = ns
+		}
+		if !changed {
+			res.Rounds = round + 1
+			break
+		}
+	}
+	// Exports to external neighbors (after convergence).
+	for _, sess := range s.G.Sessions {
+		if sess.Kind != protograph.EBGPExternal {
+			continue
+		}
+		rec := s.exportBGP(sess.A, sess, res, dstIP)
+		if env.FailedLinks[ExtLinkID(sess.A.Name, sess.Ext.Name)] {
+			rec = Invalid()
+		}
+		res.ExportsToExt[sess.Ext.Name] = rec
+	}
+	return res, nil
+}
+
+func statesEqual(a, b *RouterState) bool {
+	if len(a.PerProto) != len(b.PerProto) {
+		return false
+	}
+	for p, ra := range a.PerProto {
+		if !equalRoute(ra, b.PerProto[p]) {
+			return false
+		}
+	}
+	return equalRoute(a.Best, b.Best)
+}
+
+// computeRouter evaluates one router's selection against the current state
+// of its neighbors.
+func (s *Simulator) computeRouter(n *network.Node, res *Result, dstIP network.IP, env *Environment) *RouterState {
+	cfg := s.G.Configs[n.Name]
+	byProto := map[config.Protocol][]Record{}
+
+	// Connected.
+	for _, i := range cfg.Interfaces {
+		if i.Shutdown || !i.Prefix.Contains(dstIP) {
+			continue
+		}
+		byProto[config.Connected] = append(byProto[config.Connected], Record{
+			Valid: true, PrefixLen: i.Prefix.Len, AD: 0, LocalPref: 100,
+			Proto: config.Connected, Origin: i.Name,
+		})
+	}
+
+	// Static.
+	for _, st := range cfg.Statics {
+		if !st.Prefix.Contains(dstIP) {
+			continue
+		}
+		rec := Record{
+			Valid: true, PrefixLen: st.Prefix.Len, AD: staticAD(st), LocalPref: 100,
+			Proto: config.Static, Origin: st.Prefix.String(), Drop: st.Drop,
+		}
+		if !st.Drop {
+			hop, ok := s.resolveNextHop(n, st, env)
+			if !ok {
+				continue // unresolvable next hop: route not installed
+			}
+			rec.FromNode, rec.FromExt = hop.Node, hop.Ext
+		}
+		byProto[config.Static] = append(byProto[config.Static], rec)
+	}
+
+	// OSPF.
+	if cfg.OSPF != nil {
+		ad := orDefault(cfg.OSPF.AdminDistance, 110)
+		for _, i := range cfg.Interfaces {
+			if i.Shutdown || !i.Prefix.Contains(dstIP) {
+				continue
+			}
+			if !prefixActivated(cfg.OSPF.Networks, i.Prefix) {
+				continue
+			}
+			byProto[config.OSPF] = append(byProto[config.OSPF], Record{
+				Valid: true, PrefixLen: i.Prefix.Len, AD: ad, LocalPref: 100,
+				Proto: config.OSPF, Origin: i.Name,
+			})
+		}
+		for _, rd := range cfg.OSPF.Redistribute {
+			if rec, ok := s.redistribute(cfg, rd, res.States[n.Name], config.OSPF, ad, 20, dstIP); ok {
+				byProto[config.OSPF] = append(byProto[config.OSPF], rec)
+			}
+		}
+		for _, adj := range s.G.OSPFAdjsOf(n) {
+			if env.FailedLinks[LinkID(adj.Link.A.Name, adj.Link.B.Name)] {
+				continue
+			}
+			peer := adj.Link.Peer(n)
+			pr := res.States[peer.Name].PerProto[config.OSPF]
+			if !pr.Valid {
+				continue
+			}
+			cost := adj.CostA
+			if n == adj.Link.B {
+				cost = adj.CostB
+			}
+			in := pr.clone()
+			in.Metric += cost
+			if in.Metric > 65535 || contains(in.Path, n.Name) {
+				continue
+			}
+			in.AD = ad
+			in.FromNode, in.FromExt = peer.Name, ""
+			in.Origin = "ospf:" + peer.Name
+			in.RID = uint32(peer.Index) + 1
+			in.Path = append(in.Path, peer.Name)
+			byProto[config.OSPF] = append(byProto[config.OSPF], in)
+		}
+	}
+
+	// RIP: shortest paths with unit weights (§4).
+	if cfg.RIP != nil {
+		ad := orDefault(cfg.RIP.AdminDistance, 120)
+		for _, i := range cfg.Interfaces {
+			if i.Shutdown || !i.Prefix.Contains(dstIP) {
+				continue
+			}
+			if !prefixActivated(cfg.RIP.Networks, i.Prefix) {
+				continue
+			}
+			byProto[config.RIP] = append(byProto[config.RIP], Record{
+				Valid: true, PrefixLen: i.Prefix.Len, AD: ad, LocalPref: 100,
+				Proto: config.RIP, Origin: i.Name,
+			})
+		}
+		for _, rd := range cfg.RIP.Redistribute {
+			if rec, ok := s.redistribute(cfg, rd, res.States[n.Name], config.RIP, ad, 1, dstIP); ok {
+				byProto[config.RIP] = append(byProto[config.RIP], rec)
+			}
+		}
+		for _, adj := range s.G.RIPAdjsOf(n) {
+			if env.FailedLinks[LinkID(adj.Link.A.Name, adj.Link.B.Name)] {
+				continue
+			}
+			peer := adj.Link.Peer(n)
+			pr := res.States[peer.Name].PerProto[config.RIP]
+			if !pr.Valid {
+				continue
+			}
+			in := pr.clone()
+			in.Metric++
+			if in.Metric >= 16 || contains(in.Path, n.Name) {
+				continue // RIP infinity
+			}
+			in.AD = ad
+			in.FromNode, in.FromExt = peer.Name, ""
+			in.Origin = "rip:" + peer.Name
+			in.RID = uint32(peer.Index) + 1
+			in.Path = append(in.Path, peer.Name)
+			byProto[config.RIP] = append(byProto[config.RIP], in)
+		}
+	}
+
+	// BGP.
+	if cfg.BGP != nil {
+		for _, p := range cfg.BGP.Networks {
+			if !p.Contains(dstIP) || !s.ownsPrefix(cfg, p) {
+				continue
+			}
+			byProto[config.BGP] = append(byProto[config.BGP], Record{
+				Valid: true, PrefixLen: p.Len, AD: bgpAD(cfg, false), LocalPref: 100,
+				Proto: config.BGP, Origin: "network " + p.String(),
+			})
+		}
+		for _, rd := range cfg.BGP.Redistribute {
+			if rec, ok := s.redistribute(cfg, rd, res.States[n.Name], config.BGP, bgpAD(cfg, false), 0, dstIP); ok {
+				rec.LocalPref = 100
+				byProto[config.BGP] = append(byProto[config.BGP], rec)
+			}
+		}
+		for _, sess := range s.G.SessionsOf(n) {
+			if rec, ok := s.importBGP(n, sess, res, dstIP, env); ok {
+				byProto[config.BGP] = append(byProto[config.BGP], rec)
+			}
+		}
+	}
+
+	// Selection.
+	ns := &RouterState{PerProto: map[config.Protocol]Record{}}
+	for proto, cands := range byProto {
+		best := Invalid()
+		for _, c := range cands {
+			if !c.Valid {
+				continue
+			}
+			if !best.Valid || BetterIntra(c, best, s.Mode) {
+				best = c
+			}
+		}
+		if best.Valid {
+			ns.PerProto[proto] = best
+		}
+	}
+	overall := Invalid()
+	for _, rec := range ns.PerProto {
+		if !overall.Valid || Better(rec, overall, s.Mode) {
+			overall = rec
+		}
+	}
+	ns.Best = overall
+	if overall.Valid {
+		s.decideForwarding(n, cfg, ns, byProto[overall.Proto])
+	}
+	return ns
+}
+
+// decideForwarding fills Hops / DeliveredLocal / DroppedNull from the
+// winning protocol's candidates.
+func (s *Simulator) decideForwarding(n *network.Node, cfg *config.Router, ns *RouterState, cands []Record) {
+	best := ns.Best
+	switch {
+	case best.Proto == config.Connected:
+		ns.DeliveredLocal = true
+		return
+	case best.Drop:
+		ns.DroppedNull = true
+		return
+	}
+	multipath := false
+	switch best.Proto {
+	case config.OSPF:
+		multipath = cfg.OSPF.MaxPaths > 1
+	case config.BGP:
+		multipath = cfg.BGP.MaxPaths > 1
+	}
+	seen := map[Hop]bool{}
+	for _, c := range cands {
+		if !c.Valid {
+			continue
+		}
+		use := false
+		if multipath {
+			use = EquallyGood(c, best, s.Mode)
+		} else {
+			use = equalRoute(c, best)
+		}
+		if !use {
+			continue
+		}
+		for _, h := range s.hopsOf(n, c) {
+			if !seen[h] {
+				seen[h] = true
+				ns.Hops = append(ns.Hops, h)
+			}
+		}
+	}
+}
+
+// hopsOf resolves a record's forwarding target(s). iBGP-learned routes
+// recursively resolve toward the peer's address through the cached
+// address slice.
+func (s *Simulator) hopsOf(n *network.Node, rec Record) []Hop {
+	if rec.FromExt != "" {
+		return []Hop{{Ext: rec.FromExt}}
+	}
+	if rec.FromNode == "" {
+		return nil
+	}
+	if rec.Proto == config.BGP && rec.Internal {
+		// Recursive next-hop lookup: forward toward the iBGP peer's
+		// address using that address's slice (§4 iBGP modeling).
+		addr := s.peerAddrOf(n, rec.FromNode)
+		if addr != 0 {
+			if slice, ok := s.addrSlices[addr]; ok {
+				st := slice.States[n.Name]
+				if st != nil && st.Best.Valid && !st.DeliveredLocal {
+					return st.Hops
+				}
+			}
+		}
+		// Directly connected iBGP peer (session over a link): fall
+		// through to the direct hop.
+	}
+	return []Hop{{Node: rec.FromNode}}
+}
+
+// peerAddrOf returns the peering address this router uses to reach the
+// named iBGP peer, or 0.
+func (s *Simulator) peerAddrOf(n *network.Node, peer string) network.IP {
+	for _, sess := range s.G.SessionsOf(n) {
+		if sess.Kind != protograph.IBGP || sess.Link != nil {
+			continue
+		}
+		if sess.A == n && sess.B.Name == peer {
+			return sess.NbrAtA.Addr
+		}
+		if sess.B == n && sess.A.Name == peer {
+			return sess.NbrAtB.Addr
+		}
+	}
+	return 0
+}
+
+// importBGP evaluates the import transfer at router n over session sess.
+func (s *Simulator) importBGP(n *network.Node, sess *protograph.BGPSession, res *Result, dstIP network.IP, env *Environment) (Record, bool) {
+	cfg := s.G.Configs[n.Name]
+	var in Record
+	var stanza *config.BGPNeighbor
+	switch {
+	case sess.Kind == protograph.EBGPExternal:
+		if sess.A != n {
+			return Invalid(), false
+		}
+		if env.FailedLinks[ExtLinkID(n.Name, sess.Ext.Name)] {
+			return Invalid(), false
+		}
+		ann := env.Anns[sess.Ext.Name]
+		if ann == nil || !ann.Prefix.Contains(dstIP) {
+			return Invalid(), false
+		}
+		in = Record{
+			Valid: true, PrefixLen: ann.Prefix.Len, LocalPref: 100,
+			Metric: ann.PathLen, MED: ann.MED, NbrASN: sess.Ext.ASN,
+			Proto: config.BGP, Origin: "ebgp:" + sess.Ext.Name,
+			FromExt: sess.Ext.Name, RID: uint32(sess.Ext.PeerAddr),
+		}
+		for _, c := range ann.Communities {
+			in = in.withComm(c, true)
+		}
+		stanza = sess.NbrAtA
+	default:
+		peer := sess.RemoteEnd(n)
+		if sess.Link != nil && env.FailedLinks[LinkID(sess.Link.A.Name, sess.Link.B.Name)] {
+			return Invalid(), false
+		}
+		if sess.Kind == protograph.IBGP && sess.Link == nil && (s.inAddrSlice || !s.sessUp[sess]) {
+			return Invalid(), false
+		}
+		exp := s.exportBGP(peer, sess, res, dstIP)
+		if !exp.Valid || contains(exp.Path, n.Name) {
+			return Invalid(), false
+		}
+		in = exp
+		in.FromNode, in.FromExt = peer.Name, ""
+		in.Origin = "bgp:" + peer.Name
+		in.NbrASN = s.G.Configs[peer.Name].BGP.ASN
+		in.RID = routerIDOf(s.G.Configs[peer.Name], peer)
+		if sess.Kind == protograph.EBGP {
+			in.LocalPref = 100 // local-pref is not transitive across ASes
+			in.Internal = false
+		} else {
+			in.Internal = true
+		}
+		stanza = sess.StanzaOf(n)
+	}
+	in.AD = bgpAD(cfg, in.Internal)
+	in.Proto = config.BGP
+	// The receiving stanza's client flag marks routes learned from RR
+	// clients.
+	in.FromClient = stanza.RouteReflectorClient
+	if stanza.InMap != "" {
+		out, ok := applyRouteMap(cfg, stanza.InMap, in, dstIP)
+		if !ok {
+			return Invalid(), false
+		}
+		in = out
+	}
+	return in, true
+}
+
+// exportBGP evaluates the export transfer at the sending router for a
+// session: iBGP re-export rules, route-reflector semantics, metric
+// increment and the outbound route map.
+func (s *Simulator) exportBGP(sender *network.Node, sess *protograph.BGPSession, res *Result, dstIP network.IP) Record {
+	cfg := s.G.Configs[sender.Name]
+	b := res.States[sender.Name].PerProto[config.BGP]
+	if !b.Valid {
+		return Invalid()
+	}
+	stanza := sess.StanzaOf(sender)
+	toIBGP := sess.Kind == protograph.IBGP
+	if b.Internal && toIBGP {
+		// Routes learned via iBGP are not re-exported to iBGP peers,
+		// unless route reflection applies: reflect client routes to
+		// everyone, non-client routes to clients only.
+		if !b.FromClient && !stanza.RouteReflectorClient {
+			return Invalid()
+		}
+	}
+	out := b.clone()
+	if !toIBGP {
+		out.Metric++
+		out.MED = 0 // MED is non-transitive across ASes
+		// Aggregation (§4): summary-only aggregates suppress the more
+		// specific routes, modeled as shortening the advertised length.
+		for _, agg := range cfg.BGP.Aggregates {
+			if agg.SummaryOnly && agg.Prefix.Contains(dstIP) && out.PrefixLen > agg.Prefix.Len {
+				out.PrefixLen = agg.Prefix.Len
+			}
+		}
+	}
+	if stanza.OutMap != "" {
+		o, ok := applyRouteMap(cfg, stanza.OutMap, out, dstIP)
+		if !ok {
+			return Invalid()
+		}
+		out = o
+	}
+	if out.Metric > 255 {
+		return Invalid()
+	}
+	out.Path = append(out.Path, sender.Name)
+	return out
+}
+
+// redistribute seeds a record from another protocol's current best.
+func (s *Simulator) redistribute(cfg *config.Router, rd config.Redistribution, st *RouterState, into config.Protocol, ad, defMetric int, dstIP network.IP) (Record, bool) {
+	src := st.PerProto[rd.From]
+	if !src.Valid {
+		return Invalid(), false
+	}
+	rec := src.clone()
+	rec.Proto = into
+	rec.AD = ad
+	rec.Metric = defMetric
+	if rd.Metric != 0 {
+		rec.Metric = rd.Metric
+	}
+	rec.Internal = false
+	rec.Origin = fmt.Sprintf("redist %v", rd.From)
+	// Forwarding for a redistributed route follows the source protocol's
+	// decision; keep FromNode/FromExt so hops resolve.
+	if rd.RouteMap != "" {
+		out, ok := applyRouteMap(cfg, rd.RouteMap, rec, dstIP)
+		if !ok {
+			return Invalid(), false
+		}
+		rec = out
+	}
+	return rec, true
+}
+
+// resolveNextHop resolves a static route's next hop to a forwarding target.
+func (s *Simulator) resolveNextHop(n *network.Node, st *config.StaticRoute, env *Environment) (Hop, bool) {
+	if st.Interface != "" {
+		for _, l := range s.G.Topo.LinksOf(n) {
+			if l.IfaceOf(n) == st.Interface && !env.FailedLinks[LinkID(l.A.Name, l.B.Name)] {
+				return Hop{Node: l.Peer(n).Name}, true
+			}
+		}
+		for _, e := range s.G.Topo.ExternalsOf(n) {
+			if e.Iface == st.Interface && !env.FailedLinks[ExtLinkID(n.Name, e.Name)] {
+				return Hop{Ext: e.Name}, true
+			}
+		}
+		return Hop{}, false
+	}
+	for _, l := range s.G.Topo.LinksOf(n) {
+		if l.AddrOf(l.Peer(n)) == st.NextHop && !env.FailedLinks[LinkID(l.A.Name, l.B.Name)] {
+			return Hop{Node: l.Peer(n).Name}, true
+		}
+	}
+	for _, e := range s.G.Topo.ExternalsOf(n) {
+		if e.PeerAddr == st.NextHop && !env.FailedLinks[ExtLinkID(n.Name, e.Name)] {
+			return Hop{Ext: e.Name}, true
+		}
+	}
+	return Hop{}, false
+}
+
+// ownsPrefix reports whether the router can originate the BGP network
+// statement: an interface or static route for exactly that prefix exists.
+func (s *Simulator) ownsPrefix(cfg *config.Router, p network.Prefix) bool {
+	for _, i := range cfg.Interfaces {
+		if !i.Shutdown && i.Prefix == p {
+			return true
+		}
+	}
+	for _, st := range cfg.Statics {
+		if st.Prefix == p {
+			return true
+		}
+	}
+	return false
+}
+
+// applyRouteMap runs a route map over a record under the hoisted prefix
+// semantics: prefix-list tests become tests on the destination IP plus
+// bounds on the record's prefix length (§6.1).
+func applyRouteMap(cfg *config.Router, name string, rec Record, dstIP network.IP) (Record, bool) {
+	rm := cfg.RouteMaps[name]
+	if rm == nil {
+		return Invalid(), false
+	}
+	for _, cl := range rm.Clauses {
+		if !clauseMatches(cfg, cl, rec, dstIP) {
+			continue
+		}
+		if cl.Action == config.Deny {
+			return Invalid(), false
+		}
+		out := rec.clone()
+		if cl.SetLocalPref != 0 {
+			out.LocalPref = int(cl.SetLocalPref)
+		}
+		if cl.HasSetMetric {
+			out.Metric = cl.SetMetric
+		}
+		if cl.HasSetMED {
+			out.MED = cl.SetMED
+		}
+		for _, c := range cl.SetCommunity {
+			out = out.withComm(c, true)
+		}
+		for _, listName := range cl.DelCommunity {
+			if l := cfg.CommunityLists[listName]; l != nil {
+				for _, c := range l.Values {
+					out = out.withComm(c, false)
+				}
+			}
+		}
+		out.Metric += cl.SetPrepend
+		return out, true
+	}
+	return Invalid(), false // implicit deny
+}
+
+func clauseMatches(cfg *config.Router, cl *config.RouteMapClause, rec Record, dstIP network.IP) bool {
+	if cl.MatchPrefixList != "" {
+		pl := cfg.PrefixLists[cl.MatchPrefixList]
+		if pl == nil || !prefixListPermitsSlice(pl, rec.PrefixLen, dstIP) {
+			return false
+		}
+	}
+	if cl.MatchCommunity != "" {
+		l := cfg.CommunityLists[cl.MatchCommunity]
+		if l == nil {
+			return false
+		}
+		any := false
+		for _, c := range l.Values {
+			if rec.HasComm(c) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	return true
+}
+
+// prefixListPermitsSlice evaluates a prefix list against the slice's
+// destination IP and the record's prefix length — the concrete analogue
+// of the encoder's hoisted test.
+func prefixListPermitsSlice(pl *config.PrefixList, plen int, dstIP network.IP) bool {
+	for _, e := range pl.Entries {
+		if entryMatchesSlice(e, plen, dstIP) {
+			return e.Action == config.Permit
+		}
+	}
+	return false
+}
+
+func entryMatchesSlice(e config.PrefixListEntry, plen int, dstIP network.IP) bool {
+	if dstIP.Mask(e.Prefix.Len) != e.Prefix.Addr {
+		return false
+	}
+	lo, hi := e.Prefix.Len, e.Prefix.Len
+	if e.Ge != 0 {
+		lo, hi = e.Ge, 32
+	}
+	if e.Le != 0 {
+		hi = e.Le
+		if e.Ge == 0 {
+			lo = e.Prefix.Len
+		}
+	}
+	return plen >= lo && plen <= hi
+}
+
+func prefixActivated(nets []network.Prefix, p network.Prefix) bool {
+	for _, n := range nets {
+		if n.Covers(p) || n == p {
+			return true
+		}
+	}
+	return false
+}
+
+func staticAD(st *config.StaticRoute) int {
+	return orDefault(st.AdminDistance, 1)
+}
+
+func bgpAD(cfg *config.Router, internal bool) int {
+	if cfg.BGP != nil && cfg.BGP.AdminDistance != 0 {
+		return cfg.BGP.AdminDistance
+	}
+	if internal {
+		return 200
+	}
+	return 20
+}
+
+func routerIDOf(cfg *config.Router, n *network.Node) uint32 {
+	if cfg.BGP != nil && cfg.BGP.RouterID != 0 {
+		return uint32(cfg.BGP.RouterID)
+	}
+	return uint32(n.Index) + 1
+}
+
+func orDefault(v, def int) int {
+	if v != 0 {
+		return v
+	}
+	return def
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package simulator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/testnets"
+)
+
+func TestWalkDetectsLoop(t *testing.T) {
+	r1 := `
+hostname R1
+!
+interface Eth0
+ ip address 10.0.12.1 255.255.255.252
+!
+ip route 172.20.0.0 255.255.0.0 10.0.12.2
+!
+`
+	r2 := strings.ReplaceAll(strings.Replace(r1, "hostname R1", "hostname R2", 1),
+		"10.0.12.1 255.255.255.252", "10.0.12.2 255.255.255.252")
+	r2 = strings.Replace(r2, "ip route 172.20.0.0 255.255.0.0 10.0.12.2",
+		"ip route 172.20.0.0 255.255.0.0 10.0.12.1", 1)
+	net := testnets.MustBuild(r1, r2)
+	s := New(net.Graph)
+	dst := network.MustParseIP("172.20.5.5")
+	res, err := s.Run(dst, NewEnvironment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.Walk(res, "R1", config.Packet{DstIP: dst, Protocol: 6})
+	if !w.Outcomes[Looped] {
+		t.Fatalf("expected loop, got %v", w)
+	}
+	if w.Reaches() {
+		t.Fatal("looped traffic must not reach")
+	}
+	if !strings.Contains(w.String(), "looped") {
+		t.Fatalf("render %q", w.String())
+	}
+}
+
+func TestMultihopIBGP(t *testing.T) {
+	net := testnets.MultihopIBGP()
+	s := New(net.Graph)
+	dst := network.MustParseIP("8.8.8.8")
+	ann := Announcement{Prefix: network.MustParsePrefix("8.8.8.0/24"), PathLen: 2}
+
+	// With the session up, B2 learns the external route via iBGP and
+	// forwards toward B1's loopback (resolved through the IGP).
+	res, err := s.Run(dst, NewEnvironment().Announce("N1", ann))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.States["B2"]
+	if !st.Best.Valid || !st.Best.Internal {
+		t.Fatalf("B2 best %v", st.Best)
+	}
+	if len(st.Hops) != 1 || st.Hops[0].Node != "B1" {
+		t.Fatalf("B2 hops %v", st.Hops)
+	}
+	w := s.Walk(res, "B2", config.Packet{DstIP: dst, Protocol: 6})
+	if !w.Outcomes[Exited] {
+		t.Fatalf("B2 should exit via N1: %v", w)
+	}
+
+	// Failing the only internal link kills the session transport, so the
+	// iBGP route disappears.
+	res2, err := s.Run(dst, NewEnvironment().Announce("N1", ann).Fail("B1", "B2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.States["B2"].Best.Valid {
+		t.Fatalf("session should be down: %v", res2.States["B2"].Best)
+	}
+}
+
+func TestHopString(t *testing.T) {
+	if (Hop{Node: "R1"}).String() != "R1" || (Hop{Ext: "N1"}).String() != "ext:N1" {
+		t.Fatal("hop rendering")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		Delivered: "delivered", Exited: "exited", DroppedACL: "dropped-acl",
+		DroppedNull: "dropped-null", Blackhole: "blackhole", Looped: "looped",
+	} {
+		if o.String() != want {
+			t.Fatalf("%d: %q", o, o.String())
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package smt
+
+import "fmt"
+
+// Value is a concrete value for a variable: a boolean or a bitvector held
+// as a uint64.
+type Value struct {
+	Bool bool
+	BV   uint64
+}
+
+// Assignment maps variable names to concrete values.
+type Assignment map[string]Value
+
+// Eval evaluates t under the assignment. Unassigned variables default to
+// false / zero, which matches the solver's default phase. Eval is the
+// executable semantics the bit-blaster is tested against, and is also used
+// to replay counterexample models.
+func Eval(t *Term, a Assignment) Value {
+	memo := make(map[*Term]Value)
+	return eval(t, a, memo)
+}
+
+func eval(t *Term, a Assignment, memo map[*Term]Value) Value {
+	if v, ok := memo[t]; ok {
+		return v
+	}
+	var v Value
+	switch t.op {
+	case OpTrue:
+		v = Value{Bool: true}
+	case OpFalse:
+		v = Value{Bool: false}
+	case OpBoolVar:
+		v = Value{Bool: a[t.name].Bool}
+	case OpBVVar:
+		v = Value{BV: a[t.name].BV & mask(t.Width())}
+	case OpBVConst:
+		v = Value{BV: t.val}
+	case OpNot:
+		v = Value{Bool: !eval(t.kids[0], a, memo).Bool}
+	case OpAnd:
+		v = Value{Bool: true}
+		for _, k := range t.kids {
+			if !eval(k, a, memo).Bool {
+				v = Value{Bool: false}
+				break
+			}
+		}
+	case OpOr:
+		v = Value{Bool: false}
+		for _, k := range t.kids {
+			if eval(k, a, memo).Bool {
+				v = Value{Bool: true}
+				break
+			}
+		}
+	case OpIte:
+		if eval(t.kids[0], a, memo).Bool {
+			v = eval(t.kids[1], a, memo)
+		} else {
+			v = eval(t.kids[2], a, memo)
+		}
+	case OpEq:
+		x, y := eval(t.kids[0], a, memo), eval(t.kids[1], a, memo)
+		if t.kids[0].IsBool() {
+			v = Value{Bool: x.Bool == y.Bool}
+		} else {
+			v = Value{Bool: x.BV == y.BV}
+		}
+	case OpBVAdd:
+		x, y := eval(t.kids[0], a, memo), eval(t.kids[1], a, memo)
+		v = Value{BV: (x.BV + y.BV) & mask(t.Width())}
+	case OpBVSub:
+		x, y := eval(t.kids[0], a, memo), eval(t.kids[1], a, memo)
+		v = Value{BV: (x.BV - y.BV) & mask(t.Width())}
+	case OpBVAnd:
+		x, y := eval(t.kids[0], a, memo), eval(t.kids[1], a, memo)
+		v = Value{BV: x.BV & y.BV}
+	case OpBVUle:
+		x, y := eval(t.kids[0], a, memo), eval(t.kids[1], a, memo)
+		v = Value{Bool: x.BV <= y.BV}
+	case OpBVUlt:
+		x, y := eval(t.kids[0], a, memo), eval(t.kids[1], a, memo)
+		v = Value{Bool: x.BV < y.BV}
+	default:
+		panic(fmt.Sprintf("smt: eval: unknown op %d", t.op))
+	}
+	memo[t] = v
+	return v
+}

@@ -1,0 +1,450 @@
+// Package testnets provides small canonical networks used across the test
+// suites: the simulator tests, the encoder differential tests and the
+// property tests all share these fixtures so the two semantics are
+// exercised on identical inputs.
+package testnets
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/protograph"
+)
+
+// Net bundles parsed configurations with the inferred topology and
+// protocol graph.
+type Net struct {
+	Routers map[string]*config.Router
+	Topo    *network.Topology
+	Graph   *protograph.Graph
+}
+
+// Build parses the given configuration texts and derives topology and
+// protocol graph.
+func Build(texts ...string) (*Net, error) {
+	var list []*config.Router
+	byName := map[string]*config.Router{}
+	for _, t := range texts {
+		r, err := config.Parse(t)
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, r)
+		byName[r.Name] = r
+	}
+	topo, err := config.BuildTopology(list)
+	if err != nil {
+		return nil, err
+	}
+	g, err := protograph.Build(topo, byName)
+	if err != nil {
+		return nil, err
+	}
+	return &Net{Routers: byName, Topo: topo, Graph: g}, nil
+}
+
+// MustBuild panics on error.
+func MustBuild(texts ...string) *Net {
+	n, err := Build(texts...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// OSPFChain returns an n-router OSPF chain R1—R2—…—Rn. Each router Ri has
+// a stub subnet 10.100.i.0/24; inter-router links are 10.0.i.0/30.
+func OSPFChain(n int) *Net {
+	texts := make([]string, n)
+	for i := 1; i <= n; i++ {
+		t := fmt.Sprintf("hostname R%d\n!\n", i)
+		t += fmt.Sprintf("interface Loopback0\n ip address 10.100.%d.1 255.255.255.0\n!\n", i)
+		if i > 1 {
+			t += fmt.Sprintf("interface Eth0\n ip address 10.0.%d.2 255.255.255.252\n!\n", i-1)
+		}
+		if i < n {
+			t += fmt.Sprintf("interface Eth1\n ip address 10.0.%d.1 255.255.255.252\n!\n", i)
+		}
+		t += "router ospf 1\n"
+		t += fmt.Sprintf(" network 10.100.%d.0 0.0.0.255 area 0\n", i)
+		if i > 1 {
+			t += fmt.Sprintf(" network 10.0.%d.0 0.0.0.3 area 0\n", i-1)
+		}
+		if i < n {
+			t += fmt.Sprintf(" network 10.0.%d.0 0.0.0.3 area 0\n", i)
+		}
+		t += "!\n"
+		texts[i-1] = t
+	}
+	return MustBuild(texts...)
+}
+
+// StubIP returns the stub-subnet address of router Ri in OSPFChain/RIPChain
+// networks.
+func StubIP(i int) network.IP {
+	return network.MustParseIP(fmt.Sprintf("10.100.%d.1", i))
+}
+
+// RIPChain is OSPFChain with RIP instead of OSPF.
+func RIPChain(n int) *Net {
+	texts := make([]string, n)
+	for i := 1; i <= n; i++ {
+		t := fmt.Sprintf("hostname R%d\n!\n", i)
+		t += fmt.Sprintf("interface Loopback0\n ip address 10.100.%d.1 255.255.255.0\n!\n", i)
+		if i > 1 {
+			t += fmt.Sprintf("interface Eth0\n ip address 10.0.%d.2 255.255.255.252\n!\n", i-1)
+		}
+		if i < n {
+			t += fmt.Sprintf("interface Eth1\n ip address 10.0.%d.1 255.255.255.252\n!\n", i)
+		}
+		t += "router rip\n"
+		t += fmt.Sprintf(" network 10.100.%d.0/24\n", i)
+		if i > 1 {
+			t += fmt.Sprintf(" network 10.0.%d.0/30\n", i-1)
+		}
+		if i < n {
+			t += fmt.Sprintf(" network 10.0.%d.0/30\n", i)
+		}
+		t += "!\n"
+		texts[i-1] = t
+	}
+	return MustBuild(texts...)
+}
+
+// EBGPTriangle returns three routers in distinct ASes, fully meshed with
+// eBGP, each originating a /24.
+//
+//	R1 (AS 65001, 10.100.1.0/24) — R2 (AS 65002, 10.100.2.0/24)
+//	   \                          /
+//	     R3 (AS 65003, 10.100.3.0/24)
+func EBGPTriangle() *Net {
+	mk := func(i int, peers [2]int, myAddr, peerAddr [2]string) string {
+		t := fmt.Sprintf("hostname R%d\n!\n", i)
+		t += fmt.Sprintf("interface Loopback0\n ip address 10.100.%d.1 255.255.255.0\n!\n", i)
+		for j := 0; j < 2; j++ {
+			t += fmt.Sprintf("interface Eth%d\n ip address %s 255.255.255.252\n!\n", j, myAddr[j])
+		}
+		t += fmt.Sprintf("router bgp %d\n", 65000+i)
+		for j := 0; j < 2; j++ {
+			t += fmt.Sprintf(" neighbor %s remote-as %d\n", peerAddr[j], 65000+peers[j])
+		}
+		t += fmt.Sprintf(" network 10.100.%d.0 mask 255.255.255.0\n!\n", i)
+		return t
+	}
+	// Links: R1-R2 on 10.0.12.0/30, R1-R3 on 10.0.13.0/30, R2-R3 on 10.0.23.0/30.
+	r1 := mk(1, [2]int{2, 3}, [2]string{"10.0.12.1", "10.0.13.1"}, [2]string{"10.0.12.2", "10.0.13.2"})
+	r2 := mk(2, [2]int{1, 3}, [2]string{"10.0.12.2", "10.0.23.1"}, [2]string{"10.0.12.1", "10.0.23.2"})
+	r3 := mk(3, [2]int{1, 2}, [2]string{"10.0.13.2", "10.0.23.2"}, [2]string{"10.0.13.1", "10.0.23.1"})
+	return MustBuild(r1, r2, r3)
+}
+
+// Figure2 builds the running example of the paper (Figure 2): three
+// internal routers; R1 and R2 speak eBGP to external neighbors and iBGP to
+// each other, everyone speaks OSPF internally, BGP redistributes into OSPF
+// (so R3 learns external destinations) and OSPF into BGP (so internal
+// subnets are announced externally).
+//
+// Topology:
+//
+//	N1 — R1 — R3 (subnet S3 = 10.3.3.0/24)
+//	      |
+//	N2 — R2 — N3
+//
+// The import route-maps let tests steer preferences; by default R1 sets
+// local-pref 120 on routes from N1 and R2 sets 110 on routes from N2, so
+// R1's egress via N1 is preferred network-wide.
+func Figure2() *Net {
+	r1 := `
+hostname R1
+!
+interface Eth0
+ ip address 10.0.12.1 255.255.255.252
+!
+interface Eth1
+ ip address 10.0.13.1 255.255.255.252
+!
+interface Serial0
+ ip address 10.9.1.1 255.255.255.252
+!
+interface Loopback0
+ ip address 10.1.1.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.12.0 0.0.0.3 area 0
+ network 10.0.13.0 0.0.0.3 area 0
+ network 10.1.1.0 0.0.0.255 area 0
+ redistribute bgp metric 20
+!
+router bgp 65001
+ bgp router-id 1.1.1.1
+ neighbor 10.9.1.2 remote-as 65101
+ neighbor 10.9.1.2 description N1
+ neighbor 10.9.1.2 route-map FROM-N1 in
+ neighbor 10.0.12.2 remote-as 65001
+ redistribute ospf
+ redistribute connected
+!
+route-map FROM-N1 permit 10
+ set local-preference 120
+!
+`
+	r2 := `
+hostname R2
+!
+interface Eth0
+ ip address 10.0.12.2 255.255.255.252
+!
+interface Serial0
+ ip address 10.9.2.1 255.255.255.252
+!
+interface Serial1
+ ip address 10.9.3.1 255.255.255.252
+!
+interface Loopback0
+ ip address 10.2.2.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.12.0 0.0.0.3 area 0
+ network 10.2.2.0 0.0.0.255 area 0
+ redistribute bgp metric 20
+!
+router bgp 65001
+ bgp router-id 2.2.2.2
+ neighbor 10.9.2.2 remote-as 65102
+ neighbor 10.9.2.2 description N2
+ neighbor 10.9.2.2 route-map FROM-N2 in
+ neighbor 10.9.3.2 remote-as 65103
+ neighbor 10.9.3.2 description N3
+ neighbor 10.0.12.1 remote-as 65001
+ redistribute ospf
+ redistribute connected
+!
+route-map FROM-N2 permit 10
+ set local-preference 110
+!
+`
+	r3 := `
+hostname R3
+!
+interface Eth0
+ ip address 10.0.13.2 255.255.255.252
+!
+interface Loopback0
+ ip address 10.3.3.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.13.0 0.0.0.3 area 0
+ network 10.3.3.0 0.0.0.255 area 0
+!
+`
+	return MustBuild(r1, r2, r3)
+}
+
+// ACLSquare builds the multipath-consistency example of Figure 6(a):
+// R1 uses ECMP toward R2 and R3; R3's egress toward R5 carries an ACL that
+// drops traffic to the destination subnet, so one branch is dropped.
+//
+//	     R2
+//	   /    \
+//	R1        R5 — S (10.50.0.0/24)
+//	   \    /
+//	     R3   (out-ACL on the R3→R5 link)
+func ACLSquare() *Net {
+	r1 := `
+hostname R1
+!
+interface Eth0
+ ip address 10.0.12.1 255.255.255.252
+!
+interface Eth1
+ ip address 10.0.13.1 255.255.255.252
+!
+router ospf 1
+ network 10.0.12.0 0.0.0.3 area 0
+ network 10.0.13.0 0.0.0.3 area 0
+ maximum-paths 4
+!
+`
+	r2 := `
+hostname R2
+!
+interface Eth0
+ ip address 10.0.12.2 255.255.255.252
+!
+interface Eth1
+ ip address 10.0.25.1 255.255.255.252
+!
+router ospf 1
+ network 10.0.12.0 0.0.0.3 area 0
+ network 10.0.25.0 0.0.0.3 area 0
+!
+`
+	r3 := `
+hostname R3
+!
+interface Eth0
+ ip address 10.0.13.2 255.255.255.252
+!
+interface Eth1
+ ip address 10.0.35.1 255.255.255.252
+ ip access-group BLOCK out
+!
+router ospf 1
+ network 10.0.13.0 0.0.0.3 area 0
+ network 10.0.35.0 0.0.0.3 area 0
+!
+access-list BLOCK deny ip any 10.50.0.0 0.0.0.255
+access-list BLOCK permit ip any any
+!
+`
+	r5 := `
+hostname R5
+!
+interface Eth0
+ ip address 10.0.25.2 255.255.255.252
+!
+interface Eth1
+ ip address 10.0.35.2 255.255.255.252
+!
+interface Loopback0
+ ip address 10.50.0.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.25.0 0.0.0.3 area 0
+ network 10.0.35.0 0.0.0.3 area 0
+ network 10.50.0.0 0.0.0.255 area 0
+!
+`
+	return MustBuild(r1, r2, r3, r5)
+}
+
+// StaticNull builds a two-router network where R1 reaches R2's stub via a
+// static route and blackholes 172.16.0.0/16 via null0.
+func StaticNull() *Net {
+	r1 := `
+hostname R1
+!
+interface Eth0
+ ip address 10.0.12.1 255.255.255.252
+!
+ip route 10.100.2.0 255.255.255.0 10.0.12.2
+ip route 172.16.0.0 255.255.0.0 null0
+!
+`
+	r2 := `
+hostname R2
+!
+interface Eth0
+ ip address 10.0.12.2 255.255.255.252
+!
+interface Loopback0
+ ip address 10.100.2.1 255.255.255.0
+!
+`
+	return MustBuild(r1, r2)
+}
+
+// Hijackable builds the §8.1 management-hijack scenario: R1 carries a
+// management loopback 192.168.50.1/32, distributed internally via OSPF
+// (administrative distance 110). R2 peers with an external neighbor N with
+// no inbound filtering, so N can announce 192.168.50.1/32 and — since
+// eBGP's administrative distance of 20 beats OSPF's — divert R2's
+// management traffic out of the network. Setting filtered to true installs
+// the route-map that blocks the hijack.
+func Hijackable(filtered bool) *Net {
+	filterRef := ""
+	filterDef := ""
+	if filtered {
+		filterRef = " neighbor 10.9.9.2 route-map NO-HIJACK in\n"
+		filterDef = `ip prefix-list MGMT seq 5 deny 192.168.50.0/24 le 32
+ip prefix-list MGMT seq 10 permit 0.0.0.0/0 le 32
+!
+route-map NO-HIJACK permit 10
+ match ip address prefix-list MGMT
+!
+`
+	}
+	r1 := `
+hostname R1
+!
+interface Eth0
+ ip address 10.0.12.1 255.255.255.252
+!
+interface Management0
+ ip address 192.168.50.1 255.255.255.255
+ management
+!
+router ospf 1
+ network 10.0.12.0 0.0.0.3 area 0
+ network 192.168.50.1 0.0.0.0 area 0
+!
+`
+	r2 := `
+hostname R2
+!
+interface Eth0
+ ip address 10.0.12.2 255.255.255.252
+!
+interface Serial0
+ ip address 10.9.9.1 255.255.255.252
+!
+router ospf 1
+ network 10.0.12.0 0.0.0.3 area 0
+!
+router bgp 65001
+ bgp router-id 2.2.2.2
+ neighbor 10.9.9.2 remote-as 65999
+ neighbor 10.9.9.2 description N
+` + filterRef + `!
+` + filterDef
+	return MustBuild(r1, r2)
+}
+
+// MultihopIBGP builds two border routers peering iBGP over their
+// loopbacks, with OSPF providing the session transport — exercising the
+// per-address network copies of §4.
+func MultihopIBGP() *Net {
+	b1 := `
+hostname B1
+!
+interface Eth0
+ ip address 10.0.12.1 255.255.255.252
+!
+interface Loopback0
+ ip address 192.168.0.1 255.255.255.255
+!
+interface Serial0
+ ip address 10.9.1.1 255.255.255.252
+!
+router ospf 1
+ network 10.0.12.0 0.0.0.3 area 0
+ network 192.168.0.1 0.0.0.0 area 0
+!
+router bgp 65001
+ bgp router-id 1.1.1.1
+ neighbor 10.9.1.2 remote-as 65100
+ neighbor 10.9.1.2 description N1
+ neighbor 192.168.0.2 remote-as 65001
+!
+`
+	b2 := `
+hostname B2
+!
+interface Eth0
+ ip address 10.0.12.2 255.255.255.252
+!
+interface Loopback0
+ ip address 192.168.0.2 255.255.255.255
+!
+router ospf 1
+ network 10.0.12.0 0.0.0.3 area 0
+ network 192.168.0.2 0.0.0.0 area 0
+!
+router bgp 65001
+ bgp router-id 2.2.2.2
+ neighbor 192.168.0.1 remote-as 65001
+!
+`
+	return MustBuild(b1, b2)
+}

@@ -1,0 +1,37 @@
+package testnets
+
+import "testing"
+
+func TestFixturesBuild(t *testing.T) {
+	fixtures := map[string]*Net{
+		"ospf-chain":    OSPFChain(3),
+		"rip-chain":     RIPChain(3),
+		"ebgp-triangle": EBGPTriangle(),
+		"figure2":       Figure2(),
+		"acl-square":    ACLSquare(),
+		"static-null":   StaticNull(),
+		"hijack-open":   Hijackable(false),
+		"hijack-fixed":  Hijackable(true),
+		"multihop-ibgp": MultihopIBGP(),
+	}
+	for name, net := range fixtures {
+		if len(net.Routers) < 2 {
+			t.Errorf("%s: only %d routers", name, len(net.Routers))
+		}
+		if !net.Topo.Connected() {
+			t.Errorf("%s: disconnected", name)
+		}
+		if len(net.Graph.Instances) == 0 {
+			t.Errorf("%s: no protocol instances", name)
+		}
+	}
+	if _, err := Build("hostname A\n!\nbogus\n"); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestStubIPs(t *testing.T) {
+	if StubIP(3).String() != "10.100.3.1" {
+		t.Fatal("stub addressing")
+	}
+}
