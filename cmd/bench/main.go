@@ -9,11 +9,16 @@
 //
 //	bench -experiment violations [-count 152] [-seed 1]
 //	bench -experiment fig7       [-count 152] [-seed 1]
-//	bench -experiment fig8       [-pods 2,4,6] [-props all]
+//	bench -experiment fig8       [-pods 2,4,6] [-props all] [-json-out BENCH_fig8.json]
 //	bench -experiment ablation   [-pods 4]
+//
+// Observability: -trace-json FILE dumps the span tree of a fig8/ablation
+// run as JSON, and -progress N prints solver progress to stderr every N
+// conflicts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +28,8 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/netgen"
+	"repro/internal/obs"
+	"repro/internal/sat"
 )
 
 func main() {
@@ -32,8 +39,26 @@ func main() {
 		seed       = flag.Int64("seed", 1, "population base seed")
 		podsFlag   = flag.String("pods", "2,4,6", "comma-separated pod counts for fig8/ablation")
 		propsFlag  = flag.String("props", "all", "comma-separated figure-8 properties, or 'all'")
+		jsonOut    = flag.String("json-out", "BENCH_fig8.json", "fig8 JSON artifact path ('' to skip)")
+		traceJSON  = flag.String("trace-json", "", "write the fig8/ablation span tree as JSON to this file")
+		progress   = flag.String("progress", "", "print solver progress to stderr every N conflicts")
 	)
 	flag.Parse()
+
+	var tr *obs.Trace
+	if *traceJSON != "" {
+		tr = obs.New("bench:" + *experiment)
+	}
+	every := int64(0)
+	if *progress != "" {
+		n, err := strconv.ParseInt(*progress, 10, 64)
+		if err != nil || n <= 0 {
+			fmt.Fprintln(os.Stderr, "bench: -progress wants a positive integer")
+			os.Exit(2)
+		}
+		every = n
+	}
+
 	var err error
 	switch *experiment {
 	case "violations":
@@ -41,20 +66,45 @@ func main() {
 	case "fig7":
 		err = runFig7(*count, *seed)
 	case "fig8":
-		err = runFig8(parseInts(*podsFlag), parseProps(*propsFlag))
+		err = runFig8(parseInts(*podsFlag), parseProps(*propsFlag), *jsonOut, tr, every)
 	case "ablation":
 		ks := parseInts(*podsFlag)
 		if len(ks) == 0 {
 			ks = []int{4}
 		}
-		err = runAblation(ks[0])
+		err = runAblation(ks[0], tr, every)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|ablation")
 		os.Exit(2)
 	}
+	if err == nil && tr != nil {
+		tr.Root().End()
+		tr.SampleMem()
+		err = writeTrace(tr, *traceJSON)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
+	}
+}
+
+func writeTrace(tr *obs.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// progressPrinter returns a hook that writes one stderr line per sample.
+func progressPrinter(label string) func(sat.Progress) {
+	return func(p sat.Progress) {
+		fmt.Fprintf(os.Stderr, "progress %s: conflicts=%d decisions=%d propagations=%d learned=%d restarts=%d\n",
+			label, p.Conflicts, p.Decisions, p.Propagations, p.Learned, p.Restarts)
 	}
 }
 
@@ -108,7 +158,8 @@ func runViolations(count int, seed int64) error {
 }
 
 // runFig7 reproduces the four timing panels of Figure 7: verification time
-// per network, sorted by total lines of configuration.
+// per network, sorted by total lines of configuration. The encode_ms and
+// solve_ms columns total the phase split across the four properties.
 func runFig7(count int, seed int64) error {
 	pop, err := netgen.Population(count, seed, netgen.DefaultParams())
 	if err != nil {
@@ -120,12 +171,19 @@ func runFig7(count int, seed int64) error {
 	}
 	sort.Slice(sum.PerNet, func(i, j int) bool { return sum.PerNet[i].Lines < sum.PerNet[j].Lines })
 	fmt.Println("# Figure 7: per-network verification time (ms), sorted by config lines")
-	fmt.Println("network\trouters\tlines\tmgmt_ms\tequiv_ms\tblackhole_ms\tfaultinv_ms")
+	fmt.Println("network\trouters\tlines\tmgmt_ms\tequiv_ms\tblackhole_ms\tfaultinv_ms\tencode_ms\tsolve_ms")
 	for _, nc := range sum.PerNet {
-		fmt.Printf("%s\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\n",
+		var enc, solve float64
+		for _, prop := range harness.AllSection81Props() {
+			pr := nc.Results[prop]
+			enc += float64(pr.Encode.Microseconds()) / 1000
+			solve += float64(pr.Solve.Microseconds()) / 1000
+		}
+		fmt.Printf("%s\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
 			nc.Name, nc.Routers, nc.Lines,
 			ms(nc, harness.PropMgmtReach), ms(nc, harness.PropLocalEquiv),
-			ms(nc, harness.PropBlackholes), ms(nc, harness.PropFaultInvar))
+			ms(nc, harness.PropBlackholes), ms(nc, harness.PropFaultInvar),
+			enc, solve)
 	}
 	fmt.Printf("# violations: mgmt=%d equiv=%d blackholes=%d fault-invariance=%d of %d\n",
 		sum.Violations[harness.PropMgmtReach], sum.Violations[harness.PropLocalEquiv],
@@ -137,39 +195,101 @@ func ms(nc *harness.NetCheck, prop string) float64 {
 	return float64(nc.Results[prop].Elapsed.Microseconds()) / 1000
 }
 
+// fig8JSON is one row of the BENCH_fig8.json artifact: the machine-
+// diffable form of the Figure 8 table, so performance can be compared
+// across revisions without parsing the text output.
+type fig8JSON struct {
+	Pods       int     `json:"pods"`
+	Routers    int     `json:"routers"`
+	Property   string  `json:"property"`
+	Ms         float64 `json:"ms"`
+	EncodeMs   float64 `json:"encode_ms"`
+	SimplifyMs float64 `json:"simplify_ms"`
+	SolveMs    float64 `json:"solve_ms"`
+	Verified   bool    `json:"verified"`
+	SATVars    int     `json:"sat_vars"`
+	SATClauses int     `json:"sat_clauses"`
+	Conflicts  int64   `json:"conflicts"`
+}
+
 // runFig8 reproduces Figure 8: verification time per property per fabric
 // size.
-func runFig8(pods []int, props []string) error {
+func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every int64) error {
 	fmt.Println("# Figure 8: verification time (ms) per property and fabric size")
-	fmt.Println("pods\trouters\tproperty\tms\tverified\tsat_vars\tsat_clauses")
+	fmt.Println("pods\trouters\tproperty\tms\tencode_ms\tsimplify_ms\tsolve_ms\tverified\tsat_vars\tsat_clauses\tconflicts")
+	var art []fig8JSON
 	for _, k := range pods {
 		f, err := harness.BuildFabric(k)
 		if err != nil {
 			return err
+		}
+		var podSp *obs.Span
+		if tr != nil {
+			podSp = tr.Root().Start(fmt.Sprintf("pods:%d", k))
+			f.Obs = podSp
+		}
+		if every > 0 {
+			f.ProgressEvery = every
+			f.OnProgress = progressPrinter(fmt.Sprintf("pods=%d", k))
 		}
 		for _, prop := range props {
 			row, err := harness.RunFig8Property(f, prop)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%d\t%d\t%s\t%.1f\t%v\t%d\t%d\n",
+			toMs := func(d interface{ Microseconds() int64 }) float64 {
+				return float64(d.Microseconds()) / 1000
+			}
+			fmt.Printf("%d\t%d\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%v\t%d\t%d\t%d\n",
 				row.Pods, row.Routers, row.Property,
-				float64(row.Elapsed.Microseconds())/1000, row.Verified,
-				row.SATVars, row.SATClauses)
+				toMs(row.Elapsed), toMs(row.Encode), toMs(row.Simplify), toMs(row.Solve),
+				row.Verified, row.SATVars, row.SATClauses, row.Conflicts)
+			art = append(art, fig8JSON{
+				Pods: row.Pods, Routers: row.Routers, Property: row.Property,
+				Ms: toMs(row.Elapsed), EncodeMs: toMs(row.Encode),
+				SimplifyMs: toMs(row.Simplify), SolveMs: toMs(row.Solve),
+				Verified: row.Verified, SATVars: row.SATVars,
+				SATClauses: row.SATClauses, Conflicts: row.Conflicts,
+			})
 		}
+		podSp.End()
 	}
+	if jsonOut == "" {
+		return nil
+	}
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d rows)\n", jsonOut, len(art))
 	return nil
 }
 
 // runAblation reproduces the §8.3 optimization-effectiveness measurement.
-func runAblation(k int) error {
+func runAblation(k int, tr *obs.Trace, every int64) error {
 	f, err := harness.BuildFabric(k)
 	if err != nil {
 		return err
 	}
+	if tr != nil {
+		f.Obs = tr.Root()
+	}
+	if every > 0 {
+		f.ProgressEvery = every
+		f.OnProgress = progressPrinter(fmt.Sprintf("pods=%d", k))
+	}
 	fmt.Printf("# §8.3 ablation: single-source reachability on a %d-pod fabric (%d routers)\n",
 		k, len(f.FT.Routers))
-	fmt.Println("config\tencode_ms\tcheck_ms\trecord_vars\tsat_vars\tsat_clauses\tspeedup")
+	fmt.Println("config\tencode_ms\tcheck_ms\tcnf_ms\tsimplify_ms\tsolve_ms\trecord_vars\tsat_vars\tsat_clauses\tconflicts\tspeedup")
 	var baseline float64
 	for _, cfg := range harness.AblationConfigs() {
 		row, err := harness.RunAblation(f, cfg.Name, cfg.Opts)
@@ -181,9 +301,12 @@ func runAblation(k int) error {
 			baseline = checkMs
 		}
 		speed := baseline / checkMs
-		fmt.Printf("%s\t%.1f\t%.1f\t%d\t%d\t%d\t%.1fx\n",
+		fmt.Printf("%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%d\t%d\t%d\t%d\t%.1fx\n",
 			cfg.Name, float64(row.Encode.Microseconds())/1000, checkMs,
-			row.RecordVars, row.SATVars, row.SATClauses, speed)
+			float64(row.CNF.Microseconds())/1000,
+			float64(row.Simplify.Microseconds())/1000,
+			float64(row.Solve.Microseconds())/1000,
+			row.RecordVars, row.SATVars, row.SATClauses, row.Conflicts, speed)
 	}
 	return nil
 }

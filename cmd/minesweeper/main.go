@@ -17,121 +17,192 @@
 //	minesweeper -configs DIR -check equivalence -pair routerA,routerB
 //	minesweeper -configs DIR -check no-leak -maxlen 24
 //	minesweeper -configs DIR -check fault-invariance [-max-failures 1]
+//
+// Observability:
+//
+//	-v                also prints the phase span tree to stderr
+//	-json             prints the verdict as one JSON object on stdout
+//	-trace-json FILE  writes the span tree + metrics as JSON
+//	-prom FILE        writes the metrics in Prometheus text format
+//	-progress N       prints solver progress to stderr every N conflicts
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/properties"
+	"repro/internal/sat"
 	"repro/internal/smt"
 )
 
+// cliOpts carries the parsed command line through run.
+type cliOpts struct {
+	dir, check, src, via, subnet, pair string
+	hops, maxLen, maxFailures          int
+	verbose, replay, jsonOut           bool
+	traceJSON, promOut                 string
+	progressEvery                      int64
+}
+
 func main() {
-	var (
-		configDir   = flag.String("configs", "", "directory of router configuration files")
-		check       = flag.String("check", "", "property to verify (see package comment)")
-		src         = flag.String("src", "", "source router")
-		via         = flag.String("via", "", "waypoint router")
-		subnet      = flag.String("subnet", "", "destination subnet (CIDR)")
-		pair        = flag.String("pair", "", "router pair a,b for equivalence")
-		hops        = flag.Int("hops", 4, "hop bound for bounded-length")
-		maxLen      = flag.Int("maxlen", 24, "maximum exported prefix length for no-leak")
-		maxFailures = flag.Int("max-failures", 0, "environments may fail up to this many links")
-		verbose     = flag.Bool("v", false, "print model statistics and forwarding state")
-		replay      = flag.Bool("replay", false, "replay counterexamples in the concrete simulator")
-	)
+	var o cliOpts
+	flag.StringVar(&o.dir, "configs", "", "directory of router configuration files")
+	flag.StringVar(&o.check, "check", "", "property to verify (see package comment)")
+	flag.StringVar(&o.src, "src", "", "source router")
+	flag.StringVar(&o.via, "via", "", "waypoint router")
+	flag.StringVar(&o.subnet, "subnet", "", "destination subnet (CIDR)")
+	flag.StringVar(&o.pair, "pair", "", "router pair a,b for equivalence")
+	flag.IntVar(&o.hops, "hops", 4, "hop bound for bounded-length")
+	flag.IntVar(&o.maxLen, "maxlen", 24, "maximum exported prefix length for no-leak")
+	flag.IntVar(&o.maxFailures, "max-failures", 0, "environments may fail up to this many links")
+	flag.BoolVar(&o.verbose, "v", false, "print model statistics, forwarding state and the span tree")
+	flag.BoolVar(&o.replay, "replay", false, "replay counterexamples in the concrete simulator")
+	flag.BoolVar(&o.jsonOut, "json", false, "print the verdict as a single JSON object")
+	flag.StringVar(&o.traceJSON, "trace-json", "", "write the span tree and metrics as JSON to this file")
+	flag.StringVar(&o.promOut, "prom", "", "write the metrics in Prometheus text format to this file")
+	flag.Int64Var(&o.progressEvery, "progress", 0, "print solver progress to stderr every N conflicts")
 	flag.Parse()
-	if *configDir == "" || *check == "" {
+	if o.dir == "" || o.check == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configDir, *check, *src, *via, *subnet, *pair, *hops, *maxLen, *maxFailures, *verbose, *replay); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "minesweeper:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, check, src, via, subnet, pair string, hops, maxLen, maxFailures int, verbose, replay bool) error {
-	routers, err := loadConfigs(dir)
+func run(o cliOpts) error {
+	tr := obs.New("verify")
+
+	sp := tr.Root().Start("parse")
+	routers, err := loadConfigs(o.dir)
 	if err != nil {
 		return err
 	}
+	sp.SetInt("routers", int64(len(routers)))
+	sp.SetInt("lines", int64(config.TotalLines(routers)))
+	sp.End()
+
+	sp = tr.Root().Start("graph")
 	g, err := harness.BuildGraph(routers)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded %d routers, %d links, %d external peers (%d config lines)\n",
-		len(g.Topo.Nodes), len(g.Topo.Links), len(g.Topo.Externals), config.TotalLines(routers))
+	sp.SetInt("nodes", int64(len(g.Topo.Nodes)))
+	sp.SetInt("links", int64(len(g.Topo.Links)))
+	sp.SetInt("externals", int64(len(g.Topo.Externals)))
+	sp.End()
+	tr.SampleMem()
+
+	if !o.jsonOut {
+		fmt.Printf("loaded %d routers, %d links, %d external peers (%d config lines)\n",
+			len(g.Topo.Nodes), len(g.Topo.Links), len(g.Topo.Externals), config.TotalLines(routers))
+	}
+
+	opts := core.DefaultOptions()
+	opts.Span = tr.Root()
+	progress := func(p sat.Progress) {
+		fmt.Fprintf(os.Stderr, "progress: conflicts=%d decisions=%d propagations=%d learned=%d restarts=%d\n",
+			p.Conflicts, p.Decisions, p.Propagations, p.Learned, p.Restarts)
+	}
 
 	// Pair-based checks have their own flow.
-	switch check {
+	switch o.check {
 	case "equivalence":
-		parts := strings.Split(pair, ",")
+		parts := strings.Split(o.pair, ",")
 		if len(parts) != 2 {
 			return fmt.Errorf("-pair a,b required")
 		}
-		res, err := core.CheckLocalEquivalence(g, parts[0], parts[1], core.DefaultOptions())
+		start := time.Now()
+		res, err := core.CheckLocalEquivalence(g, parts[0], parts[1], opts)
 		if err != nil {
 			return err
+		}
+		if o.jsonOut {
+			if err := emitJSON(jsonReport{
+				Check:      o.check,
+				Verified:   res.Equivalent,
+				ElapsedMs:  durMs(time.Since(start)),
+				Difference: res.Difference,
+			}); err != nil {
+				return err
+			}
+			return finish(tr, o)
 		}
 		if res.Equivalent {
 			fmt.Printf("%s and %s are behaviourally equivalent\n", parts[0], parts[1])
 		} else {
 			fmt.Printf("NOT equivalent: %s\n", res.Difference)
 		}
-		return nil
+		return finish(tr, o)
 	case "fault-invariance":
-		k := maxFailures
+		k := o.maxFailures
 		if k == 0 {
 			k = 1
 		}
-		pr, prop, err := core.FaultInvariance(g, core.DefaultOptions(), k)
+		pr, prop, err := core.FaultInvariance(g, opts, k)
 		if err != nil {
 			return err
+		}
+		if o.progressEvery > 0 {
+			pr.A.ProgressEvery = o.progressEvery
+			pr.A.OnProgress = progress
 		}
 		res, err := pr.Check(prop)
 		if err != nil {
 			return err
 		}
-		report("fault-invariance", res, nil, verbose)
-		return nil
+		recordSolverMetrics(tr, res)
+		if o.jsonOut {
+			return emitJSONResult(o, res, pr.A, tr)
+		}
+		report(o.check, res, nil, o.verbose)
+		return finish(tr, o)
 	}
 
-	m, err := core.Encode(g, core.DefaultOptions())
+	m, err := core.Encode(g, opts)
 	if err != nil {
 		return err
 	}
+	if o.progressEvery > 0 {
+		m.ProgressEvery = o.progressEvery
+		m.OnProgress = progress
+	}
 	var sub network.Prefix
-	if subnet != "" {
-		sub, err = network.ParsePrefix(subnet)
+	if o.subnet != "" {
+		sub, err = network.ParsePrefix(o.subnet)
 		if err != nil {
 			return err
 		}
 	}
 	needSubnet := func() error {
-		if subnet == "" {
-			return fmt.Errorf("-subnet required for %s", check)
+		if o.subnet == "" {
+			return fmt.Errorf("-subnet required for %s", o.check)
 		}
 		return nil
 	}
 	needSrc := func() error {
-		if src == "" || g.Topo.Node(src) == nil {
-			return fmt.Errorf("-src must name a router for %s", check)
+		if o.src == "" || g.Topo.Node(o.src) == nil {
+			return fmt.Errorf("-src must name a router for %s", o.check)
 		}
 		return nil
 	}
 
 	var p *smt.Term
-	switch check {
+	switch o.check {
 	case "reachability":
 		if err := needSrc(); err != nil {
 			return err
@@ -139,7 +210,7 @@ func run(dir, check, src, via, subnet, pair string, hops, maxLen, maxFailures in
 		if err := needSubnet(); err != nil {
 			return err
 		}
-		p = properties.Reachable(m, src, sub)
+		p = properties.Reachable(m, o.src, sub)
 	case "isolation":
 		if err := needSrc(); err != nil {
 			return err
@@ -147,7 +218,7 @@ func run(dir, check, src, via, subnet, pair string, hops, maxLen, maxFailures in
 		if err := needSubnet(); err != nil {
 			return err
 		}
-		p = properties.Isolated(m, src, sub)
+		p = properties.Isolated(m, o.src, sub)
 	case "mgmt-reachability":
 		p = properties.ManagementReachable(m)
 	case "blackholes":
@@ -163,7 +234,7 @@ func run(dir, check, src, via, subnet, pair string, hops, maxLen, maxFailures in
 		if err := needSubnet(); err != nil {
 			return err
 		}
-		p = properties.BoundedLength(m, src, sub, hops)
+		p = properties.BoundedLength(m, o.src, sub, o.hops)
 	case "waypoint":
 		if err := needSrc(); err != nil {
 			return err
@@ -171,19 +242,19 @@ func run(dir, check, src, via, subnet, pair string, hops, maxLen, maxFailures in
 		if err := needSubnet(); err != nil {
 			return err
 		}
-		if via == "" || g.Topo.Node(via) == nil {
+		if o.via == "" || g.Topo.Node(o.via) == nil {
 			return fmt.Errorf("-via must name a router")
 		}
-		p = properties.Waypointed(m, src, via, sub)
+		p = properties.Waypointed(m, o.src, o.via, sub)
 	case "no-leak":
-		p = properties.NoLeak(m, nil, maxLen)
+		p = properties.NoLeak(m, nil, o.maxLen)
 	default:
-		return fmt.Errorf("unknown check %q", check)
+		return fmt.Errorf("unknown check %q", o.check)
 	}
 
 	assumptions := []*smt.Term{}
-	if maxFailures > 0 {
-		assumptions = append(assumptions, m.AtMostFailures(maxFailures))
+	if o.maxFailures > 0 {
+		assumptions = append(assumptions, m.AtMostFailures(o.maxFailures))
 	} else {
 		assumptions = append(assumptions, m.NoFailures())
 	}
@@ -191,8 +262,12 @@ func run(dir, check, src, via, subnet, pair string, hops, maxLen, maxFailures in
 	if err != nil {
 		return err
 	}
-	report(check, res, m, verbose)
-	if replay && res.Counterexample != nil {
+	recordSolverMetrics(tr, res)
+	if o.jsonOut {
+		return emitJSONResult(o, res, m, tr)
+	}
+	report(o.check, res, m, o.verbose)
+	if o.replay && res.Counterexample != nil {
 		diffs, err := m.ReplayAgrees(res.Counterexample)
 		if err != nil {
 			return fmt.Errorf("replay: %w", err)
@@ -206,7 +281,196 @@ func run(dir, check, src, via, subnet, pair string, hops, maxLen, maxFailures in
 			}
 		}
 	}
+	return finish(tr, o)
+}
+
+// recordSolverMetrics folds a query result into the trace's counters,
+// gauges and the LBD histogram.
+func recordSolverMetrics(tr *obs.Trace, res *core.Result) {
+	st := res.Stats
+	tr.Add("solver.conflicts", st.Conflicts)
+	tr.Add("solver.decisions", st.Decisions)
+	tr.Add("solver.propagations", st.Propagations)
+	tr.Add("solver.learned", st.Learned)
+	tr.Add("solver.deleted", st.Deleted)
+	tr.Add("solver.restarts", st.Restarts)
+	tr.Add("solver.simplified_clauses", st.Simplified)
+	tr.Add("solver.strengthened_literals", st.Strengthened)
+	tr.Gauge("formula.sat_vars", float64(res.SATVars))
+	tr.Gauge("formula.sat_clauses", float64(res.SATClauses))
+	// Bucket i of the solver histogram counts learned clauses with
+	// LBD == i+1; the last bucket absorbs everything above.
+	bounds := make([]float64, sat.LBDBuckets)
+	counts := make([]int64, sat.LBDBuckets)
+	var sum float64
+	var n int64
+	for i, c := range st.LBDHist {
+		bounds[i] = float64(i + 1)
+		counts[i] = c
+		sum += float64(i+1) * float64(c)
+		n += c
+	}
+	if n > 0 {
+		tr.SetHist("solver.lbd", bounds, counts, sum, n)
+	}
+	tr.SampleMem()
+}
+
+// finish closes the root span and writes the requested exports.
+func finish(tr *obs.Trace, o cliOpts) error {
+	tr.Root().End()
+	tr.SampleMem()
+	if o.verbose {
+		tr.WriteTree(os.Stderr)
+	}
+	if o.traceJSON != "" {
+		f, err := os.Create(o.traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.promOut != "" {
+		f, err := os.Create(o.promOut)
+		if err != nil {
+			return err
+		}
+		tr.WritePrometheus(f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// jsonReport is the -json verdict object: everything the text output
+// says, as one machine-readable value on stdout.
+type jsonReport struct {
+	Check          string     `json:"check"`
+	Verified       bool       `json:"verified"`
+	ElapsedMs      float64    `json:"elapsed_ms"`
+	EncodeMs       float64    `json:"encode_ms,omitempty"`
+	SimplifyMs     float64    `json:"simplify_ms,omitempty"`
+	SolveMs        float64    `json:"solve_ms,omitempty"`
+	SATVars        int        `json:"sat_vars,omitempty"`
+	SATClauses     int        `json:"sat_clauses,omitempty"`
+	Solver         *jsonStats `json:"solver,omitempty"`
+	Counterexample *jsonCex   `json:"counterexample,omitempty"`
+	Difference     string     `json:"difference,omitempty"`
+}
+
+type jsonStats struct {
+	Conflicts    int64 `json:"conflicts"`
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Learned      int64 `json:"learned"`
+	Restarts     int64 `json:"restarts"`
+}
+
+type jsonPacket struct {
+	DstIP    string `json:"dst_ip"`
+	SrcIP    string `json:"src_ip"`
+	Protocol int    `json:"protocol"`
+	SrcPort  int    `json:"src_port"`
+	DstPort  int    `json:"dst_port"`
+}
+
+type jsonAnn struct {
+	Peer        string   `json:"peer"`
+	Prefix      string   `json:"prefix"`
+	PathLen     int      `json:"path_len"`
+	MED         int      `json:"med"`
+	Communities []string `json:"communities,omitempty"`
+}
+
+type jsonCex struct {
+	Packet        jsonPacket `json:"packet"`
+	Announcements []jsonAnn  `json:"announcements"`
+	FailedLinks   []string   `json:"failed_links"`
+	Forwarding    []string   `json:"forwarding,omitempty"`
+	ReplayAgrees  *bool      `json:"replay_agrees,omitempty"`
+	ReplayDiffs   []string   `json:"replay_diffs,omitempty"`
+}
+
+func durMs(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// emitJSONResult renders a solver-backed result as the -json object.
+func emitJSONResult(o cliOpts, res *core.Result, m *core.Model, tr *obs.Trace) error {
+	rep := jsonReport{
+		Check:      o.check,
+		Verified:   res.Verified,
+		ElapsedMs:  durMs(res.Elapsed),
+		EncodeMs:   durMs(res.EncodeElapsed),
+		SimplifyMs: durMs(res.SimplifyElapsed),
+		SolveMs:    durMs(res.SolveElapsed),
+		SATVars:    res.SATVars,
+		SATClauses: res.SATClauses,
+		Solver: &jsonStats{
+			Conflicts:    res.Stats.Conflicts,
+			Decisions:    res.Stats.Decisions,
+			Propagations: res.Stats.Propagations,
+			Learned:      res.Stats.Learned,
+			Restarts:     res.Stats.Restarts,
+		},
+	}
+	if cex := res.Counterexample; cex != nil {
+		jc := &jsonCex{
+			Packet: jsonPacket{
+				DstIP:    cex.Packet.DstIP.String(),
+				SrcIP:    cex.Packet.SrcIP.String(),
+				Protocol: cex.Packet.Protocol,
+				SrcPort:  cex.Packet.SrcPort,
+				DstPort:  cex.Packet.DstPort,
+			},
+			Announcements: []jsonAnn{},
+			FailedLinks:   []string{},
+		}
+		peers := make([]string, 0, len(cex.Env.Anns))
+		for p := range cex.Env.Anns {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			a := cex.Env.Anns[p]
+			jc.Announcements = append(jc.Announcements, jsonAnn{
+				Peer: p, Prefix: a.Prefix.String(),
+				PathLen: a.PathLen, MED: a.MED, Communities: a.Communities,
+			})
+		}
+		for id := range cex.Env.FailedLinks {
+			jc.FailedLinks = append(jc.FailedLinks, id)
+		}
+		sort.Strings(jc.FailedLinks)
+		if m != nil {
+			jc.Forwarding = m.DecodeForwarding(m.Main, cex.Assignment)
+		}
+		if o.replay && m != nil && o.check != "fault-invariance" {
+			diffs, err := m.ReplayAgrees(cex)
+			if err != nil {
+				return fmt.Errorf("replay: %w", err)
+			}
+			agrees := len(diffs) == 0
+			jc.ReplayAgrees = &agrees
+			jc.ReplayDiffs = diffs
+		}
+		rep.Counterexample = jc
+	}
+	if err := emitJSON(rep); err != nil {
+		return err
+	}
+	return finish(tr, o)
+}
+
+func emitJSON(rep jsonReport) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func report(check string, res *core.Result, m *core.Model, verbose bool) {
@@ -218,6 +482,8 @@ func report(check string, res *core.Result, m *core.Model, verbose bool) {
 		}
 	}
 	if verbose {
+		fmt.Printf("phases: encode %.1fms, simplify %.1fms, solve %.1fms\n",
+			durMs(res.EncodeElapsed), durMs(res.SimplifyElapsed), durMs(res.SolveElapsed))
 		fmt.Printf("solver: %d conflicts, %d decisions, %d propagations\n",
 			res.Stats.Conflicts, res.Stats.Decisions, res.Stats.Propagations)
 	}

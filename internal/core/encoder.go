@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/protograph"
+	"repro/internal/sat"
 	"repro/internal/smt"
 )
 
@@ -26,6 +28,12 @@ type Options struct {
 	// config universe even when it is never matched on; equivalence
 	// properties need this.
 	KeepAllCommunities bool
+
+	// Span, when non-nil, is the parent under which Encode emits its
+	// instrumentation spans and Check its per-query spans (the model
+	// inherits it as Model.Obs). A nil span disables tracing at zero
+	// cost.
+	Span *obs.Span
 }
 
 // DefaultOptions enables all optimizations.
@@ -116,6 +124,19 @@ type Model struct {
 	// size measure reported by the optimization benchmarks.
 	NumRecordVars int
 
+	// Obs is the parent span (inherited from Options.Span) under which
+	// Check emits per-query instrumentation; nil disables tracing.
+	Obs *obs.Span
+	// ProgressEvery, when positive, makes every Check install OnProgress
+	// as a SAT progress hook firing each ProgressEvery conflicts.
+	ProgressEvery int64
+	// OnProgress receives the periodic solver snapshots.
+	OnProgress func(sat.Progress)
+
+	// encSpan is the live "encode" span while EncodeWithContext runs;
+	// encodeSlice hangs its per-slice spans off it.
+	encSpan *obs.Span
+
 	// prefix namespaces every variable, letting several network copies
 	// share one context (full equivalence / fault-invariance, §5).
 	prefix string
@@ -143,9 +164,22 @@ func EncodeWithContext(g *protograph.Graph, opts Options, ctx *smt.Context, pref
 		Failed: map[string]*smt.Term{},
 		Addr:   map[network.IP]*Slice{},
 		SessUp: map[*protograph.BGPSession]*smt.Term{},
+		Obs:    opts.Span,
 		prefix: prefix,
 	}
-	if err := m.analyze(); err != nil {
+	sp := opts.Span.Start("encode")
+	defer sp.End()
+	m.encSpan = sp
+	defer func() {
+		sp.SetInt("terms", int64(ctx.NumTerms()))
+		sp.SetInt("record_vars", int64(m.NumRecordVars))
+		sp.SetInt("asserts", int64(len(m.Asserts)))
+	}()
+
+	asp := sp.Start("analyze")
+	err := m.analyze()
+	asp.End()
+	if err != nil {
 		return nil, err
 	}
 	c := m.Ctx

@@ -31,6 +31,13 @@ type pktFields struct {
 
 // encodeSlice builds the full encoding for one destination.
 func (m *Model) encodeSlice(name string, dstIP *smt.Term, isAddr bool) (*Slice, error) {
+	sp := m.encSpan.Start("slice:" + name)
+	defer sp.End()
+	terms0, recs0 := m.Ctx.NumTerms(), m.NumRecordVars
+	defer func() {
+		sp.SetInt("terms", int64(m.Ctx.NumTerms()-terms0))
+		sp.SetInt("record_vars", int64(m.NumRecordVars-recs0))
+	}()
 	c := m.Ctx
 	g := m.G
 	sl := &Slice{

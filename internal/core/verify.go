@@ -29,8 +29,19 @@ type Result struct {
 	Verified bool
 	// Counterexample is set when Verified is false.
 	Counterexample *Counterexample
+	// Elapsed is the total query time, the sum of the three phase
+	// timings below (kept for compatibility with older tables).
+	Elapsed time.Duration
+	// EncodeElapsed is the Tseitin CNF conversion and bit-blasting time,
+	// SimplifyElapsed the top-level CNF simplification, SolveElapsed the
+	// CDCL search. Before these were split, encode time was silently
+	// folded into the reported "solver" time.
+	EncodeElapsed   time.Duration
+	SimplifyElapsed time.Duration
+	SolveElapsed    time.Duration
 	// Formula/solver statistics for the performance experiments.
-	Elapsed    time.Duration
+	// SATVars/SATClauses measure the blasted encoding before
+	// simplification.
 	SATVars    int
 	SATClauses int
 	Stats      sat.Stats
@@ -42,8 +53,16 @@ type Result struct {
 // failures) can be passed as assumptions.
 func (m *Model) Check(property *smt.Term, assumptions ...*smt.Term) (*Result, error) {
 	c := m.Ctx
-	start := time.Now()
+	sp := m.Obs.Start("check")
+	defer sp.End()
 	solver := smt.NewSolver(c)
+	if m.ProgressEvery > 0 && m.OnProgress != nil {
+		solver.SetProgress(m.ProgressEvery, m.OnProgress)
+	}
+
+	// Phase 1: Tseitin CNF conversion + bit-blasting of N ∧ ¬P.
+	cnfSp := sp.Start("cnf")
+	encStart := time.Now()
 	for _, a := range m.Asserts {
 		solver.Assert(a)
 	}
@@ -51,18 +70,54 @@ func (m *Model) Check(property *smt.Term, assumptions ...*smt.Term) (*Result, er
 		solver.Assert(a)
 	}
 	solver.Assert(c.Not(property))
+	encodeElapsed := time.Since(encStart)
+	satVars, satClauses := solver.NumSATVars(), solver.NumSATClauses()
+	cnfSp.SetInt("terms", int64(c.NumTerms()))
+	cnfSp.SetInt("asserts", int64(len(m.Asserts)+len(assumptions)+1))
+	cnfSp.SetInt("gates", int64(solver.NumGates()))
+	cnfSp.SetInt("sat_vars", int64(satVars))
+	cnfSp.SetInt("sat_clauses", int64(satClauses))
+	cnfSp.End()
+
+	// Phase 2: top-level CNF simplification.
+	simpSp := sp.Start("simplify")
+	simpStart := time.Now()
+	solver.Simplify()
+	simplifyElapsed := time.Since(simpStart)
+	simpSp.SetInt("clauses_before", int64(satClauses))
+	simpSp.SetInt("clauses_after", int64(solver.NumSATClauses()))
+	simpSp.End()
+
+	// Phase 3: CDCL search.
+	solveSp := sp.Start("solve")
+	solveStart := time.Now()
 	status := solver.Check()
+	solveElapsed := time.Since(solveStart)
+	st := solver.SATStats()
+	solveSp.SetStr("status", status.String())
+	solveSp.SetInt("conflicts", st.Conflicts)
+	solveSp.SetInt("decisions", st.Decisions)
+	solveSp.SetInt("propagations", st.Propagations)
+	solveSp.SetInt("learned", st.Learned)
+	solveSp.SetInt("restarts", st.Restarts)
+	solveSp.End()
+
 	res := &Result{
-		Elapsed:    time.Since(start),
-		SATVars:    solver.NumSATVars(),
-		SATClauses: solver.NumSATClauses(),
-		Stats:      solver.SATStats(),
+		Elapsed:         encodeElapsed + simplifyElapsed + solveElapsed,
+		EncodeElapsed:   encodeElapsed,
+		SimplifyElapsed: simplifyElapsed,
+		SolveElapsed:    solveElapsed,
+		SATVars:         satVars,
+		SATClauses:      satClauses,
+		Stats:           st,
 	}
 	switch status {
 	case sat.Unsat:
 		res.Verified = true
 	case sat.Sat:
+		dSp := sp.Start("decode")
 		res.Counterexample = m.Decode(solver.Model())
+		dSp.End()
 	default:
 		return nil, fmt.Errorf("core: solver returned %v", status)
 	}

@@ -12,8 +12,10 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/properties"
 	"repro/internal/protograph"
+	"repro/internal/sat"
 	"repro/internal/smt"
 	"repro/internal/topogen"
 )
@@ -31,11 +33,23 @@ func BuildGraph(routers []*config.Router) (*protograph.Graph, error) {
 	return protograph.Build(topo, byName)
 }
 
-// PropResult is one property check outcome.
+// PropResult is one property check outcome. Encode/Simplify/Solve split
+// Elapsed by pipeline phase; they stay zero for checks that do not go
+// through the solver (structural local-equivalence).
 type PropResult struct {
 	Violated bool
 	Elapsed  time.Duration
+	Encode   time.Duration
+	Simplify time.Duration
+	Solve    time.Duration
 	Detail   string
+}
+
+// splitFrom copies the phase breakdown out of a core.Result.
+func (pr *PropResult) splitFrom(res *core.Result) {
+	pr.Encode = res.EncodeElapsed
+	pr.Simplify = res.SimplifyElapsed
+	pr.Solve = res.SolveElapsed
 }
 
 // Section 8.1 property names.
@@ -99,6 +113,7 @@ func checkMgmt(g *protograph.Graph) (PropResult, error) {
 		return PropResult{}, err
 	}
 	pr := PropResult{Violated: !res.Verified, Elapsed: res.Elapsed}
+	pr.splitFrom(res)
 	if !res.Verified {
 		pr.Detail = res.Counterexample.String()
 	}
@@ -142,6 +157,7 @@ func checkDropsAtEdge(g *protograph.Graph, n *netgen.Network) (PropResult, error
 		return PropResult{}, err
 	}
 	pr := PropResult{Violated: !res.Verified, Elapsed: res.Elapsed}
+	pr.splitFrom(res)
 	if !res.Verified {
 		pr.Detail = res.Counterexample.String()
 	}
@@ -166,6 +182,7 @@ func checkFaultInvariance(g *protograph.Graph) (PropResult, error) {
 		return PropResult{}, err
 	}
 	pr := PropResult{Violated: !res.Verified, Elapsed: res.Elapsed}
+	pr.splitFrom(res)
 	if !res.Verified {
 		pr.Detail = res.Counterexample.String()
 	}
@@ -218,20 +235,44 @@ func AllFig8Props() []string {
 	}
 }
 
-// Fig8Row is one point of Figure 8.
+// Fig8Row is one point of Figure 8. Encode/Simplify/Solve split Elapsed
+// by pipeline phase (zero for the structural local-consistency property).
 type Fig8Row struct {
 	Pods, Routers int
 	Property      string
 	Elapsed       time.Duration
+	Encode        time.Duration
+	Simplify      time.Duration
+	Solve         time.Duration
 	Verified      bool
 	SATVars       int
 	SATClauses    int
+	Conflicts     int64
 }
 
-// Fabric caches a generated fat-tree and its graph.
+// Fabric caches a generated fat-tree and its graph. The optional
+// observability fields are threaded into every model built from the
+// fabric: Obs parents the per-query spans, and ProgressEvery/OnProgress
+// install the solver progress hook.
 type Fabric struct {
 	FT *topogen.FatTree
 	G  *protograph.Graph
+
+	Obs           *obs.Span
+	ProgressEvery int64
+	OnProgress    func(sat.Progress)
+}
+
+// encode builds a model from the fabric with its observability wiring.
+func (f *Fabric) encode(opts core.Options) (*core.Model, error) {
+	opts.Span = f.Obs
+	m, err := core.Encode(f.G, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.ProgressEvery = f.ProgressEvery
+	m.OnProgress = f.OnProgress
+	return m, nil
 }
 
 // BuildFabric generates a k-pod fabric.
@@ -273,8 +314,10 @@ func RunFig8Property(f *Fabric, prop string) (*Fig8Row, error) {
 		start := time.Now()
 		cores := f.FT.Cores
 		row.Verified = true
+		opts := core.DefaultOptions()
+		opts.Span = f.Obs
 		for i := 0; i+1 < len(cores); i++ {
-			res, err := core.CheckLocalEquivalence(f.G, cores[i], cores[i+1], core.DefaultOptions())
+			res, err := core.CheckLocalEquivalence(f.G, cores[i], cores[i+1], opts)
 			if err != nil {
 				return nil, err
 			}
@@ -286,7 +329,7 @@ func RunFig8Property(f *Fabric, prop string) (*Fig8Row, error) {
 		return row, nil
 	}
 
-	m, err := core.Encode(f.G, core.DefaultOptions())
+	m, err := f.encode(core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -322,24 +365,33 @@ func RunFig8Property(f *Fabric, prop string) (*Fig8Row, error) {
 		return nil, err
 	}
 	row.Elapsed = res.Elapsed
+	row.Encode = res.EncodeElapsed
+	row.Simplify = res.SimplifyElapsed
+	row.Solve = res.SolveElapsed
 	row.Verified = res.Verified
 	row.SATVars = res.SATVars
 	row.SATClauses = res.SATClauses
+	row.Conflicts = res.Stats.Conflicts
 	return row, nil
 }
 
 // AblationRow is one §8.3 data point: single-source reachability with a
-// given optimization configuration.
+// given optimization configuration. Encode is the symbolic model build,
+// Check the full query; CNF/Simplify/Solve split Check by solver phase.
 type AblationRow struct {
 	Config        string
 	Opts          core.Options
 	Pods, Routers int
 	Encode        time.Duration
 	Check         time.Duration
+	CNF           time.Duration
+	Simplify      time.Duration
+	Solve         time.Duration
 	Verified      bool
 	RecordVars    int
 	SATVars       int
 	SATClauses    int
+	Conflicts     int64
 }
 
 // AblationConfigs enumerates the §8.3 configurations.
@@ -364,7 +416,7 @@ func RunAblation(f *Fabric, name string, opts core.Options) (*AblationRow, error
 	k := f.FT.K
 	row := &AblationRow{Config: name, Opts: opts, Pods: k, Routers: len(f.FT.Routers)}
 	t0 := time.Now()
-	m, err := core.Encode(f.G, opts)
+	m, err := f.encode(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -377,8 +429,12 @@ func RunAblation(f *Fabric, name string, opts core.Options) (*AblationRow, error
 		return nil, err
 	}
 	row.Check = res.Elapsed
+	row.CNF = res.EncodeElapsed
+	row.Simplify = res.SimplifyElapsed
+	row.Solve = res.SolveElapsed
 	row.Verified = res.Verified
 	row.SATVars = res.SATVars
 	row.SATClauses = res.SATClauses
+	row.Conflicts = res.Stats.Conflicts
 	return row, nil
 }

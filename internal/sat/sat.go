@@ -124,6 +124,9 @@ type watcher struct {
 	blocker Lit
 }
 
+// LBDBuckets is the number of buckets in Stats.LBDHist.
+const LBDBuckets = 12
+
 // Stats counts solver work, for benchmarking and regression tests.
 type Stats struct {
 	Decisions    int64
@@ -133,6 +136,29 @@ type Stats struct {
 	Learned      int64
 	Deleted      int64
 	MaxLevel     int
+	// Simplified counts clauses removed by Simplify; Strengthened counts
+	// literals Simplify stripped from surviving clauses.
+	Simplified   int64
+	Strengthened int64
+	// LBDHist is the learned-clause LBD distribution: bucket i counts
+	// clauses learned with LBD i+1, the last bucket everything larger.
+	// Its sum tracks Stats.Learned.
+	LBDHist [LBDBuckets]int64
+}
+
+// Progress is the snapshot handed to a progress hook: a copy of the work
+// counters plus the current database size, letting long-running checks
+// report liveness.
+type Progress struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learned      int64
+	Deleted      int64
+	Vars         int
+	Clauses      int
+	LearntDB     int // learned clauses currently retained
 }
 
 // Solver is a CDCL SAT solver. The zero value is not ready for use; call
@@ -170,9 +196,6 @@ type Solver struct {
 	lbdStamp  []int64
 	lbdGen    int64
 
-	// units records top-level unit clauses (kept for CNF export).
-	units []Lit
-
 	ok bool // false once top-level conflict proven
 
 	Stats Stats
@@ -180,6 +203,15 @@ type Solver struct {
 	// MaxConflicts, when positive, bounds the search effort for
 	// SolveLimited.
 	MaxConflicts int64
+
+	// ProgressEvery, when positive, makes the solver call OnProgress
+	// after every ProgressEvery conflicts. The hook runs synchronously on
+	// the solving goroutine; hand the snapshot to a channel (or other
+	// synchronization) to consume it elsewhere. It is also the natural
+	// seam for future cancellation.
+	ProgressEvery int64
+	// OnProgress receives periodic search snapshots; nil disables.
+	OnProgress func(Progress)
 }
 
 // New returns an empty solver.
@@ -276,7 +308,6 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.ok = false
 		return false
 	case 1:
-		s.units = append(s.units, out[0])
 		s.uncheckedEnqueue(out[0], nil)
 		if s.propagate() != nil {
 			s.ok = false
@@ -671,6 +702,9 @@ func (s *Solver) search(budget int64, assumptions []Lit) (Status, int64) {
 		if confl != nil {
 			conflicts++
 			s.Stats.Conflicts++
+			if s.ProgressEvery > 0 && s.OnProgress != nil && s.Stats.Conflicts%s.ProgressEvery == 0 {
+				s.OnProgress(s.progress())
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat, conflicts
@@ -692,6 +726,13 @@ func (s *Solver) search(budget int64, assumptions []Lit) (Status, int64) {
 				s.claBump(c)
 				s.uncheckedEnqueue(learned[0], c)
 				s.Stats.Learned++
+				b := int(c.lbd) - 1
+				if b < 0 {
+					b = 0
+				} else if b >= LBDBuckets {
+					b = LBDBuckets - 1
+				}
+				s.Stats.LBDHist[b]++
 			}
 			s.varDecayActivity()
 			s.claDecayActivity()
@@ -754,15 +795,92 @@ func (s *Solver) Model() []bool {
 // (no unconditional conflict has been derived).
 func (s *Solver) Okay() bool { return s.ok }
 
-// Clauses returns a copy of the problem clauses (including top-level
-// units), for CNF export.
+// Clauses returns a copy of the problem clauses, for CNF export. Every
+// literal implied at the top level (added units and their consequences)
+// is exported as a unit clause, so the result stays equisatisfiable with
+// the loaded formula even after Simplify removed satisfied clauses.
 func (s *Solver) Clauses() [][]Lit {
-	out := make([][]Lit, 0, len(s.clauses)+len(s.units))
-	for _, u := range s.units {
-		out = append(out, []Lit{u})
+	var out [][]Lit
+	for _, l := range s.trail {
+		if s.level[l.Var()] == 0 {
+			out = append(out, []Lit{l})
+		}
 	}
 	for _, c := range s.clauses {
 		out = append(out, append([]Lit(nil), c.lits...))
+	}
+	return out
+}
+
+// progress snapshots the search counters for the progress hook.
+func (s *Solver) progress() Progress {
+	return Progress{
+		Conflicts:    s.Stats.Conflicts,
+		Decisions:    s.Stats.Decisions,
+		Propagations: s.Stats.Propagations,
+		Restarts:     s.Stats.Restarts,
+		Learned:      s.Stats.Learned,
+		Deleted:      s.Stats.Deleted,
+		Vars:         s.NumVars(),
+		Clauses:      s.NumClauses(),
+		LearntDB:     len(s.learnts),
+	}
+}
+
+// Simplify performs top-level simplification: it backtracks to level 0,
+// propagates all root facts, removes clauses already satisfied there and
+// strips falsified literals from the remainder. It returns false when
+// the formula is proven unsatisfiable. The removed/strengthened work is
+// counted in Stats for the observability layer.
+func (s *Solver) Simplify() bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return false
+	}
+	// Root assignments are permanent facts: their antecedents are never
+	// inspected again, so drop the pointers and let removed clauses be
+	// collected.
+	for _, l := range s.trail {
+		s.reason[l.Var()] = nil
+	}
+	s.clauses = s.simplifyList(s.clauses)
+	s.learnts = s.simplifyList(s.learnts)
+	return s.ok
+}
+
+// simplifyList rewrites one clause database under the root assignment.
+// Surviving clauses keep their two watched literals (a false watch would
+// have propagated, satisfying the clause or conflicting), so the watch
+// lists stay valid without reattachment.
+func (s *Solver) simplifyList(cs []*clause) []*clause {
+	out := cs[:0]
+	for _, c := range cs {
+		satisfied := false
+		for _, l := range c.lits {
+			if s.value(l) == True {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			s.detach(c)
+			s.Stats.Simplified++
+			continue
+		}
+		n := 0
+		for _, l := range c.lits {
+			if s.value(l) != False {
+				c.lits[n] = l
+				n++
+			}
+		}
+		s.Stats.Strengthened += int64(len(c.lits) - n)
+		c.lits = c.lits[:n]
+		out = append(out, c)
 	}
 	return out
 }

@@ -451,3 +451,204 @@ func BenchmarkSolverPigeonhole7(b *testing.B) {
 		}
 	}
 }
+
+// pigeonhole loads PHP(n+1, n) — hard UNSAT, guaranteed to conflict.
+func pigeonhole(n int) *Solver {
+	s := New()
+	p := make([][]Lit, n+1)
+	for i := range p {
+		p[i] = make([]Lit, n)
+		for j := range p[i] {
+			p[i][j] = MkLit(s.NewVar(), false)
+		}
+	}
+	for i := 0; i <= n; i++ {
+		s.AddClause(p[i]...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				s.AddClause(p[i1][j].Not(), p[i2][j].Not())
+			}
+		}
+	}
+	return s
+}
+
+func TestProgressHookInterval(t *testing.T) {
+	const every = 10
+	s := pigeonhole(6)
+	var snaps []Progress
+	s.ProgressEvery = every
+	s.OnProgress = func(p Progress) { snaps = append(snaps, p) }
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want unsat", st)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("progress hook never fired")
+	}
+	for i, p := range snaps {
+		if p.Conflicts%every != 0 {
+			t.Fatalf("snapshot %d at %d conflicts, want a multiple of %d", i, p.Conflicts, every)
+		}
+		if i > 0 && p.Conflicts <= snaps[i-1].Conflicts {
+			t.Fatalf("snapshots not monotone: %d then %d", snaps[i-1].Conflicts, p.Conflicts)
+		}
+		if p.Learned > p.Conflicts || p.Deleted > p.Learned {
+			t.Fatalf("snapshot %d inconsistent: %+v", i, p)
+		}
+		if p.Vars != s.NumVars() {
+			t.Fatalf("snapshot %d reports %d vars, want %d", i, p.Vars, s.NumVars())
+		}
+	}
+	want := s.Stats.Conflicts / every
+	if int64(len(snaps)) != want {
+		t.Fatalf("hook fired %d times over %d conflicts, want %d", len(snaps), s.Stats.Conflicts, want)
+	}
+}
+
+// TestProgressHookConcurrent consumes snapshots on another goroutine while
+// the solver runs — the pattern CLIs use to report liveness. Meaningful
+// under -race.
+func TestProgressHookConcurrent(t *testing.T) {
+	s := pigeonhole(7)
+	ch := make(chan Progress, 64)
+	s.ProgressEvery = 25
+	s.OnProgress = func(p Progress) { ch <- p }
+	var consumed int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := range ch {
+			consumed += p.Conflicts - p.Conflicts + 1 // touch the snapshot
+		}
+	}()
+	st := s.Solve()
+	close(ch)
+	<-done
+	if st != Unsat {
+		t.Fatalf("got %v, want unsat", st)
+	}
+	if consumed == 0 {
+		t.Fatal("no snapshots consumed")
+	}
+}
+
+func TestStatsMonotonicity(t *testing.T) {
+	s := pigeonhole(6)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want unsat", st)
+	}
+	st := s.Stats
+	if st.Conflicts == 0 {
+		t.Fatal("expected conflicts on a pigeonhole instance")
+	}
+	if st.Learned > st.Conflicts {
+		t.Fatalf("learned %d > conflicts %d", st.Learned, st.Conflicts)
+	}
+	if st.Deleted > st.Learned {
+		t.Fatalf("deleted %d > learned %d", st.Deleted, st.Learned)
+	}
+	var hist int64
+	for _, n := range st.LBDHist {
+		if n < 0 {
+			t.Fatalf("negative LBD bucket: %v", st.LBDHist)
+		}
+		hist += n
+	}
+	if hist != st.Learned {
+		t.Fatalf("LBD histogram sums to %d, learned %d", hist, st.Learned)
+	}
+}
+
+func TestSimplifyPreservesSatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 4 + rng.Intn(10)
+		nClauses := int(float64(nVars) * (3.0 + rng.Float64()*3.0))
+		clauses := make([][]int, 0, nClauses)
+		for i := 0; i < nClauses; i++ {
+			c := make([]int, 0, 3)
+			used := map[int]bool{}
+			for len(c) < 3 {
+				v := 1 + rng.Intn(nVars)
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c = append(c, v)
+			}
+			clauses = append(clauses, c)
+		}
+		// Seed some units so Simplify has facts to work with.
+		for u := 1; u <= nVars/3; u++ {
+			clauses = append(clauses, []int{u})
+		}
+
+		plain := newSolverWithVars(nVars)
+		okPlain := addDimacs(plain, clauses)
+		want := okPlain && plain.Solve() == Sat
+
+		simp := newSolverWithVars(nVars)
+		okSimp := addDimacs(simp, clauses)
+		if okSimp {
+			okSimp = simp.Simplify()
+		}
+		got := okSimp && simp.Solve() == Sat
+		if got != want {
+			t.Fatalf("iter %d: simplified=%v plain=%v clauses=%v", iter, got, want, clauses)
+		}
+		if got {
+			for _, c := range clauses {
+				satisfied := false
+				for _, l := range c {
+					if (l > 0) == (simp.Value(Var(abs(l)-1)) == True) {
+						satisfied = true
+						break
+					}
+				}
+				if !satisfied {
+					t.Fatalf("iter %d: post-simplify model misses clause %v", iter, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSimplifyShrinksDatabase(t *testing.T) {
+	s := newSolverWithVars(4)
+	// The unit arrives after the clauses (AddClause would fold it away
+	// otherwise): 1 satisfies {1,2} and strengthens {-1,3,4} to {3,4}.
+	addDimacs(s, [][]int{{1, 2}, {-1, 3, 4}, {2, 3, -4}, {1}})
+	before := s.NumClauses()
+	if !s.Simplify() {
+		t.Fatal("simplify reported unsat")
+	}
+	if s.NumClauses() >= before {
+		t.Fatalf("clause count %d not reduced from %d", s.NumClauses(), before)
+	}
+	if s.Stats.Simplified == 0 || s.Stats.Strengthened == 0 {
+		t.Fatalf("stats not recorded: %+v", s.Stats)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v, want sat", st)
+	}
+}
+
+func TestClausesExportsRootUnits(t *testing.T) {
+	s := newSolverWithVars(3)
+	addDimacs(s, [][]int{{1}, {-1, 2}, {2, 3}})
+	// v0 and the implied v1 must both appear as exported units.
+	units := map[Lit]bool{}
+	for _, c := range s.Clauses() {
+		if len(c) == 1 {
+			units[c[0]] = true
+		}
+	}
+	if !units[mk(1)] || !units[mk(2)] {
+		t.Fatalf("missing implied units in export: %v", units)
+	}
+}

@@ -61,6 +61,23 @@ func (s *Solver) NumSATClauses() int { return s.sat.NumClauses() }
 // SetMaxConflicts bounds search effort; 0 means unbounded.
 func (s *Solver) SetMaxConflicts(n int64) { s.sat.MaxConflicts = n }
 
+// SetProgress installs a periodic progress hook on the SAT search: fn is
+// called every `every` conflicts with a snapshot of the work counters.
+// fn runs on the solving goroutine; every ≤ 0 or a nil fn disables it.
+func (s *Solver) SetProgress(every int64, fn func(sat.Progress)) {
+	s.sat.ProgressEvery = every
+	s.sat.OnProgress = fn
+}
+
+// NumGates returns the number of memoized Tseitin gate variables created
+// by blasting, a measure of shared circuit structure.
+func (s *Solver) NumGates() int { return len(s.gateMemo) }
+
+// Simplify performs top-level simplification of the blasted CNF (root
+// propagation, satisfied-clause removal, literal strengthening). It
+// returns false when the assertions are already unsatisfiable.
+func (s *Solver) Simplify() bool { return s.sat.Simplify() }
+
 // Clauses exposes the blasted problem clauses (for DIMACS export).
 func (s *Solver) Clauses() [][]sat.Lit { return s.sat.Clauses() }
 
