@@ -11,6 +11,11 @@
 //	bench -experiment fig7       [-count 152] [-seed 1]
 //	bench -experiment fig8       [-pods 2,4,6] [-props all] [-json-out BENCH_fig8.json]
 //	bench -experiment ablation   [-pods 4]
+//	bench -experiment service    [-pods 2] [-json-out BENCH_service.json]
+//
+// The service experiment measures the batch engine's amortization: the
+// same ≥10-property suite on one fabric, verified once with a fresh
+// solver per property and once over a single incremental session.
 //
 // Observability: -trace-json FILE dumps the span tree of a fig8/ablation
 // run as JSON, and -progress N prints solver progress to stderr every N
@@ -25,6 +30,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/netgen"
@@ -73,8 +79,18 @@ func main() {
 			ks = []int{4}
 		}
 		err = runAblation(ks[0], tr, every)
+	case "service":
+		out := *jsonOut
+		if out == "BENCH_fig8.json" {
+			out = "BENCH_service.json"
+		}
+		ks := parseInts(*podsFlag)
+		if len(ks) == 0 {
+			ks = []int{2}
+		}
+		err = runService(ks, out, tr, every)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|ablation")
+		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|ablation|service")
 		os.Exit(2)
 	}
 	if err == nil && tr != nil {
@@ -253,6 +269,109 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 			})
 		}
 		podSp.End()
+	}
+	if jsonOut == "" {
+		return nil
+	}
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d rows)\n", jsonOut, len(art))
+	return nil
+}
+
+// serviceCheckJSON is one property's timings in one mode of the service
+// experiment.
+type serviceCheckJSON struct {
+	Property   string  `json:"property"`
+	Ms         float64 `json:"ms"`
+	EncodeMs   float64 `json:"encode_ms"`
+	SimplifyMs float64 `json:"simplify_ms"`
+	SolveMs    float64 `json:"solve_ms"`
+	Verified   bool    `json:"verified"`
+	Conflicts  int64   `json:"conflicts"`
+}
+
+// serviceJSON is one mode row of the BENCH_service.json artifact.
+type serviceJSON struct {
+	Pods            int                `json:"pods"`
+	Routers         int                `json:"routers"`
+	Properties      int                `json:"properties"`
+	Mode            string             `json:"mode"`
+	TotalMs         float64            `json:"total_ms"`
+	EncodeModelMs   float64            `json:"encode_model_ms"`
+	SetupBlastMs    float64            `json:"setup_blast_ms"`
+	SetupSimplifyMs float64            `json:"setup_simplify_ms"`
+	QueryMs         float64            `json:"query_ms"`
+	SharedBlasts    int                `json:"shared_blasts"`
+	SpeedupVsFresh  float64            `json:"speedup_vs_fresh,omitempty"`
+	Checks          []serviceCheckJSON `json:"checks"`
+}
+
+// runService compares fresh-solver batch verification against one
+// incremental session per fabric and writes the BENCH_service.json
+// artifact.
+func runService(pods []int, jsonOut string, tr *obs.Trace, every int64) error {
+	toMs := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	fmt.Println("# service batch: fresh solver per property vs one incremental session")
+	fmt.Println("pods\trouters\tmode\tprops\ttotal_ms\tquery_ms\tshared_blasts\tspeedup")
+	var art []serviceJSON
+	for _, k := range pods {
+		f, err := harness.BuildFabric(k)
+		if err != nil {
+			return err
+		}
+		if tr != nil {
+			f.Obs = tr.Root().Start(fmt.Sprintf("pods:%d", k))
+		}
+		if every > 0 {
+			f.ProgressEvery = every
+			f.OnProgress = progressPrinter(fmt.Sprintf("pods=%d", k))
+		}
+		res, err := harness.RunBatch(f)
+		if err != nil {
+			return err
+		}
+		f.Obs.End()
+		for _, bm := range []*harness.BatchMode{&res.Fresh, &res.Session} {
+			speed := ""
+			row := serviceJSON{
+				Pods: res.Pods, Routers: res.Routers, Properties: res.Properties,
+				Mode:            bm.Mode,
+				TotalMs:         toMs(bm.Total),
+				EncodeModelMs:   toMs(bm.EncodeModel),
+				SetupBlastMs:    toMs(bm.SetupBlast),
+				SetupSimplifyMs: toMs(bm.SetupSimplify),
+				QueryMs:         toMs(bm.QueryTotal()),
+				SharedBlasts:    bm.SharedBlasts,
+			}
+			if bm.Mode == "session" {
+				row.SpeedupVsFresh = res.Speedup
+				speed = fmt.Sprintf("%.1fx", res.Speedup)
+			}
+			for _, c := range bm.Checks {
+				row.Checks = append(row.Checks, serviceCheckJSON{
+					Property: c.Property, Ms: toMs(c.Elapsed),
+					EncodeMs: toMs(c.Encode), SimplifyMs: toMs(c.Simplify),
+					SolveMs: toMs(c.Solve), Verified: c.Verified,
+					Conflicts: c.Conflicts,
+				})
+			}
+			art = append(art, row)
+			fmt.Printf("%d\t%d\t%s\t%d\t%.1f\t%.1f\t%d\t%s\n",
+				res.Pods, res.Routers, bm.Mode, res.Properties,
+				row.TotalMs, row.QueryMs, bm.SharedBlasts, speed)
+		}
 	}
 	if jsonOut == "" {
 		return nil

@@ -165,7 +165,7 @@ func run(o cliOpts) error {
 		if err != nil {
 			return err
 		}
-		recordSolverMetrics(tr, res)
+		core.RecordSolverMetrics(tr, res)
 		if o.jsonOut {
 			return emitJSONResult(o, res, pr.A, tr)
 		}
@@ -262,7 +262,7 @@ func run(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	recordSolverMetrics(tr, res)
+	core.RecordSolverMetrics(tr, res)
 	if o.jsonOut {
 		return emitJSONResult(o, res, m, tr)
 	}
@@ -282,38 +282,6 @@ func run(o cliOpts) error {
 		}
 	}
 	return finish(tr, o)
-}
-
-// recordSolverMetrics folds a query result into the trace's counters,
-// gauges and the LBD histogram.
-func recordSolverMetrics(tr *obs.Trace, res *core.Result) {
-	st := res.Stats
-	tr.Add("solver.conflicts", st.Conflicts)
-	tr.Add("solver.decisions", st.Decisions)
-	tr.Add("solver.propagations", st.Propagations)
-	tr.Add("solver.learned", st.Learned)
-	tr.Add("solver.deleted", st.Deleted)
-	tr.Add("solver.restarts", st.Restarts)
-	tr.Add("solver.simplified_clauses", st.Simplified)
-	tr.Add("solver.strengthened_literals", st.Strengthened)
-	tr.Gauge("formula.sat_vars", float64(res.SATVars))
-	tr.Gauge("formula.sat_clauses", float64(res.SATClauses))
-	// Bucket i of the solver histogram counts learned clauses with
-	// LBD == i+1; the last bucket absorbs everything above.
-	bounds := make([]float64, sat.LBDBuckets)
-	counts := make([]int64, sat.LBDBuckets)
-	var sum float64
-	var n int64
-	for i, c := range st.LBDHist {
-		bounds[i] = float64(i + 1)
-		counts[i] = c
-		sum += float64(i+1) * float64(c)
-		n += c
-	}
-	if n > 0 {
-		tr.SetHist("solver.lbd", bounds, counts, sum, n)
-	}
-	tr.SampleMem()
 }
 
 // finish closes the root span and writes the requested exports.

@@ -1,0 +1,112 @@
+// Command minesweeperd serves network verification over HTTP. Each POST
+// /v1/verify carries router configurations plus one property spec; the
+// daemon encodes every distinct network once, keeps an incremental solver
+// session per network so repeated queries skip re-blasting the shared
+// constraint system, and answers identical queries from a
+// content-addressed verdict cache.
+//
+// Endpoints:
+//
+//	POST /v1/verify    verification job → verdict (counterexample, phase timings)
+//	GET  /v1/jobs      recent jobs, newest first
+//	GET  /v1/jobs/{id} one job record
+//	GET  /metrics      Prometheus text exposition (same exporter as minesweeper -prom)
+//	GET  /healthz      liveness
+//
+// Example:
+//
+//	minesweeperd -listen :8080 -workers 4 &
+//	curl -s localhost:8080/v1/verify -d '{
+//	  "configs": {"r1.cfg": "hostname R1\n..."},
+//	  "check": "reachability", "src": "R1", "subnet": "10.3.3.0/24"
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":8080", "address to serve HTTP on")
+		workers = flag.Int("workers", 2, "concurrent verification workers")
+		queue   = flag.Int("queue", 64, "maximum queued jobs before 429s")
+		timeout = flag.Duration("timeout", 120*time.Second, "default per-job deadline")
+	)
+	flag.Parse()
+	if err := run(*listen, *workers, *queue, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "minesweeperd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, workers, queue int, timeout time.Duration) error {
+	engine := service.NewEngine(service.Options{
+		Workers:    workers,
+		QueueDepth: queue,
+		Timeout:    timeout,
+		Trace:      obs.New("minesweeperd"),
+	})
+	defer engine.Close()
+
+	srv := &http.Server{
+		Addr:              listen,
+		Handler:           NewLoggingHandler(service.NewHandler(engine)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("minesweeperd listening on %s (%d workers, %s job timeout)", listen, workers, timeout)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("minesweeperd shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// NewLoggingHandler wraps a handler with one access-log line per request.
+func NewLoggingHandler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		log.Printf("%s %s %d %.1fms", r.Method, r.URL.Path, rec.status,
+			float64(time.Since(start).Microseconds())/1000)
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sat"
+)
+
+// RecordSolverMetrics folds a query result into a trace's counters,
+// gauges and the LBD histogram. It is the single implementation behind
+// every Prometheus surface — cmd/minesweeper's -prom file and the
+// daemon's /metrics endpoint — so the exposition stays identical across
+// them.
+func RecordSolverMetrics(tr *obs.Trace, res *Result) {
+	st := res.Stats
+	tr.Add("solver.conflicts", st.Conflicts)
+	tr.Add("solver.decisions", st.Decisions)
+	tr.Add("solver.propagations", st.Propagations)
+	tr.Add("solver.learned", st.Learned)
+	tr.Add("solver.deleted", st.Deleted)
+	tr.Add("solver.restarts", st.Restarts)
+	tr.Add("solver.simplified_clauses", st.Simplified)
+	tr.Add("solver.strengthened_literals", st.Strengthened)
+	tr.Gauge("formula.sat_vars", float64(res.SATVars))
+	tr.Gauge("formula.sat_clauses", float64(res.SATClauses))
+	// Bucket i of the solver histogram counts learned clauses with
+	// LBD == i+1; the last bucket absorbs everything above.
+	bounds := make([]float64, sat.LBDBuckets)
+	counts := make([]int64, sat.LBDBuckets)
+	var sum float64
+	var n int64
+	for i, c := range st.LBDHist {
+		bounds[i] = float64(i + 1)
+		counts[i] = c
+		sum += float64(i+1) * float64(c)
+		n += c
+	}
+	if n > 0 {
+		tr.SetHist("solver.lbd", bounds, counts, sum, n)
+	}
+	tr.SampleMem()
+}

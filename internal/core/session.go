@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sat"
+	"repro/internal/smt"
+)
+
+// Session answers many property queries against one encoded network. The
+// model's constraint system N is bit-blasted into the incremental SMT
+// session exactly once; each Check blasts only the assumptions and the
+// negated property under a fresh activation literal. Results have the
+// same shape as Model.Check, with per-check phase timings and per-check
+// solver work (deltas, not the session's cumulative counters).
+//
+// Property constructors (Waypointed, BoundedLength, ...) may append
+// instrumentation constraints to Model.Asserts while building their
+// terms; Check picks up any asserts added since the previous check and
+// blasts them as permanent constraints before solving, so the usual
+// "build property, then check it" flow works unchanged.
+//
+// A Session serializes its checks internally, so it is safe to call
+// Check from multiple goroutines — they simply queue. Note that building
+// property terms mutates the model's term context, which is NOT
+// synchronized; callers sharing a Model across goroutines must serialize
+// property construction themselves (the service layer holds one lock per
+// network around build+check).
+type Session struct {
+	m  *Model
+	mu sync.Mutex
+	ss *smt.Session
+
+	asserted int // prefix of m.Asserts already blasted as shared
+	checks   int
+
+	setupEncode   time.Duration
+	setupSimplify time.Duration
+}
+
+// NewSession blasts the model's current constraint system into a fresh
+// incremental session and simplifies it once. The setup cost is reported
+// by SetupElapsed, not folded into the first check's Result.
+func (m *Model) NewSession() *Session {
+	s := &Session{m: m, ss: smt.NewSession(m.Ctx)}
+	sp := m.Obs.Start("session")
+	defer sp.End()
+	if m.ProgressEvery > 0 && m.OnProgress != nil {
+		s.ss.Solver().SetProgress(m.ProgressEvery, m.OnProgress)
+	}
+
+	blastSp := sp.Start("blast")
+	start := time.Now()
+	for _, a := range m.Asserts {
+		s.ss.Assert(a)
+	}
+	s.asserted = len(m.Asserts)
+	s.setupEncode = time.Since(start)
+	blastSp.SetInt("asserts", int64(s.asserted))
+	blastSp.SetInt("sat_vars", int64(s.ss.Solver().NumSATVars()))
+	blastSp.SetInt("sat_clauses", int64(s.ss.Solver().NumSATClauses()))
+	blastSp.End()
+
+	simpSp := sp.Start("simplify")
+	start = time.Now()
+	s.ss.Simplify()
+	s.setupSimplify = time.Since(start)
+	simpSp.SetInt("clauses_after", int64(s.ss.Solver().NumSATClauses()))
+	simpSp.End()
+	return s
+}
+
+// SetupElapsed returns the one-time session cost: the shared blast and
+// the top-level simplification that ran in NewSession.
+func (s *Session) SetupElapsed() (encode, simplify time.Duration) {
+	return s.setupEncode, s.setupSimplify
+}
+
+// SharedBlasts reports how many times the shared formula N was blasted —
+// 1 for the session's whole lifetime, however many checks run.
+func (s *Session) SharedBlasts() int { return s.ss.SharedBlasts() }
+
+// Checks returns the number of completed checks.
+func (s *Session) Checks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checks
+}
+
+// SATVars returns the current size of the blasted formula.
+func (s *Session) SATVars() int { return s.ss.Solver().NumSATVars() }
+
+// SATClauses returns the current number of problem clauses.
+func (s *Session) SATClauses() int { return s.ss.Solver().NumSATClauses() }
+
+// Check decides whether the property holds in every stable state, like
+// Model.Check but reusing the session's blasted formula.
+func (s *Session) Check(property *smt.Term, assumptions ...*smt.Term) (*Result, error) {
+	return s.CheckContext(context.Background(), property, assumptions...)
+}
+
+// CheckContext is Check with cancellation: when ctx is canceled or times
+// out mid-search, the solver is interrupted and ctx's error is returned.
+func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumptions ...*smt.Term) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := s.m
+	c := m.Ctx
+	sp := m.Obs.Start("session-check")
+	defer sp.End()
+
+	// Phase 1: blast instrumentation asserts added by property builders
+	// since the last check (permanent), then the goals under a fresh
+	// activation literal.
+	cnfSp := sp.Start("cnf")
+	encStart := time.Now()
+	newShared := len(m.Asserts) - s.asserted
+	for _, a := range m.Asserts[s.asserted:] {
+		s.ss.Assert(a)
+	}
+	s.asserted = len(m.Asserts)
+	goals := make([]*smt.Term, 0, len(assumptions)+1)
+	goals = append(goals, assumptions...)
+	goals = append(goals, c.Not(property))
+	s.ss.Prepare(goals...)
+	encodeElapsed := time.Since(encStart)
+	satVars, satClauses := s.ss.Solver().NumSATVars(), s.ss.Solver().NumSATClauses()
+	cnfSp.SetInt("new_shared_asserts", int64(newShared))
+	cnfSp.SetInt("goals", int64(len(goals)))
+	cnfSp.SetInt("sat_vars", int64(satVars))
+	cnfSp.SetInt("sat_clauses", int64(satClauses))
+	cnfSp.End()
+
+	// Phase 2: CDCL search under the activation literal, with optional
+	// cancellation. The watcher is joined before the interrupt flag is
+	// cleared so a late Interrupt cannot leak into the next check.
+	solveSp := sp.Start("solve")
+	var watcherDone, stopWatch chan struct{}
+	if ctx.Done() != nil {
+		watcherDone = make(chan struct{})
+		stopWatch = make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-ctx.Done():
+				s.ss.Interrupt()
+			case <-stopWatch:
+			}
+		}()
+	}
+	solveStart := time.Now()
+	status := s.ss.Solve()
+	solveElapsed := time.Since(solveStart)
+	if watcherDone != nil {
+		close(stopWatch)
+		<-watcherDone
+		s.ss.ResetInterrupt()
+	}
+	s.checks++
+	st := s.ss.LastStats().Stats
+	solveSp.SetStr("status", status.String())
+	solveSp.SetInt("conflicts", st.Conflicts)
+	solveSp.SetInt("decisions", st.Decisions)
+	solveSp.SetInt("propagations", st.Propagations)
+	solveSp.SetInt("learned", st.Learned)
+	solveSp.End()
+
+	res := &Result{
+		Elapsed:       encodeElapsed + solveElapsed,
+		EncodeElapsed: encodeElapsed,
+		SolveElapsed:  solveElapsed,
+		SATVars:       satVars,
+		SATClauses:    satClauses,
+		Stats:         st,
+	}
+	switch status {
+	case sat.Unsat:
+		res.Verified = true
+	case sat.Sat:
+		dSp := sp.Start("decode")
+		res.Counterexample = m.Decode(s.ss.Model())
+		dSp.End()
+	default:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: solver returned %v", status)
+	}
+	return res, nil
+}

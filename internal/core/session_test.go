@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/smt"
+	"repro/internal/testnets"
+)
+
+// sessionQueries builds a mixed suite of properties over the Figure 2
+// network: some verified, some violated, some with instrumentation-heavy
+// builders (Tainted, PathLengths) that append model asserts.
+func sessionQueries(t *testing.T, m *Model) []struct {
+	name        string
+	property    *smt.Term
+	assumptions []*smt.Term
+} {
+	t.Helper()
+	c := m.Ctx
+	quiet := m.NoFailures()
+	for _, n := range []string{"N1", "N2", "N3"} {
+		quiet = c.And(quiet, c.Not(m.Main.Env[n].Valid))
+	}
+	// dst ∈ S3 = 10.3.3.0/24, the subnet attached to R3.
+	dstS3 := c.Eq(c.BVAnd(m.DstIP, c.BV(uint64(0xffffff00), WidthIP)), c.BV(uint64(network.MustParseIP("10.3.3.0")), WidthIP))
+	reach := m.Reach(m.Main, false)
+	return []struct {
+		name        string
+		property    *smt.Term
+		assumptions []*smt.Term
+	}{
+		{"reach-quiet", c.Implies(dstS3, reach["R1"]), []*smt.Term{quiet}},
+		{"reach-any-env", c.Implies(dstS3, reach["R1"]), []*smt.Term{m.NoFailures()}},
+		{"taint", c.True(), []*smt.Term{m.Tainted(m.Main, "R1")["R3"], m.NoFailures()}},
+		{"lengths", func() *smt.Term {
+			ln, w := m.PathLengths(m.Main)
+			return c.Implies(c.And(dstS3, reach["R2"]), c.Ule(ln["R2"], c.BV(3, w)))
+		}(), []*smt.Term{quiet}},
+		{"trivial-false", c.False(), []*smt.Term{}},
+	}
+}
+
+// TestSessionMatchesFreshSolver runs the same query suite through
+// Model.Check (fresh solver each time) and Session.Check, and demands
+// identical verdicts with the shared formula blasted exactly once.
+func TestSessionMatchesFreshSolver(t *testing.T) {
+	net := testnets.Figure2()
+
+	// Two models so the fresh flow's instrumentation asserts cannot
+	// contaminate the session's model (builders mutate Model.Asserts).
+	mFresh, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSess, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := mSess.NewSession()
+
+	fresh := sessionQueries(t, mFresh)
+	inc := sessionQueries(t, mSess)
+	for i := range fresh {
+		want, err := mFresh.Check(fresh[i].property, fresh[i].assumptions...)
+		if err != nil {
+			t.Fatalf("%s fresh: %v", fresh[i].name, err)
+		}
+		got, err := sess.Check(inc[i].property, inc[i].assumptions...)
+		if err != nil {
+			t.Fatalf("%s session: %v", inc[i].name, err)
+		}
+		if got.Verified != want.Verified {
+			t.Fatalf("%s: session verified=%v, fresh verified=%v", inc[i].name, got.Verified, want.Verified)
+		}
+		if !got.Verified && got.Counterexample == nil {
+			t.Fatalf("%s: violated without counterexample", inc[i].name)
+		}
+	}
+	if sess.SharedBlasts() != 1 {
+		t.Fatalf("shared blasts=%d, want 1 after %d checks", sess.SharedBlasts(), sess.Checks())
+	}
+	if sess.Checks() != len(inc) {
+		t.Fatalf("checks=%d, want %d", sess.Checks(), len(inc))
+	}
+}
+
+// TestSessionCounterexampleReplays decodes a session counterexample and
+// confirms the concrete simulator reproduces it, i.e. session model
+// extraction is as trustworthy as the fresh-solver path.
+func TestSessionCounterexampleReplays(t *testing.T) {
+	net := testnets.Hijackable(false)
+	m, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := m.NewSession()
+	cond := m.Ctx.And(
+		m.Main.CtrlFwd["R2"][Hop{Ext: "N"}],
+		m.NoFailures(),
+		m.Ctx.Eq(m.DstIP, m.Ctx.BV(uint64(network.MustParseIP("192.168.50.1")), WidthIP)),
+	)
+	res, err := sess.Check(m.Ctx.Not(cond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified || res.Counterexample == nil {
+		t.Fatal("expected a witness for the hijack condition")
+	}
+	diffs, err := m.ReplayAgrees(res.Counterexample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("replay disagrees with session counterexample: %v", diffs)
+	}
+}
+
+// TestResultElapsedIdentity pins the compatibility contract of the result
+// tables: Elapsed is exactly the sum of the three phase timings, for both
+// the fresh-solver path and the session path.
+func TestResultElapsedIdentity(t *testing.T) {
+	net := testnets.Figure2()
+	m, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, res *Result) {
+		t.Helper()
+		if sum := res.EncodeElapsed + res.SimplifyElapsed + res.SolveElapsed; res.Elapsed != sum {
+			t.Fatalf("%s: Elapsed=%v but Encode+Simplify+Solve=%v", name, res.Elapsed, sum)
+		}
+	}
+	reach := m.Reach(m.Main, false)
+	p := m.Ctx.Or(reach["R1"], m.Ctx.Not(reach["R1"]))
+
+	res, err := m.Check(p, m.NoFailures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fresh", res)
+
+	sess := m.NewSession()
+	for i := 0; i < 3; i++ {
+		res, err := sess.Check(p, m.NoFailures())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("session", res)
+	}
+}
+
+// TestSessionCheckContextCanceled verifies an already-expired context is
+// reported as its error without touching the solver, and that the session
+// still answers afterwards.
+func TestSessionCheckContextCanceled(t *testing.T) {
+	net := testnets.Figure2()
+	m, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := m.NewSession()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.CheckContext(ctx, m.Ctx.False()); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// A live context still works, and the canceled attempt left no state.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	res, err := sess.CheckContext(ctx2, m.Ctx.True())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("true property must verify")
+	}
+}

@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/properties"
+	"repro/internal/smt"
+	"repro/internal/topogen"
+)
+
+// batchProp is one property of the batch suite. Build runs against the
+// mode's own model, because property construction interns terms and may
+// append instrumentation constraints.
+type batchProp struct {
+	Name  string
+	Build func(m *core.Model) (*smt.Term, []*smt.Term)
+}
+
+// batchToRLimit caps the per-ToR property fan-out so the suite grows
+// gently with fabric size.
+const batchToRLimit = 3
+
+// batchProps builds the batch suite for a fabric: the fixed whole-network
+// properties plus four queries per non-destination ToR (capped). On the
+// smallest fabric (2 pods) this is a 10-property suite.
+func batchProps(f *Fabric) []batchProp {
+	k := f.FT.K
+	dst := topogen.ToRSubnet(0, 0)
+	destToR := topogen.ToRName(0, 0)
+	var tors []string
+	for _, t := range f.FT.AllToRs() {
+		if t != destToR && len(tors) < batchToRLimit {
+			tors = append(tors, t)
+		}
+	}
+	noFail := func(m *core.Model) []*smt.Term { return []*smt.Term{m.NoFailures()} }
+	withDst := func(m *core.Model) []*smt.Term {
+		return []*smt.Term{m.NoFailures(), properties.DstIn(m, dst)}
+	}
+	props := []batchProp{
+		{"no-blackholes", func(m *core.Model) (*smt.Term, []*smt.Term) {
+			return properties.NoBlackholes(m), noFail(m)
+		}},
+		{"multipath-consistency", func(m *core.Model) (*smt.Term, []*smt.Term) {
+			return properties.MultipathConsistent(m), noFail(m)
+		}},
+		{"no-loops", func(m *core.Model) (*smt.Term, []*smt.Term) {
+			return properties.NoForwardingLoops(m, nil), noFail(m)
+		}},
+		{"equal-length-pod", func(m *core.Model) (*smt.Term, []*smt.Term) {
+			return properties.EqualLengths(m, f.FT.ToRs[k-1], dst), withDst(m)
+		}},
+		{"all-tor-reachability", func(m *core.Model) (*smt.Term, []*smt.Term) {
+			var all []string
+			for _, t := range f.FT.AllToRs() {
+				if t != destToR {
+					all = append(all, t)
+				}
+			}
+			return properties.ReachableAll(m, all, dst), withDst(m)
+		}},
+		{"all-tor-bounded-length", func(m *core.Model) (*smt.Term, []*smt.Term) {
+			var all []string
+			for _, t := range f.FT.AllToRs() {
+				if t != destToR {
+					all = append(all, t)
+				}
+			}
+			return properties.BoundedLengthAll(m, all, dst, 4), withDst(m)
+		}},
+	}
+	for _, tor := range tors {
+		tor := tor
+		props = append(props,
+			batchProp{"reachability:" + tor, func(m *core.Model) (*smt.Term, []*smt.Term) {
+				return properties.Reachable(m, tor, dst), withDst(m)
+			}},
+			batchProp{"bounded-length:" + tor, func(m *core.Model) (*smt.Term, []*smt.Term) {
+				return properties.BoundedLength(m, tor, dst, 4), withDst(m)
+			}},
+			batchProp{"reachability-1f:" + tor, func(m *core.Model) (*smt.Term, []*smt.Term) {
+				return properties.Reachable(m, tor, dst),
+					[]*smt.Term{m.AtMostFailures(1), properties.DstIn(m, dst)}
+			}},
+			batchProp{"bounded-length-6:" + tor, func(m *core.Model) (*smt.Term, []*smt.Term) {
+				return properties.BoundedLength(m, tor, dst, 6), withDst(m)
+			}},
+		)
+	}
+	return props
+}
+
+// BatchCheck is one property's timings in one mode.
+type BatchCheck struct {
+	Property  string
+	Elapsed   time.Duration
+	Encode    time.Duration
+	Simplify  time.Duration
+	Solve     time.Duration
+	Verified  bool
+	Conflicts int64
+}
+
+// BatchMode aggregates one strategy's run over the suite. Total is the
+// wall clock of the whole mode including the model encode; for the
+// session mode SetupBlast and SetupSimplify are the one-time session
+// costs amortized across the checks.
+type BatchMode struct {
+	Mode          string
+	Total         time.Duration
+	EncodeModel   time.Duration
+	SetupBlast    time.Duration
+	SetupSimplify time.Duration
+	SharedBlasts  int
+	Checks        []BatchCheck
+}
+
+// QueryTotal sums the per-check elapsed times plus the session setup,
+// excluding the (mode-independent) symbolic model encode.
+func (bm *BatchMode) QueryTotal() time.Duration {
+	t := bm.SetupBlast + bm.SetupSimplify
+	for _, c := range bm.Checks {
+		t += c.Elapsed
+	}
+	return t
+}
+
+// BatchResult compares the fresh-solver strategy (every property re-blasts
+// the shared constraint system N into a new solver) against one
+// incremental session (N blasted once, each property checked under an
+// activation literal).
+type BatchResult struct {
+	Pods, Routers, Properties int
+	Fresh, Session            BatchMode
+	// Speedup is Fresh.Total / Session.Total.
+	Speedup float64
+}
+
+// RunBatch runs the batch suite twice on the fabric — fresh solvers, then
+// one session — and cross-checks that both strategies return identical
+// verdicts for every property.
+func RunBatch(f *Fabric) (*BatchResult, error) {
+	props := batchProps(f)
+	out := &BatchResult{
+		Pods:       f.FT.K,
+		Routers:    len(f.FT.Routers),
+		Properties: len(props),
+	}
+
+	// Fresh mode: one model, a brand-new solver per check (Model.Check).
+	start := time.Now()
+	encStart := time.Now()
+	mf, err := f.encode(core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	out.Fresh = BatchMode{Mode: "fresh", EncodeModel: time.Since(encStart)}
+	out.Fresh.SharedBlasts = 0
+	for _, bp := range props {
+		p, assumptions := bp.Build(mf)
+		res, err := mf.Check(p, assumptions...)
+		if err != nil {
+			return nil, fmt.Errorf("harness: fresh %s: %w", bp.Name, err)
+		}
+		out.Fresh.SharedBlasts++ // every fresh check re-blasts N
+		out.Fresh.Checks = append(out.Fresh.Checks, BatchCheck{
+			Property: bp.Name, Elapsed: res.Elapsed,
+			Encode: res.EncodeElapsed, Simplify: res.SimplifyElapsed,
+			Solve: res.SolveElapsed, Verified: res.Verified,
+			Conflicts: res.Stats.Conflicts,
+		})
+	}
+	out.Fresh.Total = time.Since(start)
+
+	// Session mode: one model, one incremental session for all checks.
+	start = time.Now()
+	encStart = time.Now()
+	ms, err := f.encode(core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	out.Session = BatchMode{Mode: "session", EncodeModel: time.Since(encStart)}
+	sess := ms.NewSession()
+	out.Session.SetupBlast, out.Session.SetupSimplify = sess.SetupElapsed()
+	for _, bp := range props {
+		p, assumptions := bp.Build(ms)
+		res, err := sess.Check(p, assumptions...)
+		if err != nil {
+			return nil, fmt.Errorf("harness: session %s: %w", bp.Name, err)
+		}
+		out.Session.Checks = append(out.Session.Checks, BatchCheck{
+			Property: bp.Name, Elapsed: res.Elapsed,
+			Encode: res.EncodeElapsed, Simplify: res.SimplifyElapsed,
+			Solve: res.SolveElapsed, Verified: res.Verified,
+			Conflicts: res.Stats.Conflicts,
+		})
+	}
+	out.Session.SharedBlasts = sess.SharedBlasts()
+	out.Session.Total = time.Since(start)
+
+	for i := range props {
+		if out.Fresh.Checks[i].Verified != out.Session.Checks[i].Verified {
+			return nil, fmt.Errorf("harness: %s: fresh verified=%v but session verified=%v",
+				props[i].Name, out.Fresh.Checks[i].Verified, out.Session.Checks[i].Verified)
+		}
+	}
+	if out.Session.Total > 0 {
+		out.Speedup = float64(out.Fresh.Total) / float64(out.Session.Total)
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestRunBatchAmortization pins the service PR's acceptance criteria on
+// the smallest fabric: the suite has at least 10 properties, the session
+// blasts the shared formula exactly once (the fresh strategy once per
+// property), verdicts agree between strategies (RunBatch errors on
+// mismatch), and the session run beats the fresh run's wall clock.
+func TestRunBatchAmortization(t *testing.T) {
+	f, err := BuildFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBatch(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Properties < 10 {
+		t.Fatalf("suite has %d properties, want ≥ 10", res.Properties)
+	}
+	if len(res.Fresh.Checks) != res.Properties || len(res.Session.Checks) != res.Properties {
+		t.Fatalf("check counts: fresh=%d session=%d want %d",
+			len(res.Fresh.Checks), len(res.Session.Checks), res.Properties)
+	}
+	if res.Session.SharedBlasts != 1 {
+		t.Fatalf("session blasted the shared formula %d times, want 1", res.Session.SharedBlasts)
+	}
+	if res.Fresh.SharedBlasts != res.Properties {
+		t.Fatalf("fresh blasted the shared formula %d times, want %d", res.Fresh.SharedBlasts, res.Properties)
+	}
+	for i, c := range res.Session.Checks {
+		if c.Elapsed != c.Encode+c.Simplify+c.Solve {
+			t.Fatalf("session check %d: elapsed %v != phase sum %v",
+				i, c.Elapsed, c.Encode+c.Simplify+c.Solve)
+		}
+	}
+	if res.Session.Total >= res.Fresh.Total {
+		t.Fatalf("session (%v) did not beat fresh (%v) over %d properties",
+			res.Session.Total, res.Fresh.Total, res.Properties)
+	}
+	if res.Speedup <= 1 {
+		t.Fatalf("speedup %.2f, want > 1", res.Speedup)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Var identifies a boolean variable. Variables are allocated densely
@@ -108,6 +109,10 @@ func (s Status) String() string {
 // ErrBudget is returned by SolveLimited when the conflict budget is
 // exhausted before a verdict is reached.
 var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// ErrInterrupted is returned by SolveLimited when Interrupt aborted the
+// search before a verdict was reached.
+var ErrInterrupted = errors.New("sat: search interrupted")
 
 // clause is a disjunction of literals plus solver bookkeeping.
 type clause struct {
@@ -207,12 +212,31 @@ type Solver struct {
 	// ProgressEvery, when positive, makes the solver call OnProgress
 	// after every ProgressEvery conflicts. The hook runs synchronously on
 	// the solving goroutine; hand the snapshot to a channel (or other
-	// synchronization) to consume it elsewhere. It is also the natural
-	// seam for future cancellation.
+	// synchronization) to consume it elsewhere.
 	ProgressEvery int64
 	// OnProgress receives periodic search snapshots; nil disables.
 	OnProgress func(Progress)
+
+	// interrupted is the asynchronous cancellation flag set by Interrupt
+	// and polled by the search loop at conflict and decision points.
+	interrupted atomic.Bool
 }
+
+// Interrupt asks a running Solve to abort at the next conflict or
+// decision. It is the only Solver method safe to call from another
+// goroutine; the interrupted search returns Unsolved (ErrInterrupted from
+// SolveLimited). The flag is sticky until ResetInterrupt, so an Interrupt
+// that lands just after the search returns aborts the next Solve instead
+// of being lost — callers that reuse a solver across checks should
+// ResetInterrupt once the canceling goroutine has been joined.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
+
+// ResetInterrupt clears a pending interrupt so the solver can be reused.
+// Call it only after the goroutine that might call Interrupt has exited.
+func (s *Solver) ResetInterrupt() { s.interrupted.Store(false) }
+
+// Interrupted reports whether an interrupt is pending.
+func (s *Solver) Interrupted() bool { return s.interrupted.Load() }
 
 // New returns an empty solver.
 func New() *Solver {
@@ -684,8 +708,16 @@ func (s *Solver) SolveLimited(assumptions ...Lit) (Status, error) {
 			s.cancelUntil(0)
 			return st, nil
 		}
+		if s.interrupted.Load() {
+			s.cancelUntil(0)
+			return Unsolved, ErrInterrupted
+		}
 		s.Stats.Restarts++
-		if s.MaxConflicts > 0 && conflictsTotal >= s.MaxConflicts {
+		// Mirror search's own exhaustion condition on the lifetime conflict
+		// count: search returns Unsolved without further work once
+		// Stats.Conflicts passes the budget, so checking only the per-call
+		// total here would loop forever on a reused solver.
+		if s.MaxConflicts > 0 && (conflictsTotal >= s.MaxConflicts || s.Stats.Conflicts >= s.MaxConflicts) {
 			s.cancelUntil(0)
 			return Unsolved, ErrBudget
 		}
@@ -739,7 +771,8 @@ func (s *Solver) search(budget int64, assumptions []Lit) (Status, int64) {
 			continue
 		}
 
-		if conflicts >= budget || (s.MaxConflicts > 0 && s.Stats.Conflicts >= s.MaxConflicts) {
+		if conflicts >= budget || (s.MaxConflicts > 0 && s.Stats.Conflicts >= s.MaxConflicts) ||
+			s.interrupted.Load() {
 			s.cancelUntil(0)
 			return Unsolved, conflicts
 		}

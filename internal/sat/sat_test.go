@@ -652,3 +652,96 @@ func TestClausesExportsRootUnits(t *testing.T) {
 		t.Fatalf("missing implied units in export: %v", units)
 	}
 }
+
+// TestAssumptionReentrancy is the property the incremental SMT session is
+// built on: one solver instance answers a sequence of Solve(assumptions...)
+// queries, and an UNSAT verdict under one assumption set must not poison a
+// later query under a different set. It also exercises the activation-
+// literal pattern the session uses: guarded clauses (¬a ∨ C) activated by
+// assuming a, then retired by the permanent unit ¬a.
+func TestAssumptionReentrancy(t *testing.T) {
+	// Shared formula: x1 ∨ x2, ¬x1 ∨ x3.
+	s := newSolverWithVars(3)
+	addDimacs(s, [][]int{{1, 2}, {-1, 3}})
+
+	// Query 1: UNSAT under assumptions forcing both x2 and x3 false
+	// (x1 must be true by clause 1 and false by clause 2).
+	if st := s.Solve(mk(-2), mk(-3)); st != Unsat {
+		t.Fatalf("query 1: got %v, want unsat", st)
+	}
+	// Query 2: the same instance answers SAT under a different set.
+	if st := s.Solve(mk(-2)); st != Sat {
+		t.Fatalf("query 2: got %v, want sat after unsat", st)
+	}
+	if s.Value(0) != True || s.Value(2) != True {
+		t.Fatalf("query 2 model: x1=%v x3=%v, want both true", s.Value(0), s.Value(2))
+	}
+	// Query 3: back to the first set, still UNSAT (verdicts are stable).
+	if st := s.Solve(mk(-2), mk(-3)); st != Unsat {
+		t.Fatalf("query 3: got %v, want unsat again", st)
+	}
+
+	// Activation-literal lifecycle: a1 guards x2, a2 guards ¬x2.
+	a1 := MkLit(s.NewVar(), false)
+	a2 := MkLit(s.NewVar(), false)
+	s.AddClause(a1.Not(), mk(2))
+	s.AddClause(a2.Not(), mk(-2))
+	if st := s.Solve(a1); st != Sat {
+		t.Fatalf("guard a1: got %v, want sat", st)
+	}
+	if s.Value(1) != True {
+		t.Fatalf("guard a1: x2=%v, want true", s.Value(1))
+	}
+	if st := s.Solve(a1, a2); st != Unsat {
+		t.Fatalf("guards a1∧a2: got %v, want unsat", st)
+	}
+	// Retire a1 permanently; a2's guarded clause now decides x2 alone.
+	s.AddClause(a1.Not())
+	if st := s.Solve(a2); st != Sat {
+		t.Fatalf("after retiring a1: got %v, want sat", st)
+	}
+	if s.Value(1) != False {
+		t.Fatalf("after retiring a1: x2=%v, want false", s.Value(1))
+	}
+}
+
+// TestInterrupt aborts a hard search from another goroutine and checks the
+// solver is reusable after ResetInterrupt.
+func TestInterrupt(t *testing.T) {
+	// Hard pigeonhole instance (10 pigeons, 9 holes).
+	n := 9
+	s := New()
+	p := make([][]Lit, n+1)
+	for i := range p {
+		p[i] = make([]Lit, n)
+		for j := range p[i] {
+			p[i][j] = MkLit(s.NewVar(), false)
+		}
+	}
+	for i := 0; i <= n; i++ {
+		s.AddClause(p[i]...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				s.AddClause(p[i1][j].Not(), p[i2][j].Not())
+			}
+		}
+	}
+	go s.Interrupt() // may land before or during the search: both abort it
+	st, err := s.SolveLimited()
+	if st != Unsolved || err != ErrInterrupted {
+		t.Fatalf("got %v/%v, want unsolved/interrupted", st, err)
+	}
+	if !s.Interrupted() {
+		t.Fatal("interrupt flag should be sticky until reset")
+	}
+	s.ResetInterrupt()
+	// The search runs again after the reset (no immediate interrupt): a
+	// budget-limited call does real work and exhausts the budget rather
+	// than returning ErrInterrupted.
+	s.MaxConflicts = 50
+	if st, err := s.SolveLimited(); st != Unsolved || err != ErrBudget {
+		t.Fatalf("after reset: got %v/%v, want unsolved/budget", st, err)
+	}
+}

@@ -1,0 +1,455 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/protograph"
+	"repro/internal/smt"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states: Submit queues, a worker moves the job to running,
+// and it finishes done (verdict available) or failed (error available).
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of concurrent verification workers
+	// (default 2). Jobs on the same network serialize on that
+	// network's session regardless of worker count.
+	Workers int
+	// QueueDepth bounds the submit queue (default 64); Submit fails
+	// when the queue is full rather than blocking the caller.
+	QueueDepth int
+	// Timeout is the per-job default deadline (default 120s),
+	// overridable per request via TimeoutMs.
+	Timeout time.Duration
+	// Trace receives the engine's counters and gauges; nil creates a
+	// private trace (exposed via Engine.Trace for /metrics).
+	Trace *obs.Trace
+}
+
+// netEntry is the long-lived per-network state: the protocol graph, the
+// encoded model and the incremental solver session. Its lock serializes
+// property construction and checking, because building property terms
+// interns into the model's unsynchronized term context.
+type netEntry struct {
+	mu    sync.Mutex
+	built bool
+	err   error // permanent build failure, replayed to later jobs
+	g     *protograph.Graph
+	m     *core.Model
+	sess  *core.Session
+}
+
+// Job is one queued verification request. Jobs are created by Submit and
+// observed via Done/Verdict/Err or the JSON View.
+type Job struct {
+	// ID identifies the job for GET /v1/jobs/{id}.
+	ID   string
+	Spec Spec
+
+	configs map[string]string
+	netKey  string
+	key     string
+	timeout time.Duration
+
+	done chan struct{}
+
+	mu       sync.Mutex
+	status   Status
+	verdict  *Verdict
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Verdict returns the job's verdict once done (nil before, and for
+// failed jobs).
+func (j *Job) Verdict() *Verdict {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.verdict
+}
+
+// Err returns the job's terminal error, if it failed.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// View is the JSON shape of a job for the HTTP API.
+type View struct {
+	ID       string   `json:"id"`
+	Status   Status   `json:"status"`
+	Spec     Spec     `json:"spec"`
+	Verdict  *Verdict `json:"verdict,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	QueuedMs float64  `json:"queued_ms"`
+	RunMs    float64  `json:"run_ms,omitempty"`
+}
+
+// View snapshots the job for JSON rendering.
+func (j *Job) View() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{ID: j.ID, Status: j.status, Spec: j.Spec, Verdict: j.verdict}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	switch {
+	case j.started.IsZero():
+		v.QueuedMs = durMs(time.Since(j.created))
+	default:
+		v.QueuedMs = durMs(j.started.Sub(j.created))
+		if j.finished.IsZero() {
+			v.RunMs = durMs(time.Since(j.started))
+		} else {
+			v.RunMs = durMs(j.finished.Sub(j.started))
+		}
+	}
+	return v
+}
+
+// Engine is the batch verification service: a worker pool over
+// (network, property) jobs with per-network solver sessions and a
+// content-addressed verdict cache.
+type Engine struct {
+	tr      *obs.Trace
+	timeout time.Duration
+
+	jobCh   chan *Job
+	wg      sync.WaitGroup
+	running atomic.Int64
+
+	mu         sync.Mutex
+	closed     bool
+	seq        int
+	jobs       map[string]*Job
+	nets       map[string]*netEntry
+	cache      map[string]*Verdict
+	blastsSeen map[string]int
+}
+
+// NewEngine starts the worker pool.
+func NewEngine(o Options) *Engine {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 120 * time.Second
+	}
+	if o.Trace == nil {
+		o.Trace = obs.New("service")
+	}
+	e := &Engine{
+		tr:      o.Trace,
+		timeout: o.Timeout,
+		jobCh:   make(chan *Job, o.QueueDepth),
+		jobs:    map[string]*Job{},
+		nets:    map[string]*netEntry{},
+		cache:   map[string]*Verdict{},
+	}
+	e.wg.Add(o.Workers)
+	for i := 0; i < o.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Trace returns the engine's metrics registry (the /metrics source).
+func (e *Engine) Trace() *obs.Trace { return e.tr }
+
+// Close stops accepting jobs, drains the queue and waits for the workers.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.jobCh)
+	e.wg.Wait()
+}
+
+// Job looks up a submitted job by id.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all job views, newest first.
+func (e *Engine) Jobs() []View {
+	e.mu.Lock()
+	jobs := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	e.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID > jobs[b].ID })
+	views := make([]View, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	return views
+}
+
+// Submit validates and queues a job. It returns immediately; wait on
+// Job.Done or poll Job.View. Submit fails when the spec is malformed,
+// the engine is closed, or the queue is full.
+func (e *Engine) Submit(req *Request) (*Job, error) {
+	if len(req.Configs) == 0 {
+		return nil, fmt.Errorf("service: configs are required")
+	}
+	spec := req.Spec.normalize()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	timeout := e.timeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	netKey := configHash(req.Configs)
+	j := &Job{
+		Spec:    spec,
+		configs: req.Configs,
+		netKey:  netKey,
+		key:     cacheKey(netKey, spec),
+		timeout: timeout,
+		done:    make(chan struct{}),
+		status:  StatusQueued,
+		created: time.Now(),
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("service: engine is closed")
+	}
+	e.seq++
+	j.ID = fmt.Sprintf("job-%06d", e.seq)
+	e.jobs[j.ID] = j
+	e.mu.Unlock()
+
+	select {
+	case e.jobCh <- j:
+		e.tr.Add("service.jobs_queued", 1)
+		return j, nil
+	default:
+		e.mu.Lock()
+		delete(e.jobs, j.ID)
+		e.mu.Unlock()
+		return nil, fmt.Errorf("service: queue full (%d jobs pending)", cap(e.jobCh))
+	}
+}
+
+// Verify submits a job and waits for its verdict. When ctx expires first
+// the job keeps running in the background (its verdict lands in the
+// cache) and ctx's error is returned.
+func (e *Engine) Verify(ctx context.Context, req *Request) (*Verdict, error) {
+	j, err := e.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.Done():
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if err := j.Err(); err != nil {
+		return nil, err
+	}
+	return j.Verdict(), nil
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.jobCh {
+		e.runJob(j)
+	}
+}
+
+func (e *Engine) finishJob(j *Job, v *Verdict, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.status = StatusFailed
+		j.err = err
+	} else {
+		j.status = StatusDone
+		j.verdict = v
+	}
+	j.mu.Unlock()
+	close(j.done)
+	if err != nil {
+		e.tr.Add("service.jobs_failed", 1)
+	} else {
+		e.tr.Add("service.jobs_done", 1)
+	}
+	e.tr.Gauge("service.jobs_running", float64(e.running.Add(-1)))
+}
+
+func (e *Engine) runJob(j *Job) {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	e.tr.Gauge("service.jobs_running", float64(e.running.Add(1)))
+
+	// Content-addressed fast path: an identical (network, property,
+	// environment-bound) query was already answered.
+	e.mu.Lock()
+	hit := e.cache[j.key]
+	e.mu.Unlock()
+	if hit != nil {
+		e.tr.Add("service.cache_hits", 1)
+		e.finishJob(j, hit.cachedCopy(j.ID), nil)
+		return
+	}
+	e.tr.Add("service.cache_misses", 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), j.timeout)
+	defer cancel()
+	v, err := e.check(ctx, j)
+	if err != nil {
+		e.finishJob(j, nil, err)
+		return
+	}
+	e.mu.Lock()
+	e.cache[j.key] = v
+	e.mu.Unlock()
+	e.finishJob(j, v, nil)
+}
+
+// netEntryFor returns the per-network state, creating the placeholder on
+// first sight. The entry is built lazily under its own lock so two jobs
+// on one new network encode it once, while jobs on other networks
+// proceed in parallel.
+func (e *Engine) netEntryFor(key string) *netEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.nets[key]
+	if !ok {
+		ent = &netEntry{}
+		e.nets[key] = ent
+		e.tr.Gauge("service.networks", float64(len(e.nets)))
+	}
+	return ent
+}
+
+// build parses, graphs, encodes and opens the solver session for a
+// network. Called with ent.mu held, once per network; failures are
+// cached as permanent.
+func (e *Engine) build(ent *netEntry, configs map[string]string) error {
+	names := make([]string, 0, len(configs))
+	for n := range configs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	routers := make([]*config.Router, 0, len(names))
+	for _, n := range names {
+		r, err := config.Parse(configs[n])
+		if err != nil {
+			return fmt.Errorf("service: parse %s: %w", n, err)
+		}
+		routers = append(routers, r)
+	}
+	g, err := harness.BuildGraph(routers)
+	if err != nil {
+		return fmt.Errorf("service: graph: %w", err)
+	}
+	m, err := core.Encode(g, core.DefaultOptions())
+	if err != nil {
+		return fmt.Errorf("service: encode: %w", err)
+	}
+	ent.g, ent.m, ent.sess = g, m, m.NewSession()
+	e.tr.Add("service.session_builds", 1)
+	return nil
+}
+
+// check answers one cache-miss job on its network's session.
+func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
+	ent := e.netEntryFor(j.netKey)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if !ent.built {
+		ent.built = true
+		ent.err = e.build(ent, j.configs)
+	} else if ent.err == nil {
+		e.tr.Add("service.session_reuse", 1)
+	}
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	p, err := buildProperty(ent.m, ent.g, j.Spec)
+	if err != nil {
+		return nil, err
+	}
+	var assumptions []*smt.Term
+	if j.Spec.MaxFailures > 0 {
+		assumptions = append(assumptions, ent.m.AtMostFailures(j.Spec.MaxFailures))
+	} else {
+		assumptions = append(assumptions, ent.m.NoFailures())
+	}
+	res, err := ent.sess.CheckContext(ctx, p, assumptions...)
+	if err != nil {
+		return nil, err
+	}
+	core.RecordSolverMetrics(e.tr, res)
+	e.tr.Add("service.session_checks", 1)
+	e.tr.Add("service.session_shared_blasts", int64(ent.sess.SharedBlasts())-e.sharedBlastsSeen(j.netKey, ent.sess.SharedBlasts()))
+	return newVerdict(j.ID, j.Spec, res, ent.m), nil
+}
+
+// sharedBlastsSeen tracks the per-network shared-blast count already
+// folded into the service.session_shared_blasts counter, so the counter
+// equals the total number of times any network's shared formula N was
+// blasted (1 per network when sessions amortize perfectly).
+func (e *Engine) sharedBlastsSeen(netKey string, now int) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.blastsSeen == nil {
+		e.blastsSeen = map[string]int{}
+	}
+	prev := e.blastsSeen[netKey]
+	e.blastsSeen[netKey] = now
+	return int64(prev)
+}

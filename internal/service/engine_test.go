@@ -1,0 +1,264 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/testnets"
+)
+
+func chainConfigs(n int) map[string]string {
+	texts := testnets.OSPFChainTexts(n)
+	cfgs := make(map[string]string, len(texts))
+	for i, t := range texts {
+		cfgs[fmt.Sprintf("r%d.cfg", i+1)] = t
+	}
+	return cfgs
+}
+
+func figure2Configs() map[string]string {
+	texts := testnets.Figure2Texts()
+	cfgs := make(map[string]string, len(texts))
+	for i, t := range texts {
+		cfgs[fmt.Sprintf("r%d.cfg", i+1)] = t
+	}
+	return cfgs
+}
+
+func newTestEngine(t *testing.T, workers int) *Engine {
+	t.Helper()
+	e := NewEngine(Options{Workers: workers, Timeout: 60 * time.Second})
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestEngineVerifiesAndCaches(t *testing.T) {
+	e := newTestEngine(t, 2)
+	req := &Request{
+		Configs: chainConfigs(3),
+		Spec:    Spec{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"},
+	}
+	v, err := e.Verify(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Verified || v.Cached {
+		t.Fatalf("first query: verified=%v cached=%v, want true/false", v.Verified, v.Cached)
+	}
+	if sum := v.EncodeMs + v.SimplifyMs + v.SolveMs; v.ElapsedMs != sum {
+		t.Fatalf("elapsed %v != phase sum %v", v.ElapsedMs, sum)
+	}
+
+	// The identical query must come from the cache without solving.
+	checksBefore := e.Trace().Counter("service.session_checks")
+	v2, err := e.Verify(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Cached || !v2.Verified {
+		t.Fatalf("repeat query: cached=%v verified=%v, want true/true", v2.Cached, v2.Verified)
+	}
+	if v2.JobID == v.JobID {
+		t.Fatal("cached verdict must carry the new job id")
+	}
+	if got := e.Trace().Counter("service.session_checks"); got != checksBefore {
+		t.Fatalf("cache hit ran the solver: checks %d → %d", checksBefore, got)
+	}
+	if hits := e.Trace().Counter("service.cache_hits"); hits != 1 {
+		t.Fatalf("cache_hits=%d, want 1", hits)
+	}
+}
+
+func TestEngineSessionReuseAcrossProperties(t *testing.T) {
+	e := newTestEngine(t, 1)
+	cfgs := chainConfigs(3)
+	specs := []Spec{
+		{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"},
+		{Check: "reachability", Src: "R3", Subnet: "10.100.1.0/24"},
+		{Check: "bounded-length", Src: "R1", Subnet: "10.100.3.0/24", Hops: 4},
+		{Check: "loops"},
+		{Check: "blackholes"},
+	}
+	for _, s := range specs {
+		if _, err := e.Verify(context.Background(), &Request{Configs: cfgs, Spec: s}); err != nil {
+			t.Fatalf("%s: %v", s.Check, err)
+		}
+	}
+	tr := e.Trace()
+	if builds := tr.Counter("service.session_builds"); builds != 1 {
+		t.Fatalf("session_builds=%d, want 1 (one network)", builds)
+	}
+	if reuse := tr.Counter("service.session_reuse"); reuse != int64(len(specs)-1) {
+		t.Fatalf("session_reuse=%d, want %d", reuse, len(specs)-1)
+	}
+	// The acceptance criterion: across all checks, the shared formula N
+	// was blasted exactly once — zero re-blasts after the first check.
+	if blasts := tr.Counter("service.session_shared_blasts"); blasts != 1 {
+		t.Fatalf("session_shared_blasts=%d, want 1", blasts)
+	}
+	if checks := tr.Counter("service.session_checks"); checks != int64(len(specs)) {
+		t.Fatalf("session_checks=%d, want %d", checks, len(specs))
+	}
+}
+
+func TestEngineCounterexample(t *testing.T) {
+	e := newTestEngine(t, 1)
+	// One hop is not enough to cross a 3-router chain: expect a violated
+	// property with a decoded counterexample.
+	v, err := e.Verify(context.Background(), &Request{
+		Configs: chainConfigs(3),
+		Spec:    Spec{Check: "bounded-length", Src: "R1", Subnet: "10.100.3.0/24", Hops: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Verified {
+		t.Fatal("hop bound 1 across a 3-chain must be violated")
+	}
+	cex := v.Counterexample
+	if cex == nil {
+		t.Fatal("violated verdict without counterexample")
+	}
+	if !strings.HasPrefix(cex.Packet.DstIP, "10.100.3.") {
+		t.Fatalf("counterexample packet %q should target the 10.100.3.0/24 subnet", cex.Packet.DstIP)
+	}
+	if len(cex.Forwarding) == 0 {
+		t.Fatal("counterexample is missing the forwarding state")
+	}
+}
+
+func TestEngineParallelNetworks(t *testing.T) {
+	e := newTestEngine(t, 4)
+	nets := []map[string]string{chainConfigs(3), chainConfigs(4), figure2Configs()}
+	specs := []Spec{
+		{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"},
+		{Check: "reachability", Src: "R1", Subnet: "10.100.4.0/24"},
+		{Check: "reachability", Src: "R1", Subnet: "10.3.3.0/24"},
+	}
+	jobs := make([]*Job, 0, len(nets))
+	for i := range nets {
+		j, err := e.Submit(&Request{Configs: nets[i], Spec: specs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for i, j := range jobs {
+		<-j.Done()
+		if err := j.Err(); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		v := j.Verdict()
+		if v == nil {
+			t.Fatalf("job %d: no verdict", i)
+		}
+		// The chains are verified; Figure2's reachability is hijackable
+		// under a free environment, so only demand a decoded answer.
+		if i < 2 && !v.Verified {
+			t.Fatalf("job %d: %+v", i, v)
+		}
+		if !v.Verified && v.Counterexample == nil {
+			t.Fatalf("job %d: violated without counterexample", i)
+		}
+	}
+	if builds := e.Trace().Counter("service.session_builds"); builds != 3 {
+		t.Fatalf("session_builds=%d, want 3 (three distinct networks)", builds)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	e := newTestEngine(t, 1)
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"no-configs", Request{Spec: Spec{Check: "loops"}}, "configs"},
+		{"no-check", Request{Configs: chainConfigs(2)}, "check is required"},
+		{"unknown-check", Request{Configs: chainConfigs(2), Spec: Spec{Check: "nope"}}, "unknown check"},
+		{"missing-src", Request{Configs: chainConfigs(2), Spec: Spec{Check: "reachability", Subnet: "10.0.0.0/8"}}, "requires src"},
+		{"bad-subnet", Request{Configs: chainConfigs(2), Spec: Spec{Check: "reachability", Src: "R1", Subnet: "not-a-cidr"}}, "subnet"},
+		{"pair-model", Request{Configs: chainConfigs(2), Spec: Spec{Check: "equivalence", Pair: "R1,R2"}}, "not supported"},
+	}
+	for _, c := range cases {
+		_, err := e.Submit(&c.req)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err=%v, want substring %q", c.name, err, c.want)
+		}
+	}
+	// A src that is not in the network fails at run time, not submit time.
+	v, err := e.Verify(context.Background(), &Request{
+		Configs: chainConfigs(2),
+		Spec:    Spec{Check: "reachability", Src: "R9", Subnet: "10.100.2.0/24"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "not a router") {
+		t.Fatalf("unknown src: verdict=%v err=%v", v, err)
+	}
+}
+
+func TestEngineJobTimeout(t *testing.T) {
+	e := newTestEngine(t, 1)
+	// Warm the network, then submit a job with a 1ms budget: it should
+	// fail with the deadline error (unless the machine is fast enough to
+	// finish anyway), and later jobs on the same session must still work.
+	_, err := e.Verify(context.Background(), &Request{
+		Configs:   chainConfigs(3),
+		Spec:      Spec{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"},
+		TimeoutMs: 0, // engine default
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := e.Submit(&Request{
+		Configs:   chainConfigs(3),
+		Spec:      Spec{Check: "reachability", Src: "R3", Subnet: "10.100.1.0/24"},
+		TimeoutMs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if jerr := j.Err(); jerr != context.DeadlineExceeded {
+		// Timing-dependent: on a fast machine the 1ms budget may
+		// suffice for a session check. Accept success, reject other
+		// errors.
+		if jerr != nil {
+			t.Fatalf("timeout job: %v", jerr)
+		}
+	}
+	v, err := e.Verify(context.Background(), &Request{
+		Configs: chainConfigs(3),
+		Spec:    Spec{Check: "loops"},
+	})
+	if err != nil || !v.Verified {
+		t.Fatalf("session unusable after timeout: %v %v", v, err)
+	}
+}
+
+func TestEngineCacheKeySensitivity(t *testing.T) {
+	cfgs := chainConfigs(3)
+	base := Spec{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"}
+	net := configHash(cfgs)
+	if cacheKey(net, base) != cacheKey(net, base) {
+		t.Fatal("cache key is not deterministic")
+	}
+	diff := base
+	diff.MaxFailures = 1
+	if cacheKey(net, base) == cacheKey(net, diff) {
+		t.Fatal("environment bound must be part of the cache key")
+	}
+	other := chainConfigs(4)
+	if configHash(cfgs) == configHash(other) {
+		t.Fatal("different networks must hash differently")
+	}
+	// Defaults normalize: hops 0 and hops 4 are the same query.
+	a := Spec{Check: "bounded-length", Src: "R1", Subnet: "10.100.3.0/24"}
+	b := a
+	b.Hops = DefaultHops
+	if cacheKey(net, a) != cacheKey(net, b) {
+		t.Fatal("default hops must normalize into the cache key")
+	}
+}

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// NewHandler exposes the engine over HTTP:
+//
+//	POST /v1/verify    JSON Request → Verdict (synchronous)
+//	GET  /v1/jobs      all job views, newest first
+//	GET  /v1/jobs/{id} one job view
+//	GET  /metrics      Prometheus text exposition of the engine trace
+//	GET  /healthz      liveness + job counters
+//
+// The mux uses Go 1.22 method/wildcard patterns, so the same handler
+// serves the daemon and httptest.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		v, err := e.Verify(r.Context(), &req)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, j.View())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		e.Trace().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ok",
+			"jobs_done": e.Trace().Counter("service.jobs_done"),
+		})
+	})
+	return mux
+}
+
+// statusFor maps engine errors onto HTTP statuses: user mistakes are
+// 400s, deadline and cancellation are 504/499-style, the rest is a 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "queue full"):
+		return http.StatusTooManyRequests
+	case strings.HasPrefix(err.Error(), "service:"):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	e := NewEngine(Options{Workers: 2, Timeout: 60 * time.Second})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	return srv, e
+}
+
+func postVerify(t *testing.T, srv *httptest.Server, req *Request) (*http.Response, *Verdict) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var v Verdict
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return resp, &v
+}
+
+// TestDaemonEndToEnd drives the full HTTP flow the daemon exposes:
+// verify a violated property (counterexample in the verdict), repeat the
+// query (cache hit), fetch the job record, and scrape /metrics.
+func TestDaemonEndToEnd(t *testing.T) {
+	srv, _ := newTestServer(t)
+	req := &Request{
+		Configs: chainConfigs(3),
+		Spec:    Spec{Check: "bounded-length", Src: "R1", Subnet: "10.100.3.0/24", Hops: 1},
+	}
+
+	resp, v := postVerify(t, srv, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if v.Verified || v.Cached {
+		t.Fatalf("verdict verified=%v cached=%v, want false/false", v.Verified, v.Cached)
+	}
+	if v.Counterexample == nil || v.Counterexample.Packet.DstIP == "" {
+		t.Fatalf("verdict lacks a decoded counterexample: %+v", v)
+	}
+	if v.ElapsedMs != v.EncodeMs+v.SimplifyMs+v.SolveMs {
+		t.Fatalf("phase timings do not sum: %+v", v)
+	}
+
+	// Identical query → cache hit, same verdict, no solver run.
+	_, v2 := postVerify(t, srv, req)
+	if !v2.Cached || v2.Verified || v2.Counterexample == nil {
+		t.Fatalf("repeat verdict cached=%v verified=%v", v2.Cached, v2.Verified)
+	}
+
+	// The job record is retrievable by id.
+	jr, err := http.Get(srv.URL + "/v1/jobs/" + v.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	if jr.StatusCode != http.StatusOK {
+		t.Fatalf("GET job: status %d", jr.StatusCode)
+	}
+	var view View
+	if err := json.NewDecoder(jr.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusDone || view.Verdict == nil {
+		t.Fatalf("job view: %+v", view)
+	}
+
+	if r404, err := http.Get(srv.URL + "/v1/jobs/job-999999"); err != nil {
+		t.Fatal(err)
+	} else {
+		r404.Body.Close()
+		if r404.StatusCode != http.StatusNotFound {
+			t.Fatalf("missing job: status %d", r404.StatusCode)
+		}
+	}
+
+	// /metrics is the shared obs Prometheus exposition, carrying both the
+	// service counters and the solver metrics recorded per check.
+	mr, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	raw, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"minesweeper_service_jobs_done",
+		"minesweeper_service_cache_hits",
+		"minesweeper_service_session_shared_blasts",
+		"minesweeper_solver_conflicts",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics is missing %s:\n%s", want, text)
+		}
+	}
+
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var health struct {
+		Status   string `json:"status"`
+		JobsDone int64  `json:"jobs_done"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.JobsDone < 1 {
+		t.Fatalf("healthz: %+v", health)
+	}
+}
+
+func TestDaemonBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not-json", "{", http.StatusBadRequest},
+		{"unknown-field", `{"configs":{"a":"hostname A\n"},"check":"loops","bogus":1}`, http.StatusBadRequest},
+		{"no-configs", `{"check":"loops"}`, http.StatusBadRequest},
+		{"pair-model", `{"configs":{"a":"hostname A\n"},"check":"fault-invariance"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(srv.URL+"/v1/verify", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Fatalf("%s: status %d want %d (error %q)", c.name, resp.StatusCode, c.want, eb.Error)
+		}
+		if eb.Error == "" {
+			t.Fatalf("%s: missing error body", c.name)
+		}
+	}
+}

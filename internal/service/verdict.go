@@ -1,0 +1,136 @@
+package service
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Verdict is the JSON answer to one verification job. It mirrors the
+// minesweeper CLI's -json report: verdict, phase timings, formula sizes,
+// solver work and the decoded counterexample.
+type Verdict struct {
+	JobID    string `json:"job_id"`
+	Check    string `json:"check"`
+	Verified bool   `json:"verified"`
+	// Cached is true when the verdict was answered from the result
+	// cache without touching the solver.
+	Cached     bool    `json:"cached"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+	EncodeMs   float64 `json:"encode_ms"`
+	SimplifyMs float64 `json:"simplify_ms"`
+	SolveMs    float64 `json:"solve_ms"`
+	SATVars    int     `json:"sat_vars,omitempty"`
+	SATClauses int     `json:"sat_clauses,omitempty"`
+
+	Solver         *SolverStats    `json:"solver,omitempty"`
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+}
+
+// SolverStats is the per-check CDCL work (deltas for session checks, not
+// the session's cumulative counters).
+type SolverStats struct {
+	Conflicts    int64 `json:"conflicts"`
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Learned      int64 `json:"learned"`
+	Restarts     int64 `json:"restarts"`
+}
+
+// Packet is the violating packet of a counterexample.
+type Packet struct {
+	DstIP    string `json:"dst_ip"`
+	SrcIP    string `json:"src_ip"`
+	Protocol int    `json:"protocol"`
+	SrcPort  int    `json:"src_port"`
+	DstPort  int    `json:"dst_port"`
+}
+
+// Announcement is one external BGP announcement of the environment.
+type Announcement struct {
+	Peer        string   `json:"peer"`
+	Prefix      string   `json:"prefix"`
+	PathLen     int      `json:"path_len"`
+	MED         int      `json:"med"`
+	Communities []string `json:"communities,omitempty"`
+}
+
+// Counterexample is a concrete stable state violating the property.
+type Counterexample struct {
+	Packet        Packet         `json:"packet"`
+	Announcements []Announcement `json:"announcements"`
+	FailedLinks   []string       `json:"failed_links"`
+	Forwarding    []string       `json:"forwarding,omitempty"`
+}
+
+func durMs(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// newVerdict renders a core result as the service's JSON verdict. The
+// caller must hold the network entry's lock: decoding forwarding state
+// reads the model.
+func newVerdict(jobID string, spec Spec, res *core.Result, m *core.Model) *Verdict {
+	v := &Verdict{
+		JobID:      jobID,
+		Check:      spec.Check,
+		Verified:   res.Verified,
+		EncodeMs:   durMs(res.EncodeElapsed),
+		SimplifyMs: durMs(res.SimplifyElapsed),
+		SolveMs:    durMs(res.SolveElapsed),
+		SATVars:    res.SATVars,
+		SATClauses: res.SATClauses,
+		Solver: &SolverStats{
+			Conflicts:    res.Stats.Conflicts,
+			Decisions:    res.Stats.Decisions,
+			Propagations: res.Stats.Propagations,
+			Learned:      res.Stats.Learned,
+			Restarts:     res.Stats.Restarts,
+		},
+	}
+	// Summed after per-phase rounding so the JSON fields keep the exact
+	// identity elapsed = encode + simplify + solve.
+	v.ElapsedMs = v.EncodeMs + v.SimplifyMs + v.SolveMs
+	cex := res.Counterexample
+	if cex == nil {
+		return v
+	}
+	jc := &Counterexample{
+		Packet: Packet{
+			DstIP:    cex.Packet.DstIP.String(),
+			SrcIP:    cex.Packet.SrcIP.String(),
+			Protocol: cex.Packet.Protocol,
+			SrcPort:  cex.Packet.SrcPort,
+			DstPort:  cex.Packet.DstPort,
+		},
+		Announcements: []Announcement{},
+		FailedLinks:   []string{},
+	}
+	peers := make([]string, 0, len(cex.Env.Anns))
+	for p := range cex.Env.Anns {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		a := cex.Env.Anns[p]
+		jc.Announcements = append(jc.Announcements, Announcement{
+			Peer: p, Prefix: a.Prefix.String(),
+			PathLen: a.PathLen, MED: a.MED, Communities: a.Communities,
+		})
+	}
+	for id := range cex.Env.FailedLinks {
+		jc.FailedLinks = append(jc.FailedLinks, id)
+	}
+	sort.Strings(jc.FailedLinks)
+	jc.Forwarding = m.DecodeForwarding(m.Main, cex.Assignment)
+	v.Counterexample = jc
+	return v
+}
+
+// cachedCopy stamps a cached verdict for a new job: same answer, new job
+// id, Cached set.
+func (v *Verdict) cachedCopy(jobID string) *Verdict {
+	out := *v
+	out.JobID = jobID
+	out.Cached = true
+	return &out
+}

@@ -1,0 +1,151 @@
+package smt
+
+import (
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// TestSessionIsolation checks that goals of one check do not leak into the
+// next: contradictory per-check goals over a shared formula each get the
+// verdict a fresh solver would give.
+func TestSessionIsolation(t *testing.T) {
+	c := NewContext()
+	x := c.BVVar("x", 8)
+	ss := NewSession(c)
+	ss.Assert(c.Ule(x, c.BV(10, 8))) // shared: x ≤ 10
+
+	if st := ss.Check(c.Eq(x, c.BV(3, 8))); st != sat.Sat {
+		t.Fatalf("x=3 under x≤10: %v", st)
+	}
+	if got := ss.Model()["x"].BV; got != 3 {
+		t.Fatalf("model x=%d, want 3", got)
+	}
+	if st := ss.Check(c.Eq(x, c.BV(20, 8))); st != sat.Unsat {
+		t.Fatalf("x=20 under x≤10: %v", st)
+	}
+	// The x=20 goal must be gone: x=7 is again satisfiable.
+	if st := ss.Check(c.Eq(x, c.BV(7, 8))); st != sat.Sat {
+		t.Fatalf("x=7 after unsat check: %v", st)
+	}
+	if got := ss.Model()["x"].BV; got != 7 {
+		t.Fatalf("model x=%d, want 7", got)
+	}
+	if ss.Checks() != 3 {
+		t.Fatalf("checks=%d, want 3", ss.Checks())
+	}
+}
+
+// TestSessionAgainstFresh cross-checks session verdicts against a fresh
+// solver per query on a shared boolean formula.
+func TestSessionAgainstFresh(t *testing.T) {
+	c := NewContext()
+	a, b, d := c.BoolVar("a"), c.BoolVar("b"), c.BoolVar("d")
+	shared := []*Term{c.Or(a, b), c.Implies(a, d)}
+
+	goals := [][]*Term{
+		{a},
+		{a, c.Not(d)},
+		{c.Not(a), c.Not(b)},
+		{b, c.Not(d)},
+		{c.And(a, d)},
+	}
+
+	ss := NewSession(c)
+	for _, s := range shared {
+		ss.Assert(s)
+	}
+	for i, gs := range goals {
+		fresh := NewSolver(c)
+		for _, s := range shared {
+			fresh.Assert(s)
+		}
+		for _, g := range gs {
+			fresh.Assert(g)
+		}
+		want := fresh.Check()
+		if got := ss.Check(gs...); got != want {
+			t.Fatalf("query %d: session=%v fresh=%v", i, got, want)
+		}
+	}
+}
+
+// TestSessionSharedBlastOnce verifies the amortization claim: after the
+// first check, further checks add only goal-sized increments, never the
+// shared formula again.
+func TestSessionSharedBlastOnce(t *testing.T) {
+	c := NewContext()
+	// A shared formula with real bit-blasting volume: three 16-bit sums.
+	x := c.BVVar("x", 16)
+	y := c.BVVar("y", 16)
+	z := c.BVVar("z", 16)
+	ss := NewSession(c)
+	ss.Assert(c.Eq(c.Add(x, y), z))
+	ss.Assert(c.Ule(c.Add(y, z), c.BV(40000, 16)))
+	sharedVars := ss.Solver().NumSATVars()
+
+	if ss.SharedBlasts() != 1 {
+		t.Fatalf("shared blasts=%d, want 1", ss.SharedBlasts())
+	}
+	for i := uint64(0); i < 8; i++ {
+		if st := ss.Check(c.Eq(x, c.BV(i, 16))); st != sat.Sat {
+			t.Fatalf("check %d: %v", i, st)
+		}
+		cs := ss.LastStats()
+		// Each goal x = const blasts no new bits beyond the activation
+		// literal (x's bits and the adders already exist).
+		if cs.NewVars > 1 {
+			t.Fatalf("check %d blasted %d new vars, want ≤ 1 (shared re-blast?)", i, cs.NewVars)
+		}
+	}
+	if ss.SharedBlasts() != 1 {
+		t.Fatalf("shared blasts after 8 checks=%d, want 1", ss.SharedBlasts())
+	}
+	if v := ss.Solver().NumSATVars(); v >= 2*sharedVars {
+		t.Fatalf("vars grew from %d to %d across 8 checks: shared structure re-blasted", sharedVars, v)
+	}
+}
+
+// TestSessionStatsDelta checks the per-check stats are deltas, not the
+// solver's cumulative counters.
+func TestSessionStatsDelta(t *testing.T) {
+	c := NewContext()
+	x := c.BVVar("x", 12)
+	y := c.BVVar("y", 12)
+	ss := NewSession(c)
+	ss.Assert(c.Eq(c.Add(x, y), c.BV(100, 12)))
+
+	var total int64
+	for i := 0; i < 4; i++ {
+		ss.Check(c.Ule(x, c.BV(uint64(10+i), 12)))
+		d := ss.LastStats().Stats
+		if d.Propagations < 0 || d.Conflicts < 0 || d.Decisions < 0 {
+			t.Fatalf("negative delta: %+v", d)
+		}
+		total += d.Propagations
+	}
+	if cum := ss.Solver().SATStats().Propagations; total > cum {
+		t.Fatalf("delta sum %d exceeds cumulative %d", total, cum)
+	}
+}
+
+// TestSessionAssertBetweenChecks exercises the lazy shared-assert path the
+// core session uses for property instrumentation: permanent constraints
+// added between checks bind all later queries.
+func TestSessionAssertBetweenChecks(t *testing.T) {
+	c := NewContext()
+	p, q := c.BoolVar("p"), c.BoolVar("q")
+	ss := NewSession(c)
+	ss.Assert(c.Or(p, q))
+
+	if st := ss.Check(c.Not(q)); st != sat.Sat {
+		t.Fatalf("¬q: %v", st)
+	}
+	ss.Assert(c.Not(p)) // permanent from now on
+	if st := ss.Check(c.Not(q)); st != sat.Unsat {
+		t.Fatalf("¬q after asserting ¬p: %v", st)
+	}
+	if st := ss.Check(q); st != sat.Sat {
+		t.Fatalf("q after asserting ¬p: %v", st)
+	}
+}

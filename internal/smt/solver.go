@@ -114,8 +114,66 @@ func (s *Solver) assertTrue(t *Term) {
 	s.sat.AddClause(s.lit(t))
 }
 
+// AssertUnder adds t as a constraint guarded by the activation literal
+// act: every top-level clause carries ¬act, encoding act → t, so t binds
+// only while act is assumed. Sub-term Tseitin gates are definitional
+// equivalences and stay unguarded, which is what lets later checks reuse
+// them. Adding the unit clause ¬act (RetireLit) retires t for good.
+func (s *Solver) AssertUnder(t *Term, act sat.Lit) {
+	mustBool("assert", t)
+	s.assertImplied(t, act.Not())
+}
+
+func (s *Solver) assertImplied(t *Term, na sat.Lit) {
+	switch t.op {
+	case OpTrue:
+		return
+	case OpFalse:
+		s.sat.AddClause(na)
+		return
+	case OpAnd:
+		for _, k := range t.kids {
+			s.assertImplied(k, na)
+		}
+		return
+	case OpOr:
+		lits := make([]sat.Lit, 0, len(t.kids)+1)
+		lits = append(lits, na)
+		for _, k := range t.kids {
+			lits = append(lits, s.lit(k))
+		}
+		s.sat.AddClause(lits...)
+		return
+	case OpNot:
+		s.sat.AddClause(na, s.lit(t.kids[0]).Not())
+		return
+	}
+	s.sat.AddClause(na, s.lit(t))
+}
+
+// NewFreeLit allocates a fresh SAT literal bound to no term, for use as an
+// activation/assumption literal by the incremental Session.
+func (s *Solver) NewFreeLit() sat.Lit { return sat.MkLit(s.sat.NewVar(), false) }
+
+// RetireLit permanently falsifies a literal, disabling every clause
+// guarded by it.
+func (s *Solver) RetireLit(l sat.Lit) { s.sat.AddClause(l.Not()) }
+
 // Check decides the conjunction of all assertions so far.
 func (s *Solver) Check() sat.Status { return s.sat.Solve() }
+
+// CheckAssuming decides the assertions under additional assumption
+// literals (without adding them as clauses).
+func (s *Solver) CheckAssuming(assumptions ...sat.Lit) sat.Status {
+	return s.sat.Solve(assumptions...)
+}
+
+// Interrupt asks a running check to abort; safe from other goroutines.
+func (s *Solver) Interrupt() { s.sat.Interrupt() }
+
+// ResetInterrupt clears a pending interrupt once the canceling goroutine
+// has been joined, so the solver can be reused.
+func (s *Solver) ResetInterrupt() { s.sat.ResetInterrupt() }
 
 // CheckLimited is Check with the configured conflict budget.
 func (s *Solver) CheckLimited() (sat.Status, error) { return s.sat.SolveLimited() }

@@ -56,6 +56,12 @@ func MustBuild(texts ...string) *Net {
 // OSPFChain returns an n-router OSPF chain R1—R2—…—Rn. Each router Ri has
 // a stub subnet 10.100.i.0/24; inter-router links are 10.0.i.0/30.
 func OSPFChain(n int) *Net {
+	return MustBuild(OSPFChainTexts(n)...)
+}
+
+// OSPFChainTexts returns the raw configuration texts of OSPFChain, for
+// consumers that need the unparsed files (e.g. service requests).
+func OSPFChainTexts(n int) []string {
 	texts := make([]string, n)
 	for i := 1; i <= n; i++ {
 		t := fmt.Sprintf("hostname R%d\n!\n", i)
@@ -77,7 +83,7 @@ func OSPFChain(n int) *Net {
 		t += "!\n"
 		texts[i-1] = t
 	}
-	return MustBuild(texts...)
+	return texts
 }
 
 // StubIP returns the stub-subnet address of router Ri in OSPFChain/RIPChain
@@ -155,6 +161,12 @@ func EBGPTriangle() *Net {
 // local-pref 120 on routes from N1 and R2 sets 110 on routes from N2, so
 // R1's egress via N1 is preferred network-wide.
 func Figure2() *Net {
+	return MustBuild(Figure2Texts()...)
+}
+
+// Figure2Texts returns the raw configuration texts of Figure2, for
+// consumers that need the unparsed files (e.g. service requests).
+func Figure2Texts() []string {
 	r1 := `
 hostname R1
 !
@@ -238,7 +250,7 @@ router ospf 1
  network 10.3.3.0 0.0.0.255 area 0
 !
 `
-	return MustBuild(r1, r2, r3)
+	return []string{r1, r2, r3}
 }
 
 // ACLSquare builds the multipath-consistency example of Figure 6(a):
