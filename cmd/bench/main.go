@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/netgen"
 	"repro/internal/obs"
@@ -48,8 +49,13 @@ func main() {
 		jsonOut    = flag.String("json-out", "BENCH_fig8.json", "fig8 JSON artifact path ('' to skip)")
 		traceJSON  = flag.String("trace-json", "", "write the fig8/ablation span tree as JSON to this file")
 		progress   = flag.String("progress", "", "print solver progress to stderr every N conflicts")
+		passesFlag = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all; ablation pins its own)")
 	)
 	flag.Parse()
+	if err := core.ValidatePasses(*passesFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
 
 	var tr *obs.Trace
 	if *traceJSON != "" {
@@ -72,7 +78,7 @@ func main() {
 	case "fig7":
 		err = runFig7(*count, *seed)
 	case "fig8":
-		err = runFig8(parseInts(*podsFlag), parseProps(*propsFlag), *jsonOut, tr, every)
+		err = runFig8(parseInts(*podsFlag), parseProps(*propsFlag), *jsonOut, tr, every, *passesFlag)
 	case "ablation":
 		ks := parseInts(*podsFlag)
 		if len(ks) == 0 {
@@ -88,7 +94,7 @@ func main() {
 		if len(ks) == 0 {
 			ks = []int{2}
 		}
-		err = runService(ks, out, tr, every)
+		err = runService(ks, out, tr, every, *passesFlag)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|ablation|service")
 		os.Exit(2)
@@ -230,7 +236,7 @@ type fig8JSON struct {
 
 // runFig8 reproduces Figure 8: verification time per property per fabric
 // size.
-func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every int64) error {
+func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every int64, passes string) error {
 	fmt.Println("# Figure 8: verification time (ms) per property and fabric size")
 	fmt.Println("pods\trouters\tproperty\tms\tencode_ms\tsimplify_ms\tsolve_ms\tverified\tsat_vars\tsat_clauses\tconflicts")
 	var art []fig8JSON
@@ -239,6 +245,7 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 		if err != nil {
 			return err
 		}
+		f.Passes = passes
 		var podSp *obs.Span
 		if tr != nil {
 			podSp = tr.Root().Start(fmt.Sprintf("pods:%d", k))
@@ -314,6 +321,7 @@ type serviceJSON struct {
 	SetupSimplifyMs float64            `json:"setup_simplify_ms"`
 	QueryMs         float64            `json:"query_ms"`
 	SharedBlasts    int                `json:"shared_blasts"`
+	Compiles        int                `json:"compiles"`
 	SpeedupVsFresh  float64            `json:"speedup_vs_fresh,omitempty"`
 	Checks          []serviceCheckJSON `json:"checks"`
 }
@@ -321,16 +329,17 @@ type serviceJSON struct {
 // runService compares fresh-solver batch verification against one
 // incremental session per fabric and writes the BENCH_service.json
 // artifact.
-func runService(pods []int, jsonOut string, tr *obs.Trace, every int64) error {
+func runService(pods []int, jsonOut string, tr *obs.Trace, every int64, passes string) error {
 	toMs := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	fmt.Println("# service batch: fresh solver per property vs one incremental session")
-	fmt.Println("pods\trouters\tmode\tprops\ttotal_ms\tquery_ms\tshared_blasts\tspeedup")
+	fmt.Println("pods\trouters\tmode\tprops\ttotal_ms\tquery_ms\tshared_blasts\tcompiles\tspeedup")
 	var art []serviceJSON
 	for _, k := range pods {
 		f, err := harness.BuildFabric(k)
 		if err != nil {
 			return err
 		}
+		f.Passes = passes
 		if tr != nil {
 			f.Obs = tr.Root().Start(fmt.Sprintf("pods:%d", k))
 		}
@@ -354,6 +363,7 @@ func runService(pods []int, jsonOut string, tr *obs.Trace, every int64) error {
 				SetupSimplifyMs: toMs(bm.SetupSimplify),
 				QueryMs:         toMs(bm.QueryTotal()),
 				SharedBlasts:    bm.SharedBlasts,
+				Compiles:        bm.Compiles,
 			}
 			if bm.Mode == "session" {
 				row.SpeedupVsFresh = res.Speedup
@@ -368,9 +378,9 @@ func runService(pods []int, jsonOut string, tr *obs.Trace, every int64) error {
 				})
 			}
 			art = append(art, row)
-			fmt.Printf("%d\t%d\t%s\t%d\t%.1f\t%.1f\t%d\t%s\n",
+			fmt.Printf("%d\t%d\t%s\t%d\t%.1f\t%.1f\t%d\t%d\t%s\n",
 				res.Pods, res.Routers, bm.Mode, res.Properties,
-				row.TotalMs, row.QueryMs, bm.SharedBlasts, speed)
+				row.TotalMs, row.QueryMs, bm.SharedBlasts, bm.Compiles, speed)
 		}
 	}
 	if jsonOut == "" {

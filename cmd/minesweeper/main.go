@@ -53,6 +53,7 @@ type cliOpts struct {
 	hops, maxLen, maxFailures          int
 	verbose, replay, jsonOut           bool
 	traceJSON, promOut                 string
+	passes                             string
 	progressEvery                      int64
 }
 
@@ -72,6 +73,7 @@ func main() {
 	flag.BoolVar(&o.jsonOut, "json", false, "print the verdict as a single JSON object")
 	flag.StringVar(&o.traceJSON, "trace-json", "", "write the span tree and metrics as JSON to this file")
 	flag.StringVar(&o.promOut, "prom", "", "write the metrics in Prometheus text format to this file")
+	flag.StringVar(&o.passes, "passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
 	flag.Int64Var(&o.progressEvery, "progress", 0, "print solver progress to stderr every N conflicts")
 	flag.Parse()
 	if o.dir == "" || o.check == "" {
@@ -113,6 +115,10 @@ func run(o cliOpts) error {
 	}
 
 	opts := core.DefaultOptions()
+	opts.Passes = o.passes
+	if err := core.ValidatePasses(o.passes); err != nil {
+		return err
+	}
 	opts.Span = tr.Root()
 	progress := func(p sat.Progress) {
 		fmt.Fprintf(os.Stderr, "progress: conflicts=%d decisions=%d propagations=%d learned=%d restarts=%d\n",

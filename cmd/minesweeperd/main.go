@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -44,19 +45,25 @@ func main() {
 		workers = flag.Int("workers", 2, "concurrent verification workers")
 		queue   = flag.Int("queue", 64, "maximum queued jobs before 429s")
 		timeout = flag.Duration("timeout", 120*time.Second, "default per-job deadline")
+		passes  = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
 	)
 	flag.Parse()
-	if err := run(*listen, *workers, *queue, *timeout); err != nil {
+	if err := core.ValidatePasses(*passes); err != nil {
+		fmt.Fprintln(os.Stderr, "minesweeperd:", err)
+		os.Exit(2)
+	}
+	if err := run(*listen, *workers, *queue, *timeout, *passes); err != nil {
 		fmt.Fprintln(os.Stderr, "minesweeperd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, workers, queue int, timeout time.Duration) error {
+func run(listen string, workers, queue int, timeout time.Duration, passes string) error {
 	engine := service.NewEngine(service.Options{
 		Workers:    workers,
 		QueueDepth: queue,
 		Timeout:    timeout,
+		Passes:     passes,
 		Trace:      obs.New("minesweeperd"),
 	})
 	defer engine.Close()

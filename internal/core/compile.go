@@ -1,0 +1,201 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/smt"
+	"repro/internal/smt/passes"
+)
+
+// Encoding-time pass names accepted by Options.Passes alongside the
+// term-level passes of internal/smt/passes. "hoist" and "slice" are the
+// paper's §6.1/§6.2 rewrites applied while the model is built; the term
+// passes run afterwards over the finished assert list.
+const (
+	PassHoist = "hoist"
+	PassSlice = "slice"
+)
+
+// PassNames lists every pass name accepted by Options.Passes, in
+// pipeline order: encoding passes first, then the term-level passes.
+func PassNames() []string {
+	return append([]string{PassHoist, PassSlice}, passes.Names()...)
+}
+
+// ValidatePasses checks an Options.Passes value without building a
+// model, so commands can reject a bad -passes flag at startup.
+func ValidatePasses(s string) error {
+	_, err := resolvePasses(Options{Passes: s})
+	return err
+}
+
+// passSpec is Options.Passes resolved into a concrete pipeline: the
+// encoding-time switches, the property-agnostic compile passes, and
+// whether goal-relative cone-of-influence pruning runs at check time.
+type passSpec struct {
+	hoist, slice bool
+	compile      []string // fold/cse/propagate, canonical order
+	coi          bool
+}
+
+// resolvePasses interprets Options.Passes. The empty string defers to
+// the deprecated Hoisting/Slicing booleans for the encoding passes and
+// enables every term-level pass (the modern default); "all" and "none"
+// switch everything on or off; otherwise a comma-separated subset of
+// PassNames selects exactly the listed passes.
+func resolvePasses(o Options) (passSpec, error) {
+	all := passSpec{
+		hoist:   true,
+		slice:   true,
+		compile: []string{passes.Fold, passes.CSE, passes.Propagate},
+		coi:     true,
+	}
+	switch o.Passes {
+	case "":
+		all.hoist, all.slice = o.Hoisting, o.Slicing
+		return all, nil
+	case "all":
+		return all, nil
+	case "none":
+		return passSpec{}, nil
+	}
+	var spec passSpec
+	for _, name := range strings.Split(o.Passes, ",") {
+		switch strings.TrimSpace(name) {
+		case PassHoist:
+			spec.hoist = true
+		case PassSlice:
+			spec.slice = true
+		case passes.Fold:
+			spec.compile = append(spec.compile, passes.Fold)
+		case passes.CSE:
+			spec.compile = append(spec.compile, passes.CSE)
+		case passes.Propagate:
+			spec.compile = append(spec.compile, passes.Propagate)
+		case passes.COI:
+			spec.coi = true
+		case "":
+		default:
+			return passSpec{}, fmt.Errorf("core: unknown pass %q (known: %s, all, none)",
+				strings.TrimSpace(name), strings.Join(PassNames(), ", "))
+		}
+	}
+	return spec, nil
+}
+
+// CompiledNetwork is the property-agnostic compilation artifact: the
+// model's constraint system N after the term-level passes, content-
+// addressed so callers (the service's per-network cache, cross-session
+// reuse) can recognize semantically identical networks without
+// comparing configurations. It is immutable once built.
+type CompiledNetwork struct {
+	// Asserts is the post-pass constraint system, ready to blast.
+	Asserts []*smt.Term
+	// Hash is the hex SHA-256 of the asserts' DAG serialization — equal
+	// hashes mean structurally identical compiled systems, even across
+	// different smt.Contexts.
+	Hash string
+	// BaseLen is the length of Model.Asserts this artifact covers.
+	// Property builders append instrumentation constraints; a model
+	// whose assert list has grown past BaseLen recompiles on demand,
+	// while sessions blast the suffix incrementally instead.
+	BaseLen int
+	// PassStats itemizes the compile passes that produced the artifact.
+	PassStats []passes.Stats
+	// Elapsed is the total compile pipeline time.
+	Elapsed time.Duration
+}
+
+// Compile runs the property-agnostic term passes (fold, cse, propagate
+// as enabled by Options.Passes) over the model's current constraint
+// system and returns the content-addressed artifact. The result is
+// cached on the model: repeated calls are free until Asserts grows or
+// is replaced, so every session and fresh check of one model shares a
+// single compilation. Goal-relative pruning (coi) is not part of the
+// artifact — it runs per query in CheckGoal.
+func (m *Model) Compile() *CompiledNetwork {
+	if cn := m.compiled; cn != nil && cn.BaseLen == len(m.Asserts) &&
+		(cn.BaseLen == 0 || m.Asserts[cn.BaseLen-1] == m.compiledLast) {
+		return cn
+	}
+	sp := m.Obs.Start("compile")
+	defer sp.End()
+	start := time.Now()
+	sys := &passes.System{Ctx: m.Ctx, Asserts: append([]*smt.Term(nil), m.Asserts...)}
+	pl, err := passes.NewPipeline(m.spec.compile...)
+	if err != nil {
+		// Names come from resolvePasses, which only emits canonical ones.
+		panic(err)
+	}
+	stats := pl.Run(sys, sp)
+	cn := &CompiledNetwork{
+		Asserts:   sys.Asserts,
+		Hash:      hashTerms(sys.Asserts),
+		BaseLen:   len(m.Asserts),
+		PassStats: stats,
+		Elapsed:   time.Since(start),
+	}
+	sp.SetStr("hash", cn.Hash[:12])
+	sp.SetInt("asserts_in", int64(cn.BaseLen))
+	sp.SetInt("asserts_out", int64(len(cn.Asserts)))
+	m.compiled = cn
+	m.compiledLast = nil
+	if cn.BaseLen > 0 {
+		m.compiledLast = m.Asserts[cn.BaseLen-1]
+	}
+	m.compiles++
+	return cn
+}
+
+// CompileCount reports how many times the model actually ran the
+// compile pipeline (i.e. cache misses). Benchmarks use it to show the
+// batch path compiles once per network while the fresh path recompiles
+// as instrumentation grows the assert list.
+func (m *Model) CompileCount() int { return m.compiles }
+
+// hashTerms is the content address of a term list: a SHA-256 over a
+// deterministic post-order serialization of the DAG. Node identity is
+// the discovery index, not the context-local term id, so structurally
+// identical systems hash equally across contexts and processes.
+func hashTerms(ts []*smt.Term) string {
+	h := sha256.New()
+	idx := map[*smt.Term]uint32{}
+	var scratch [8]byte
+	writeU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		h.Write(scratch[:4])
+	}
+	var walk func(t *smt.Term) uint32
+	walk = func(t *smt.Term) uint32 {
+		if i, ok := idx[t]; ok {
+			return i
+		}
+		kids := t.Kids()
+		kidIdx := make([]uint32, len(kids))
+		for i, k := range kids {
+			kidIdx[i] = walk(k)
+		}
+		h.Write([]byte{byte(t.Op()), byte(t.Width())})
+		binary.LittleEndian.PutUint64(scratch[:8], t.Const())
+		h.Write(scratch[:8])
+		io.WriteString(h, t.Name())
+		h.Write([]byte{0})
+		writeU32(uint32(len(kidIdx)))
+		for _, ki := range kidIdx {
+			writeU32(ki)
+		}
+		i := uint32(len(idx))
+		idx[t] = i
+		return i
+	}
+	for _, t := range ts {
+		writeU32(walk(t))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

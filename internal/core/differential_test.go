@@ -414,6 +414,74 @@ func TestComparatorAgainstSimulator(t *testing.T) {
 	}
 }
 
+// TestPassesNoneMatchesAll is the pass-pipeline soundness check of the
+// compile-once refactor: for every testnet, a suite of properties must
+// get the same verdict with every optimization pass disabled and with
+// the full pipeline enabled.
+func TestPassesNoneMatchesAll(t *testing.T) {
+	nets := map[string]*testnets.Net{
+		"ospf-chain":  testnets.OSPFChain(4),
+		"rip-chain":   testnets.RIPChain(4),
+		"ebgp-tri":    testnets.EBGPTriangle(),
+		"figure2":     testnets.Figure2(),
+		"acl-square":  testnets.ACLSquare(),
+		"static-null": testnets.StaticNull(),
+		"hijackable":  testnets.Hijackable(false),
+	}
+	type propCase struct {
+		name  string
+		build func(m *Model) (*smt.Term, []*smt.Term)
+	}
+	dst := testnets.StubIP(1)
+	pin := func(m *Model) *smt.Term {
+		return m.Ctx.Eq(m.DstIP, m.Ctx.BV(uint64(dst), WidthIP))
+	}
+	cases := []propCase{
+		{"reach-first", func(m *Model) (*smt.Term, []*smt.Term) {
+			r := m.G.Topo.Nodes[0].Name
+			return m.Reach(m.Main, true)[r], []*smt.Term{m.NoFailures(), pin(m)}
+		}},
+		{"reach-last", func(m *Model) (*smt.Term, []*smt.Term) {
+			r := m.G.Topo.Nodes[len(m.G.Topo.Nodes)-1].Name
+			return m.Reach(m.Main, true)[r], []*smt.Term{m.NoFailures(), pin(m)}
+		}},
+		{"reach-last-1fail", func(m *Model) (*smt.Term, []*smt.Term) {
+			r := m.G.Topo.Nodes[len(m.G.Topo.Nodes)-1].Name
+			return m.Reach(m.Main, true)[r], []*smt.Term{m.AtMostFailures(1), pin(m)}
+		}},
+		{"bounded-length", func(m *Model) (*smt.Term, []*smt.Term) {
+			// Exercises an asserts-appending builder after Compile.
+			r := m.G.Topo.Nodes[0].Name
+			lens, w := m.PathLengths(m.Main)
+			return m.Ctx.Ule(lens[r], m.Ctx.BV(uint64(len(m.G.Topo.Nodes)), w)),
+				[]*smt.Term{m.NoFailures(), pin(m)}
+		}},
+	}
+	for name, net := range nets {
+		t.Run(name, func(t *testing.T) {
+			for _, pc := range cases {
+				verdicts := map[string]bool{}
+				for _, passes := range []string{"none", "all"} {
+					m, err := Encode(net.Graph, Options{Passes: passes})
+					if err != nil {
+						t.Fatalf("%s/%s: encode: %v", pc.name, passes, err)
+					}
+					p, assumptions := pc.build(m)
+					res, err := m.Check(p, assumptions...)
+					if err != nil {
+						t.Fatalf("%s/%s: check: %v", pc.name, passes, err)
+					}
+					verdicts[passes] = res.Verified
+				}
+				if verdicts["none"] != verdicts["all"] {
+					t.Errorf("%s: verdict differs: none=%v all=%v",
+						pc.name, verdicts["none"], verdicts["all"])
+				}
+			}
+		})
+	}
+}
+
 func TestEncodeStats(t *testing.T) {
 	net := testnets.Figure2()
 	opt, err := Encode(net.Graph, DefaultOptions())

@@ -15,14 +15,27 @@ import (
 // Options control the encoder's optimizations (§6). Both default to on;
 // the §8.3 ablation benchmarks toggle them off.
 type Options struct {
+	// Passes selects the optimization pipeline by name: a comma-separated
+	// subset of PassNames ("hoist,slice,fold,cse,propagate,coi"), or
+	// "all" / "none". The empty string is the compatible default: the
+	// deprecated Hoisting/Slicing booleans choose the encoding passes and
+	// every term-level pass stays enabled.
+	Passes string
+
 	// Hoisting enables prefix elimination (replacing per-record symbolic
 	// prefixes with tests on the global destination IP) and loop-detection
 	// hoisting (loop bits only for routers where policy loops are
 	// possible).
+	//
+	// Deprecated: set Passes instead; Hoisting is only consulted when
+	// Passes is empty.
 	Hoisting bool
 	// Slicing enables removal of never-used attribute variables, merging
 	// of import/export records, and merging of per-protocol and overall
 	// best records.
+	//
+	// Deprecated: set Passes instead; Slicing is only consulted when
+	// Passes is empty.
 	Slicing bool
 	// KeepAllCommunities keeps a symbolic bit for every community in the
 	// config universe even when it is never matched on; equivalence
@@ -137,6 +150,18 @@ type Model struct {
 	// encodeSlice hangs its per-slice spans off it.
 	encSpan *obs.Span
 
+	// spec is Options.Passes resolved by analyze; hoisting/slicing cache
+	// its encoding-time switches for the hot paths in slice.go.
+	spec              passSpec
+	hoisting, slicing bool
+
+	// compiled caches the artifact of the last Compile; compiledLast is
+	// the final assert it covered, so splice-and-restore callers (EquivPair)
+	// invalidate the cache even when lengths match.
+	compiled     *CompiledNetwork
+	compiledLast *smt.Term
+	compiles     int
+
 	// prefix namespaces every variable, letting several network copies
 	// share one context (full equivalence / fault-invariance, §5).
 	prefix string
@@ -244,6 +269,12 @@ func EncodeWithContext(g *protograph.Graph, opts Options, ctx *smt.Context, pref
 // (the field-slicing analysis of §6.2) and the loop-risk router set (the
 // loop-detection hoisting of §6.1).
 func (m *Model) analyze() error {
+	spec, err := resolvePasses(m.Opts)
+	if err != nil {
+		return err
+	}
+	m.spec = spec
+	m.hoisting, m.slicing = spec.hoist, spec.slice
 	g := m.G
 	commSet := map[string]bool{}
 	m.commActive = map[string]bool{}
@@ -353,7 +384,7 @@ func (m *Model) analyze() error {
 		}
 	}
 
-	if !m.Opts.Slicing {
+	if !m.slicing {
 		// Slicing off: every attribute stays symbolic.
 		m.lpActive, m.medActive = true, true
 		m.ibgpActive = m.ibgpActive || len(g.Sessions) > 0
@@ -362,7 +393,7 @@ func (m *Model) analyze() error {
 			m.commActive[v] = true
 		}
 	}
-	if !m.Opts.Hoisting {
+	if !m.hoisting {
 		// Loop-detection hoisting off: loop bits for every BGP router.
 		for _, n := range g.Topo.Nodes {
 			if g.Configs[n.Name].BGP != nil {
@@ -435,7 +466,7 @@ func (m *Model) inv() *Record {
 		}
 		r.Through[rt] = c.False()
 	}
-	if !m.Opts.Hoisting {
+	if !m.hoisting {
 		r.Prefix = c.BV(0, WidthIP)
 	}
 	return r
@@ -460,7 +491,7 @@ func (m *Model) recVar(name string, isBGP bool, adConst uint64) *Record {
 	r.PrefixLen = bv("plen", WidthPrefixLen)
 	r.Metric = bv("metric", WidthMetric)
 	r.RID = bv("rid", WidthRID)
-	if !m.Opts.Slicing || (isBGP && m.ibgpActive) {
+	if !m.slicing || (isBGP && m.ibgpActive) {
 		r.AD = bv("ad", WidthAD)
 	} else {
 		r.AD = c.BV(adConst, WidthAD)
@@ -484,7 +515,7 @@ func (m *Model) recVar(name string, isBGP bool, adConst uint64) *Record {
 	for _, rt := range m.risky {
 		r.Through[rt] = bl("through." + rt)
 	}
-	if !m.Opts.Hoisting {
+	if !m.hoisting {
 		r.Prefix = bv("prefix", WidthIP)
 	}
 	return r
@@ -509,11 +540,13 @@ func (m *Model) assertRecEq(v, t *Record) {
 	eqIfVar(v.RID, t.RID)
 	eqIfVar(v.Internal, t.Internal)
 	eqIfVar(v.FromClient, t.FromClient)
-	for k, va := range v.Comms {
-		eqIfVar(va, t.Comms[k])
+	// Deterministic order: asserts feed the content-addressed compile
+	// hash, so map iteration must not leak into the assert list.
+	for _, k := range sortedCommKeys(v.Comms) {
+		eqIfVar(v.Comms[k], t.Comms[k])
 	}
-	for k, va := range v.Through {
-		eqIfVar(va, t.Through[k])
+	for _, k := range sortedCommKeys(v.Through) {
+		eqIfVar(v.Through[k], t.Through[k])
 	}
 	if v.Prefix != nil && t.Prefix != nil {
 		eqIfVar(v.Prefix, t.Prefix)
@@ -524,7 +557,7 @@ func (m *Model) assertRecEq(v, t *Record) {
 // naive (unsliced) encoding, which materializes every import/export record
 // as fresh variables.
 func (m *Model) wrapVar(name string, t *Record, isBGP bool) *Record {
-	if m.Opts.Slicing {
+	if m.slicing {
 		return t
 	}
 	v := m.recVar(name, isBGP, 0)

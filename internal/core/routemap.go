@@ -93,7 +93,7 @@ func (m *Model) entryMatches(sl *Slice, e config.PrefixListEntry, rec *Record) *
 		c.Ule(c.BV(uint64(lo), WidthPrefixLen), rec.PrefixLen),
 		c.Ule(rec.PrefixLen, c.BV(uint64(hi), WidthPrefixLen)),
 	)
-	if m.Opts.Hoisting {
+	if m.hoisting {
 		return c.And(m.inPrefix(sl.DstIP, e.Prefix), bounds)
 	}
 	return c.And(m.fbmConst(rec.Prefix, e.Prefix.Addr, e.Prefix.Len), bounds)

@@ -37,13 +37,15 @@ type Session struct {
 	asserted int // prefix of m.Asserts already blasted as shared
 	checks   int
 
+	setupCompile  time.Duration
 	setupEncode   time.Duration
 	setupSimplify time.Duration
 }
 
-// NewSession blasts the model's current constraint system into a fresh
-// incremental session and simplifies it once. The setup cost is reported
-// by SetupElapsed, not folded into the first check's Result.
+// NewSession compiles the model (reusing a cached CompiledNetwork when
+// available), blasts the compiled constraint system into a fresh
+// incremental session, and simplifies it once. The setup cost is
+// reported by SetupElapsed, not folded into the first check's Result.
 func (m *Model) NewSession() *Session {
 	s := &Session{m: m, ss: smt.NewSession(m.Ctx)}
 	sp := m.Obs.Start("session")
@@ -52,14 +54,20 @@ func (m *Model) NewSession() *Session {
 		s.ss.Solver().SetProgress(m.ProgressEvery, m.OnProgress)
 	}
 
+	compiles := m.compiles
+	cn := m.Compile()
+	if m.compiles != compiles {
+		s.setupCompile = cn.Elapsed
+	}
+
 	blastSp := sp.Start("blast")
 	start := time.Now()
-	for _, a := range m.Asserts {
+	for _, a := range cn.Asserts {
 		s.ss.Assert(a)
 	}
-	s.asserted = len(m.Asserts)
+	s.asserted = cn.BaseLen
 	s.setupEncode = time.Since(start)
-	blastSp.SetInt("asserts", int64(s.asserted))
+	blastSp.SetInt("asserts", int64(len(cn.Asserts)))
 	blastSp.SetInt("sat_vars", int64(s.ss.Solver().NumSATVars()))
 	blastSp.SetInt("sat_clauses", int64(s.ss.Solver().NumSATClauses()))
 	blastSp.End()
@@ -74,10 +82,15 @@ func (m *Model) NewSession() *Session {
 }
 
 // SetupElapsed returns the one-time session cost: the shared blast and
-// the top-level simplification that ran in NewSession.
+// the simplification work that ran in NewSession (term-level compile
+// passes, when the session triggered them, plus the top-level CNF
+// simplification).
 func (s *Session) SetupElapsed() (encode, simplify time.Duration) {
-	return s.setupEncode, s.setupSimplify
+	return s.setupEncode, s.setupCompile + s.setupSimplify
 }
+
+// Compiled returns the compilation artifact the session was built from.
+func (s *Session) Compiled() *CompiledNetwork { return s.m.Compile() }
 
 // SharedBlasts reports how many times the shared formula N was blasted —
 // 1 for the session's whole lifetime, however many checks run.
@@ -141,27 +154,12 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 	// cancellation. The watcher is joined before the interrupt flag is
 	// cleared so a late Interrupt cannot leak into the next check.
 	solveSp := sp.Start("solve")
-	var watcherDone, stopWatch chan struct{}
-	if ctx.Done() != nil {
-		watcherDone = make(chan struct{})
-		stopWatch = make(chan struct{})
-		go func() {
-			defer close(watcherDone)
-			select {
-			case <-ctx.Done():
-				s.ss.Interrupt()
-			case <-stopWatch:
-			}
-		}()
-	}
 	solveStart := time.Now()
+	stopWatch := watchInterrupt(ctx, s.ss.Interrupt)
 	status := s.ss.Solve()
+	stopWatch()
+	s.ss.ResetInterrupt()
 	solveElapsed := time.Since(solveStart)
-	if watcherDone != nil {
-		close(stopWatch)
-		<-watcherDone
-		s.ss.ResetInterrupt()
-	}
 	s.checks++
 	st := s.ss.LastStats().Stats
 	solveSp.SetStr("status", status.String())

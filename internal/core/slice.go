@@ -117,7 +117,7 @@ func (m *Model) envRecord(sl *Slice, e *network.External) *Record {
 	// prefix length ≤ 32 and AS-path length ≤ 255.
 	m.assert(c.Implies(r.Valid, c.Ule(r.PrefixLen, c.BV(32, WidthPrefixLen))))
 	m.assert(c.Implies(r.Valid, c.Ule(r.Metric, c.BV(255, WidthMetric))))
-	if !m.Opts.Hoisting {
+	if !m.hoisting {
 		// Naive encoding: the announced prefix is explicit and must
 		// cover the destination (FBM over a symbolic length).
 		m.assert(c.Implies(r.Valid, m.fbmSym(r.Prefix, sl.DstIP, r.PrefixLen)))
@@ -354,7 +354,7 @@ func (m *Model) connectedCands(sl *Slice, cfg *config.Router) []*candidate {
 		r.Valid = m.inPrefix(sl.DstIP, i.Prefix)
 		r.PrefixLen = c.BV(uint64(i.Prefix.Len), WidthPrefixLen)
 		r.AD = c.BV(0, WidthAD)
-		if !m.Opts.Hoisting {
+		if !m.hoisting {
 			r.Prefix = c.BV(uint64(i.Prefix.Addr), WidthIP)
 		}
 		out = append(out, &candidate{rec: r, local: true})
@@ -372,7 +372,7 @@ func (m *Model) staticCands(sl *Slice, n *network.Node, cfg *config.Router) []*c
 		r := m.inv()
 		r.PrefixLen = c.BV(uint64(st.Prefix.Len), WidthPrefixLen)
 		r.AD = c.BV(uint64(staticAD(st)), WidthAD)
-		if !m.Opts.Hoisting {
+		if !m.hoisting {
 			r.Prefix = c.BV(uint64(st.Prefix.Addr), WidthIP)
 		}
 		valid := m.inPrefix(sl.DstIP, st.Prefix)
@@ -425,7 +425,7 @@ func (m *Model) ospfCands(sl *Slice, n *network.Node, cfg *config.Router) []*can
 		r.Valid = m.inPrefix(sl.DstIP, i.Prefix)
 		r.PrefixLen = c.BV(uint64(i.Prefix.Len), WidthPrefixLen)
 		r.AD = c.BV(uint64(ad), WidthAD)
-		if !m.Opts.Hoisting {
+		if !m.hoisting {
 			r.Prefix = c.BV(uint64(i.Prefix.Addr), WidthIP)
 		}
 		out = append(out, &candidate{rec: r, local: true})
@@ -474,7 +474,7 @@ func (m *Model) ripCands(sl *Slice, n *network.Node, cfg *config.Router) []*cand
 		r.Valid = m.inPrefix(sl.DstIP, i.Prefix)
 		r.PrefixLen = c.BV(uint64(i.Prefix.Len), WidthPrefixLen)
 		r.AD = c.BV(uint64(ad), WidthAD)
-		if !m.Opts.Hoisting {
+		if !m.hoisting {
 			r.Prefix = c.BV(uint64(i.Prefix.Addr), WidthIP)
 		}
 		out = append(out, &candidate{rec: r, local: true})
@@ -519,7 +519,7 @@ func (m *Model) bgpCands(sl *Slice, n *network.Node, cfg *config.Router, isAddr 
 		r.Valid = m.inPrefix(sl.DstIP, p)
 		r.PrefixLen = c.BV(uint64(p.Len), WidthPrefixLen)
 		r.AD = c.BV(uint64(bgpAD(cfg, false)), WidthAD)
-		if !m.Opts.Hoisting {
+		if !m.hoisting {
 			r.Prefix = c.BV(uint64(p.Addr), WidthIP)
 		}
 		out = append(out, &candidate{rec: r, local: true})
@@ -638,7 +638,7 @@ func (m *Model) exportBGP(sl *Slice, sender *network.Node, sess *protograph.BGPS
 	if m.riskySet[sender.Name] {
 		out.Through[sender.Name] = c.True()
 	}
-	if !m.Opts.Slicing {
+	if !m.slicing {
 		out = m.wrapVar(sl.Name+"|"+sender.Name+"|out.bgp."+sessionTag(sess, sender), out, true)
 	}
 	return out

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/sat"
 	"repro/internal/simulator"
 	"repro/internal/smt"
+	"repro/internal/smt/passes"
 )
 
 // Counterexample is a concrete stable state violating a property: the
@@ -32,13 +34,23 @@ type Result struct {
 	// Elapsed is the total query time, the sum of the three phase
 	// timings below (kept for compatibility with older tables).
 	Elapsed time.Duration
-	// EncodeElapsed is the Tseitin CNF conversion and bit-blasting time,
-	// SimplifyElapsed the top-level CNF simplification, SolveElapsed the
-	// CDCL search. Before these were split, encode time was silently
-	// folded into the reported "solver" time.
+	// EncodeElapsed is the Tseitin CNF conversion and bit-blasting time.
+	// SimplifyElapsed covers everything that shrinks the formula before
+	// the search: the term-level compile passes (only when this query
+	// actually ran them rather than reusing a cached CompiledNetwork),
+	// goal-relative cone-of-influence pruning, and top-level CNF
+	// simplification. SolveElapsed is the CDCL search. Before these were
+	// split, encode time was silently folded into the reported "solver"
+	// time.
 	EncodeElapsed   time.Duration
 	SimplifyElapsed time.Duration
 	SolveElapsed    time.Duration
+	// PassStats itemizes SimplifyElapsed per pass, in execution order:
+	// the compile passes charged to this query (if any), then "coi", then
+	// a final "cnf-simplify" row whose Elapsed is the CNF simplification
+	// time (its term/var columns are zero — it operates below the term
+	// level).
+	PassStats []passes.Stats
 	// Formula/solver statistics for the performance experiments.
 	// SATVars/SATClauses measure the blasted encoding before
 	// simplification.
@@ -50,8 +62,65 @@ type Result struct {
 // Check decides whether the property holds in every stable state: it
 // asserts N ∧ ¬property and searches for a satisfying assignment.
 // Additional constraints (e.g. restricting the destination or bounding
-// failures) can be passed as assumptions.
+// failures) can be passed as assumptions. It compiles the network on
+// first use (cached until Asserts grows) and then delegates to the
+// goal-specific phases; callers needing cancellation or explicit
+// artifact reuse use CheckContext / CheckGoal.
 func (m *Model) Check(property *smt.Term, assumptions ...*smt.Term) (*Result, error) {
+	return m.CheckContext(context.Background(), property, assumptions...)
+}
+
+// CheckContext is Check with cancellation: when ctx is canceled the
+// solver is interrupted and the context error returned.
+func (m *Model) CheckContext(ctx context.Context, property *smt.Term, assumptions ...*smt.Term) (*Result, error) {
+	before := m.compiles
+	cn := m.Compile()
+	// Charge compile time to this query only when it actually compiled;
+	// cache hits ride for free, mirroring what the solver really did.
+	var prior []passes.Stats
+	var priorElapsed time.Duration
+	if m.compiles != before {
+		prior, priorElapsed = cn.PassStats, cn.Elapsed
+	}
+	return m.checkGoal(ctx, cn, prior, priorElapsed, property, assumptions)
+}
+
+// CheckGoal checks a property against a previously compiled artifact,
+// the second half of the Compile/CheckGoal split. The artifact must
+// come from this model's Compile (same term context). Compile time is
+// not charged to the result — the caller amortized it already.
+func (m *Model) CheckGoal(ctx context.Context, cn *CompiledNetwork, property *smt.Term, assumptions ...*smt.Term) (*Result, error) {
+	return m.checkGoal(ctx, cn, nil, 0, property, assumptions)
+}
+
+// watchInterrupt arranges for interrupt to fire if ctx is canceled, and
+// returns a stop function that joins the watcher; callers must invoke
+// stop (and then reset the solver's interrupt flag) before reading
+// solver state.
+func watchInterrupt(ctx context.Context, interrupt func()) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	cancel := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			interrupt()
+		case <-cancel:
+		}
+	}()
+	return func() {
+		close(cancel)
+		<-done
+	}
+}
+
+func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []passes.Stats, priorElapsed time.Duration, property *smt.Term, assumptions []*smt.Term) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c := m.Ctx
 	sp := m.Obs.Start("check")
 	defer sp.End()
@@ -60,20 +129,42 @@ func (m *Model) Check(property *smt.Term, assumptions ...*smt.Term) (*Result, er
 		solver.SetProgress(m.ProgressEvery, m.OnProgress)
 	}
 
+	// Phase 0 (charged to simplify): goal-relative term passes. The
+	// compiled asserts plus any instrumentation appended after the
+	// artifact was built, pruned to the goal's cone of influence.
+	passStats := append([]passes.Stats(nil), prior...)
+	termStart := time.Now()
+	asserts := cn.Asserts
+	if tail := m.Asserts[cn.BaseLen:]; len(tail) > 0 {
+		asserts = append(append([]*smt.Term(nil), asserts...), tail...)
+	}
+	goals := make([]*smt.Term, 0, len(assumptions)+1)
+	goals = append(goals, assumptions...)
+	goals = append(goals, c.Not(property))
+	if m.spec.coi {
+		sys := &passes.System{Ctx: c, Asserts: append([]*smt.Term(nil), asserts...), Goals: goals}
+		pl, err := passes.NewPipeline(passes.COI)
+		if err != nil {
+			panic(err)
+		}
+		passStats = append(passStats, pl.Run(sys, sp)...)
+		asserts, goals = sys.Asserts, sys.Goals
+	}
+	termElapsed := priorElapsed + time.Since(termStart)
+
 	// Phase 1: Tseitin CNF conversion + bit-blasting of N ∧ ¬P.
 	cnfSp := sp.Start("cnf")
 	encStart := time.Now()
-	for _, a := range m.Asserts {
+	for _, a := range asserts {
 		solver.Assert(a)
 	}
-	for _, a := range assumptions {
-		solver.Assert(a)
+	for _, g := range goals {
+		solver.Assert(g)
 	}
-	solver.Assert(c.Not(property))
 	encodeElapsed := time.Since(encStart)
 	satVars, satClauses := solver.NumSATVars(), solver.NumSATClauses()
 	cnfSp.SetInt("terms", int64(c.NumTerms()))
-	cnfSp.SetInt("asserts", int64(len(m.Asserts)+len(assumptions)+1))
+	cnfSp.SetInt("asserts", int64(len(asserts)+len(goals)))
 	cnfSp.SetInt("gates", int64(solver.NumGates()))
 	cnfSp.SetInt("sat_vars", int64(satVars))
 	cnfSp.SetInt("sat_clauses", int64(satClauses))
@@ -83,15 +174,20 @@ func (m *Model) Check(property *smt.Term, assumptions ...*smt.Term) (*Result, er
 	simpSp := sp.Start("simplify")
 	simpStart := time.Now()
 	solver.Simplify()
-	simplifyElapsed := time.Since(simpStart)
+	cnfSimplify := time.Since(simpStart)
+	simplifyElapsed := termElapsed + cnfSimplify
+	passStats = append(passStats, passes.Stats{Pass: "cnf-simplify", Elapsed: cnfSimplify})
 	simpSp.SetInt("clauses_before", int64(satClauses))
 	simpSp.SetInt("clauses_after", int64(solver.NumSATClauses()))
 	simpSp.End()
 
-	// Phase 3: CDCL search.
+	// Phase 3: CDCL search, interruptible through ctx.
 	solveSp := sp.Start("solve")
 	solveStart := time.Now()
+	stopWatch := watchInterrupt(ctx, solver.Interrupt)
 	status := solver.Check()
+	stopWatch()
+	solver.ResetInterrupt()
 	solveElapsed := time.Since(solveStart)
 	st := solver.SATStats()
 	solveSp.SetStr("status", status.String())
@@ -107,6 +203,7 @@ func (m *Model) Check(property *smt.Term, assumptions ...*smt.Term) (*Result, er
 		EncodeElapsed:   encodeElapsed,
 		SimplifyElapsed: simplifyElapsed,
 		SolveElapsed:    solveElapsed,
+		PassStats:       passStats,
 		SATVars:         satVars,
 		SATClauses:      satClauses,
 		Stats:           st,
@@ -119,6 +216,9 @@ func (m *Model) Check(property *smt.Term, assumptions ...*smt.Term) (*Result, er
 		res.Counterexample = m.Decode(solver.Model())
 		dSp.End()
 	default:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: solver returned %v", status)
 	}
 	return res, nil
@@ -160,7 +260,7 @@ func (m *Model) Decode(asg smt.Assignment) *Counterexample {
 			PathLen: int(smt.Eval(rec.Metric, asg).BV),
 			MED:     int(smt.Eval(rec.MED, asg).BV),
 		}
-		if !m.Opts.Hoisting && rec.Prefix != nil {
+		if !m.hoisting && rec.Prefix != nil {
 			ann.Prefix = network.Prefix{Addr: network.IP(smt.Eval(rec.Prefix, asg).BV).Mask(plen), Len: plen}
 		}
 		for _, cm := range m.commUni {

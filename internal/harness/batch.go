@@ -114,7 +114,11 @@ type BatchMode struct {
 	SetupBlast    time.Duration
 	SetupSimplify time.Duration
 	SharedBlasts  int
-	Checks        []BatchCheck
+	// Compiles counts term-pipeline runs (Model.CompileCount): the
+	// session mode compiles once, while the fresh mode recompiles each
+	// time a property builder grows the assert list.
+	Compiles int
+	Checks   []BatchCheck
 }
 
 // QueryTotal sums the per-check elapsed times plus the session setup,
@@ -172,6 +176,7 @@ func RunBatch(f *Fabric) (*BatchResult, error) {
 			Conflicts: res.Stats.Conflicts,
 		})
 	}
+	out.Fresh.Compiles = mf.CompileCount()
 	out.Fresh.Total = time.Since(start)
 
 	// Session mode: one model, one incremental session for all checks.
@@ -198,6 +203,7 @@ func RunBatch(f *Fabric) (*BatchResult, error) {
 		})
 	}
 	out.Session.SharedBlasts = sess.SharedBlasts()
+	out.Session.Compiles = ms.CompileCount()
 	out.Session.Total = time.Since(start)
 
 	for i := range props {

@@ -258,6 +258,11 @@ type Fabric struct {
 	FT *topogen.FatTree
 	G  *protograph.Graph
 
+	// Passes, when non-empty, overrides the optimization pipeline for
+	// every encode that does not already pin Options.Passes (the cmd
+	// -passes flag lands here).
+	Passes string
+
 	Obs           *obs.Span
 	ProgressEvery int64
 	OnProgress    func(sat.Progress)
@@ -266,6 +271,9 @@ type Fabric struct {
 // encode builds a model from the fabric with its observability wiring.
 func (f *Fabric) encode(opts core.Options) (*core.Model, error) {
 	opts.Span = f.Obs
+	if opts.Passes == "" {
+		opts.Passes = f.Passes
+	}
 	m, err := core.Encode(f.G, opts)
 	if err != nil {
 		return nil, err
@@ -394,20 +402,26 @@ type AblationRow struct {
 	Conflicts     int64
 }
 
-// AblationConfigs enumerates the §8.3 configurations.
+// AblationConfigs enumerates the §8.3 configurations: the naive
+// encoding, each optimization pass alone, and the full pipeline.
 func AblationConfigs() []struct {
 	Name string
 	Opts core.Options
 } {
-	return []struct {
+	out := []struct {
 		Name string
 		Opts core.Options
-	}{
-		{"none", core.Options{}},
-		{"hoisting", core.Options{Hoisting: true}},
-		{"slicing", core.Options{Slicing: true}},
-		{"hoisting+slicing", core.DefaultOptions()},
+	}{{"none", core.Options{Passes: "none"}}}
+	for _, name := range core.PassNames() {
+		out = append(out, struct {
+			Name string
+			Opts core.Options
+		}{name, core.Options{Passes: name}})
 	}
+	return append(out, struct {
+		Name string
+		Opts core.Options
+	}{"all", core.Options{Passes: "all"}})
 }
 
 // RunAblation measures the optimizations on single-source reachability

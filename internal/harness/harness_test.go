@@ -75,7 +75,7 @@ func TestAblationMonotone(t *testing.T) {
 		switch cfg.Name {
 		case "none":
 			none = row
-		case "hoisting+slicing":
+		case "all":
 			both = row
 		}
 	}

@@ -40,6 +40,10 @@ type Options struct {
 	// Timeout is the per-job default deadline (default 120s),
 	// overridable per request via TimeoutMs.
 	Timeout time.Duration
+	// Passes selects the optimization pipeline for every encoded
+	// network (core.Options.Passes syntax); empty keeps the default
+	// pipeline.
+	Passes string
 	// Trace receives the engine's counters and gauges; nil creates a
 	// private trace (exposed via Engine.Trace for /metrics).
 	Trace *obs.Trace
@@ -49,13 +53,20 @@ type Options struct {
 // encoded model and the incremental solver session. Its lock serializes
 // property construction and checking, because building property terms
 // interns into the model's unsynchronized term context.
+//
+// Entries are keyed by config hash, but the solver session is shared by
+// CompiledNetwork hash: when two config sets compile to structurally
+// identical constraint systems, the later entry records the earlier one
+// as its alias and checks hop to the canonical entry's session.
 type netEntry struct {
 	mu    sync.Mutex
 	built bool
 	err   error // permanent build failure, replayed to later jobs
 	g     *protograph.Graph
 	m     *core.Model
+	cn    *core.CompiledNetwork
 	sess  *core.Session
+	alias *netEntry // canonical entry owning the shared session, if any
 }
 
 // Job is one queued verification request. Jobs are created by Submit and
@@ -145,6 +156,7 @@ func (j *Job) View() View {
 type Engine struct {
 	tr      *obs.Trace
 	timeout time.Duration
+	passes  string
 
 	jobCh   chan *Job
 	wg      sync.WaitGroup
@@ -155,6 +167,7 @@ type Engine struct {
 	seq        int
 	jobs       map[string]*Job
 	nets       map[string]*netEntry
+	byCompile  map[string]*netEntry
 	cache      map[string]*Verdict
 	blastsSeen map[string]int
 }
@@ -174,12 +187,14 @@ func NewEngine(o Options) *Engine {
 		o.Trace = obs.New("service")
 	}
 	e := &Engine{
-		tr:      o.Trace,
-		timeout: o.Timeout,
-		jobCh:   make(chan *Job, o.QueueDepth),
-		jobs:    map[string]*Job{},
-		nets:    map[string]*netEntry{},
-		cache:   map[string]*Verdict{},
+		tr:        o.Trace,
+		timeout:   o.Timeout,
+		passes:    o.Passes,
+		jobCh:     make(chan *Job, o.QueueDepth),
+		jobs:      map[string]*Job{},
+		nets:      map[string]*netEntry{},
+		byCompile: map[string]*netEntry{},
+		cache:     map[string]*Verdict{},
 	}
 	e.wg.Add(o.Workers)
 	for i := 0; i < o.Workers; i++ {
@@ -392,12 +407,38 @@ func (e *Engine) build(ent *netEntry, configs map[string]string) error {
 	if err != nil {
 		return fmt.Errorf("service: graph: %w", err)
 	}
-	m, err := core.Encode(g, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.Passes = e.passes
+	m, err := core.Encode(g, opts)
 	if err != nil {
 		return fmt.Errorf("service: encode: %w", err)
 	}
-	ent.g, ent.m, ent.sess = g, m, m.NewSession()
+	cn := m.Compile()
+	e.tr.Add("service.compiles", 1)
+	ent.g, ent.m, ent.cn = g, m, cn
+	if canon := e.registerCompile(cn.Hash, ent); canon != nil {
+		// Another config set compiled to an identical constraint system:
+		// alias to it and share its session instead of blasting again.
+		ent.alias = canon
+		ent.g, ent.m = nil, nil
+		e.tr.Add("service.compile_reuse", 1)
+		return nil
+	}
+	ent.sess = m.NewSession()
 	e.tr.Add("service.session_builds", 1)
+	return nil
+}
+
+// registerCompile records ent as the canonical owner of a compiled-
+// network hash, or returns the already-registered owner when another
+// network compiled to the same system.
+func (e *Engine) registerCompile(hash string, ent *netEntry) *netEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if canon, ok := e.byCompile[hash]; ok {
+		return canon
+	}
+	e.byCompile[hash] = ent
 	return nil
 }
 
@@ -405,16 +446,26 @@ func (e *Engine) build(ent *netEntry, configs map[string]string) error {
 func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 	ent := e.netEntryFor(j.netKey)
 	ent.mu.Lock()
-	defer ent.mu.Unlock()
 	if !ent.built {
 		ent.built = true
 		ent.err = e.build(ent, j.configs)
 	} else if ent.err == nil {
 		e.tr.Add("service.session_reuse", 1)
 	}
-	if ent.err != nil {
-		return nil, ent.err
+	if err := ent.err; err != nil {
+		ent.mu.Unlock()
+		return nil, err
 	}
+	if canon := ent.alias; canon != nil {
+		// This config set compiled to the same system as an earlier
+		// network: hop to the canonical entry and use its session. The
+		// canonical entry is fully built — registration happens during
+		// its build, under its lock, which we take next.
+		ent.mu.Unlock()
+		ent = canon
+		ent.mu.Lock()
+	}
+	defer ent.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -435,14 +486,16 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 	}
 	core.RecordSolverMetrics(e.tr, res)
 	e.tr.Add("service.session_checks", 1)
-	e.tr.Add("service.session_shared_blasts", int64(ent.sess.SharedBlasts())-e.sharedBlastsSeen(j.netKey, ent.sess.SharedBlasts()))
+	e.tr.Add("service.session_shared_blasts", int64(ent.sess.SharedBlasts())-e.sharedBlastsSeen(ent.cn.Hash, ent.sess.SharedBlasts()))
 	return newVerdict(j.ID, j.Spec, res, ent.m), nil
 }
 
-// sharedBlastsSeen tracks the per-network shared-blast count already
-// folded into the service.session_shared_blasts counter, so the counter
-// equals the total number of times any network's shared formula N was
-// blasted (1 per network when sessions amortize perfectly).
+// sharedBlastsSeen tracks the per-session shared-blast count already
+// folded into the service.session_shared_blasts counter (keyed by the
+// compiled-network hash, since aliased networks share one session), so
+// the counter equals the total number of times any shared formula N was
+// blasted (1 per distinct compiled system when sessions amortize
+// perfectly).
 func (e *Engine) sharedBlastsSeen(netKey string, now int) int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()

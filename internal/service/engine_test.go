@@ -104,6 +104,47 @@ func TestEngineSessionReuseAcrossProperties(t *testing.T) {
 	}
 }
 
+func TestEngineCompileAliasing(t *testing.T) {
+	e := newTestEngine(t, 1)
+	spec := Spec{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"}
+	cfgs := chainConfigs(3)
+	v1, err := e.Verify(context.Background(), &Request{Configs: cfgs, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A comment-only edit changes the config hash but parses and compiles
+	// to an identical constraint system: the engine must recognize the
+	// compiled hash and reuse the first network's session.
+	edited := make(map[string]string, len(cfgs))
+	for n, text := range cfgs {
+		edited[n] = "! cosmetic comment\n" + text
+	}
+	v2, err := e.Verify(context.Background(), &Request{Configs: edited, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Cached {
+		t.Fatal("distinct config hash must miss the verdict cache")
+	}
+	if v1.Verified != v2.Verified {
+		t.Fatalf("aliased session changed the verdict: %v vs %v", v1.Verified, v2.Verified)
+	}
+	tr := e.Trace()
+	if compiles := tr.Counter("service.compiles"); compiles != 2 {
+		t.Fatalf("service.compiles=%d, want 2 (each config set compiles once)", compiles)
+	}
+	if reuse := tr.Counter("service.compile_reuse"); reuse != 1 {
+		t.Fatalf("service.compile_reuse=%d, want 1", reuse)
+	}
+	if builds := tr.Counter("service.session_builds"); builds != 1 {
+		t.Fatalf("session_builds=%d, want 1 (aliased network shares the session)", builds)
+	}
+	if blasts := tr.Counter("service.session_shared_blasts"); blasts != 1 {
+		t.Fatalf("session_shared_blasts=%d, want 1 across aliased networks", blasts)
+	}
+}
+
 func TestEngineCounterexample(t *testing.T) {
 	e := newTestEngine(t, 1)
 	// One hop is not enough to cross a 3-router chain: expect a violated

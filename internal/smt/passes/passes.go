@@ -1,0 +1,554 @@
+// Package passes is the term-level optimization pipeline that runs
+// between encoding and bit-blasting. The encoder produces a System — a
+// list of asserted terms over one hash-consing Context, plus optional
+// goal terms — and each Pass rewrites the assert list while preserving
+// the set of satisfying assignments projected onto the declared
+// variables (unit facts are kept as asserts, never erased, so model
+// decoding and counterexample replay see every variable constrained).
+//
+// The four passes generalize the paper's §6 formula-level rewrites into
+// reusable, independently measurable stages:
+//
+//   - fold: rebuilds every assert bottom-up through the Context's
+//     simplifying smart constructors (constant folding, identity and
+//     absorption rules). On freshly encoded terms this is close to a
+//     no-op — construction already folds — but after propagate has
+//     substituted facts it re-canonicalizes the DAG.
+//   - cse: structural sharing across asserted terms. The Context
+//     hash-conses every node, so sub-term sharing is implicit; the
+//     assert-level work is flattening top-level conjunctions into
+//     individual asserts and deduplicating structurally identical
+//     asserts, which both shrinks the list and exposes unit facts to
+//     propagate.
+//   - propagate: term-level unit and equality propagation. Facts of the
+//     shapes x, ¬x, x = const and x = y are substituted into every
+//     other assert to fixpoint. The fact asserts themselves stay.
+//   - coi: cone-of-influence pruning relative to the goals. Asserts
+//     sharing no variables — transitively — with any goal are dropped.
+//     Sound here because every pruned component of the network encoding
+//     admits a stable state on its own (the all-silent environment),
+//     so a model of the pruned system always extends to the full one.
+//
+// Passes are idempotent: running any pass twice in a row is a fixpoint
+// (the second run reports before == after).
+package passes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/smt"
+)
+
+// Canonical pass names, in canonical pipeline order.
+const (
+	Fold      = "fold"
+	CSE       = "cse"
+	Propagate = "propagate"
+	COI       = "coi"
+)
+
+// Names lists every term-level pass in canonical pipeline order.
+func Names() []string { return []string{Fold, CSE, Propagate, COI} }
+
+// System is the unit of compilation: the asserted constraint system and
+// (optionally) the goal terms of the query being compiled for. Passes
+// rewrite Asserts in place; Goals are read as cone-of-influence roots
+// and rewritten only under substitutions that keep them equivalent.
+type System struct {
+	Ctx     *smt.Context
+	Asserts []*smt.Term
+	// Goals are the query roots (assumptions and the negated property)
+	// for goal-relative passes; empty for property-agnostic compilation.
+	Goals []*smt.Term
+}
+
+// Stats reports one pass execution: assert/term/variable counts before
+// and after, and the pass's wall time. Terms and Vars count distinct DAG
+// nodes reachable from Asserts and Goals.
+type Stats struct {
+	Pass          string
+	AssertsBefore int
+	AssertsAfter  int
+	TermsBefore   int
+	TermsAfter    int
+	VarsBefore    int
+	VarsAfter     int
+	Elapsed       time.Duration
+}
+
+// Pass is one term-level rewrite over a System.
+type Pass interface {
+	Name() string
+	Run(*System) Stats
+}
+
+// New returns the pass with the given canonical name.
+func New(name string) (Pass, error) {
+	switch name {
+	case Fold:
+		return foldPass{}, nil
+	case CSE:
+		return csePass{}, nil
+	case Propagate:
+		return propagatePass{}, nil
+	case COI:
+		return coiPass{}, nil
+	}
+	return nil, fmt.Errorf("passes: unknown pass %q (known: %s)", name, strings.Join(Names(), ","))
+}
+
+// Pipeline is an ordered list of passes run as one compilation stage.
+type Pipeline struct {
+	Passes []Pass
+}
+
+// NewPipeline builds a pipeline from canonical names, preserving order.
+func NewPipeline(names ...string) (*Pipeline, error) {
+	p := &Pipeline{}
+	for _, n := range names {
+		pass, err := New(n)
+		if err != nil {
+			return nil, err
+		}
+		p.Passes = append(p.Passes, pass)
+	}
+	return p, nil
+}
+
+// Run executes the pipeline over the system. Each pass emits a child
+// span under sp (nil-safe) carrying its before/after counts, and the
+// per-pass stats are returned in execution order.
+func (p *Pipeline) Run(sys *System, sp *obs.Span) []Stats {
+	if p == nil || len(p.Passes) == 0 {
+		return nil
+	}
+	out := make([]Stats, 0, len(p.Passes))
+	for _, pass := range p.Passes {
+		psp := sp.Start("pass:" + pass.Name())
+		st := pass.Run(sys)
+		psp.SetInt("asserts_before", int64(st.AssertsBefore))
+		psp.SetInt("asserts_after", int64(st.AssertsAfter))
+		psp.SetInt("terms_before", int64(st.TermsBefore))
+		psp.SetInt("terms_after", int64(st.TermsAfter))
+		psp.SetInt("vars_before", int64(st.VarsBefore))
+		psp.SetInt("vars_after", int64(st.VarsAfter))
+		psp.End()
+		out = append(out, st)
+	}
+	return out
+}
+
+// measure wraps a pass body with before/after counting and timing.
+func measure(name string, sys *System, body func()) Stats {
+	st := Stats{Pass: name, AssertsBefore: len(sys.Asserts)}
+	st.TermsBefore, st.VarsBefore = sys.count()
+	start := time.Now()
+	body()
+	st.Elapsed = time.Since(start)
+	st.AssertsAfter = len(sys.Asserts)
+	st.TermsAfter, st.VarsAfter = sys.count()
+	return st
+}
+
+// count walks the DAG reachable from Asserts and Goals, returning the
+// number of distinct term nodes and of distinct variable nodes.
+func (sys *System) count() (terms, vars int) {
+	seen := map[*smt.Term]bool{}
+	var walk func(t *smt.Term)
+	walk = func(t *smt.Term) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		terms++
+		if op := t.Op(); op == smt.OpBoolVar || op == smt.OpBVVar {
+			vars++
+		}
+		for _, k := range t.Kids() {
+			walk(k)
+		}
+	}
+	for _, a := range sys.Asserts {
+		walk(a)
+	}
+	for _, g := range sys.Goals {
+		walk(g)
+	}
+	return terms, vars
+}
+
+// rewriter rebuilds terms through the Context's smart constructors with
+// an optional variable substitution, memoized over the DAG.
+type rewriter struct {
+	c     *smt.Context
+	subst map[*smt.Term]*smt.Term // variable node -> replacement
+	memo  map[*smt.Term]*smt.Term
+}
+
+func newRewriter(c *smt.Context, subst map[*smt.Term]*smt.Term) *rewriter {
+	return &rewriter{c: c, subst: subst, memo: map[*smt.Term]*smt.Term{}}
+}
+
+// resolve follows substitution chains (x -> y -> z) to their end.
+// Chains always point from higher to lower variable id or from variable
+// to constant, so they terminate.
+func (r *rewriter) resolve(t *smt.Term) *smt.Term {
+	for {
+		next, ok := r.subst[t]
+		if !ok {
+			return t
+		}
+		t = next
+	}
+}
+
+func (r *rewriter) rewrite(t *smt.Term) *smt.Term {
+	if out, ok := r.memo[t]; ok {
+		return out
+	}
+	c := r.c
+	var out *smt.Term
+	switch t.Op() {
+	case smt.OpTrue, smt.OpFalse, smt.OpBVConst:
+		out = t
+	case smt.OpBoolVar, smt.OpBVVar:
+		out = r.resolve(t)
+	default:
+		kids := t.Kids()
+		nk := make([]*smt.Term, len(kids))
+		for i, k := range kids {
+			nk[i] = r.rewrite(k)
+		}
+		switch t.Op() {
+		case smt.OpNot:
+			out = c.Not(nk[0])
+		case smt.OpAnd:
+			out = c.And(nk...)
+		case smt.OpOr:
+			out = c.Or(nk...)
+		case smt.OpIte:
+			out = c.Ite(nk[0], nk[1], nk[2])
+		case smt.OpEq:
+			out = c.Eq(nk[0], nk[1])
+		case smt.OpBVAdd:
+			out = c.Add(nk[0], nk[1])
+		case smt.OpBVSub:
+			out = c.Sub(nk[0], nk[1])
+		case smt.OpBVAnd:
+			out = c.BVAnd(nk[0], nk[1])
+		case smt.OpBVUle:
+			out = c.Ule(nk[0], nk[1])
+		case smt.OpBVUlt:
+			out = c.Ult(nk[0], nk[1])
+		default:
+			panic(fmt.Sprintf("passes: rewrite of unknown op %d", t.Op()))
+		}
+	}
+	r.memo[t] = out
+	return out
+}
+
+// foldPass rebuilds every assert and goal through the smart
+// constructors, re-applying the Context's constant folding and
+// algebraic simplifications over the whole DAG.
+type foldPass struct{}
+
+func (foldPass) Name() string { return Fold }
+
+func (foldPass) Run(sys *System) Stats {
+	return measure(Fold, sys, func() {
+		r := newRewriter(sys.Ctx, nil)
+		for i, a := range sys.Asserts {
+			sys.Asserts[i] = r.rewrite(a)
+		}
+		for i, g := range sys.Goals {
+			sys.Goals[i] = r.rewrite(g)
+		}
+	})
+}
+
+// csePass normalizes the assert list over the hash-consed DAG:
+// top-level conjunctions are flattened into individual asserts,
+// structurally identical asserts are deduplicated (pointer equality is
+// structural equality under hash-consing), and trivially true asserts
+// are dropped. A false assert collapses the system to a single false.
+type csePass struct{}
+
+func (csePass) Name() string { return CSE }
+
+func (csePass) Run(sys *System) Stats {
+	return measure(CSE, sys, func() {
+		sys.Asserts = normalizeAsserts(sys.Ctx, sys.Asserts)
+	})
+}
+
+// normalizeAsserts flattens conjunctions, dedupes and drops true.
+func normalizeAsserts(c *smt.Context, asserts []*smt.Term) []*smt.Term {
+	out := make([]*smt.Term, 0, len(asserts))
+	seen := map[*smt.Term]bool{}
+	var add func(t *smt.Term) bool // false when the system became unsat
+	add = func(t *smt.Term) bool {
+		if t.Op() == smt.OpAnd {
+			for _, k := range t.Kids() {
+				if !add(k) {
+					return false
+				}
+			}
+			return true
+		}
+		if t == c.True() || seen[t] {
+			return true
+		}
+		if t == c.False() {
+			return false
+		}
+		seen[t] = true
+		out = append(out, t)
+		return true
+	}
+	for _, a := range asserts {
+		if !add(a) {
+			return []*smt.Term{c.False()}
+		}
+	}
+	return out
+}
+
+// propagatePass performs unit and equality propagation at the term
+// level. It collects facts from single-assert shapes — a bare boolean
+// variable x (x is true), ¬x (x is false), x = const, and x = y
+// (variables of equal sort, higher id mapped to lower) — substitutes
+// them into every OTHER assert, and repeats until no new facts appear.
+// The fact asserts themselves are kept verbatim so the blasted formula
+// still constrains every variable and model decoding stays exact.
+type propagatePass struct{}
+
+func (propagatePass) Name() string { return Propagate }
+
+func (propagatePass) Run(sys *System) Stats {
+	return measure(Propagate, sys, func() {
+		c := sys.Ctx
+		subst := map[*smt.Term]*smt.Term{}
+		resolve := func(t *smt.Term) *smt.Term {
+			for {
+				next, ok := subst[t]
+				if !ok {
+					return t
+				}
+				t = next
+			}
+		}
+		isVar := func(t *smt.Term) bool {
+			return t.Op() == smt.OpBoolVar || t.Op() == smt.OpBVVar
+		}
+		// addFact merges v = val into the substitution, resolving both
+		// sides first so chains like {b = a, b = 5} become {b -> a,
+		// a -> 5} rather than a spurious contradiction. It returns false
+		// only on a genuine conflict (two distinct constants equated).
+		addFact := func(v, val *smt.Term) bool {
+			v, val = resolve(v), resolve(val)
+			if v == val {
+				return true
+			}
+			switch {
+			case isVar(v) && isVar(val):
+				// Map the higher id onto the lower: chains terminate.
+				if v.ID() < val.ID() {
+					v, val = val, v
+				}
+				subst[v] = val
+			case isVar(v):
+				subst[v] = val
+			case isVar(val):
+				subst[val] = v
+			default:
+				return false // two distinct constants
+			}
+			return true
+		}
+		for round := 0; round < 32; round++ {
+			// Phase 1: harvest facts; remember which asserts carry them.
+			isFact := make([]bool, len(sys.Asserts))
+			before := len(subst)
+			unsat := false
+			fact := func(i int, v, val *smt.Term) {
+				isFact[i] = true
+				if !addFact(v, val) {
+					unsat = true
+				}
+			}
+			for i, a := range sys.Asserts {
+				switch {
+				case a.Op() == smt.OpBoolVar:
+					fact(i, a, c.True())
+				case a.Op() == smt.OpNot && a.Kids()[0].Op() == smt.OpBoolVar:
+					fact(i, a.Kids()[0], c.False())
+				case a.Op() == smt.OpEq:
+					l, rr := a.Kids()[0], a.Kids()[1]
+					// Eq is canonicalized with the lower id first, so a
+					// var=var fact always maps the later variable onto
+					// the earlier and substitution chains terminate.
+					switch {
+					case l.Op() == smt.OpBVVar && rr.Op() == smt.OpBVConst:
+						fact(i, l, rr)
+					case l.Op() == smt.OpBVConst && rr.Op() == smt.OpBVVar:
+						fact(i, rr, l)
+					case l.Op() == smt.OpBVVar && rr.Op() == smt.OpBVVar,
+						l.Op() == smt.OpBoolVar && rr.Op() == smt.OpBoolVar:
+						fact(i, rr, l)
+					}
+				}
+			}
+			if unsat {
+				sys.Asserts = []*smt.Term{c.False()}
+				return
+			}
+			grew := len(subst) > before
+			if len(subst) == 0 {
+				return
+			}
+			// Phase 2: substitute into every non-fact assert and goal.
+			r := newRewriter(c, subst)
+			changed := false
+			for i, a := range sys.Asserts {
+				if isFact[i] {
+					continue
+				}
+				if nu := r.rewrite(a); nu != a {
+					sys.Asserts[i] = nu
+					changed = true
+				}
+			}
+			for i, g := range sys.Goals {
+				if nu := r.rewrite(g); nu != g {
+					sys.Goals[i] = nu
+					changed = true
+				}
+			}
+			sys.Asserts = normalizeAsserts(c, sys.Asserts)
+			if len(sys.Asserts) == 1 && sys.Asserts[0] == c.False() {
+				return
+			}
+			if !changed && !grew {
+				return
+			}
+		}
+	})
+}
+
+// coiPass prunes asserts outside the goals' cone of influence: the
+// variable graph is partitioned by "appears in the same assert", and
+// only asserts whose variables connect — transitively — to a goal
+// variable are kept. Variable-free asserts are true or false after
+// folding; false is kept, true dropped. With no goals, or goals with no
+// variables, the pass keeps everything (there is no cone to slice to).
+type coiPass struct{}
+
+func (coiPass) Name() string { return COI }
+
+func (coiPass) Run(sys *System) Stats {
+	return measure(COI, sys, func() {
+		goalVars := collectVars(sys.Goals)
+		if len(goalVars) == 0 {
+			return
+		}
+		// Union-find over variable names within one context (pointer
+		// identity works: variables are hash-consed).
+		uf := newUnionFind()
+		assertVars := make([][]*smt.Term, len(sys.Asserts))
+		for i, a := range sys.Asserts {
+			vs := collectVars([]*smt.Term{a})
+			assertVars[i] = vs
+			for j := 1; j < len(vs); j++ {
+				uf.union(vs[0], vs[j])
+			}
+		}
+		// Expand to fixpoint implicitly: union-find already merges the
+		// components, so one root lookup per goal variable suffices.
+		inCone := map[*smt.Term]bool{}
+		for _, v := range goalVars {
+			inCone[uf.find(v)] = true
+		}
+		kept := sys.Asserts[:0]
+		for i, a := range sys.Asserts {
+			if len(assertVars[i]) == 0 {
+				if a != sys.Ctx.True() {
+					kept = append(kept, a)
+				}
+				continue
+			}
+			if inCone[uf.find(assertVars[i][0])] {
+				kept = append(kept, a)
+			}
+		}
+		sys.Asserts = kept
+	})
+}
+
+// collectVars returns the distinct variable nodes reachable from the
+// roots, in deterministic (id) order.
+func collectVars(roots []*smt.Term) []*smt.Term {
+	seen := map[*smt.Term]bool{}
+	var vars []*smt.Term
+	var walk func(t *smt.Term)
+	walk = func(t *smt.Term) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		if op := t.Op(); op == smt.OpBoolVar || op == smt.OpBVVar {
+			vars = append(vars, t)
+		}
+		for _, k := range t.Kids() {
+			walk(k)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].ID() < vars[j].ID() })
+	return vars
+}
+
+// unionFind is a plain disjoint-set over term pointers with path
+// halving and union by size.
+type unionFind struct {
+	parent map[*smt.Term]*smt.Term
+	size   map[*smt.Term]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: map[*smt.Term]*smt.Term{}, size: map[*smt.Term]int{}}
+}
+
+func (u *unionFind) find(t *smt.Term) *smt.Term {
+	if _, ok := u.parent[t]; !ok {
+		u.parent[t] = t
+		u.size[t] = 1
+		return t
+	}
+	root := t
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[t] != root {
+		u.parent[t], t = root, u.parent[t]
+	}
+	return root
+}
+
+func (u *unionFind) union(a, b *smt.Term) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

@@ -1,0 +1,233 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/smt"
+)
+
+// newSys builds a System over a fresh context via the given builder.
+func newSys(build func(c *smt.Context) ([]*smt.Term, []*smt.Term)) *System {
+	c := smt.NewContext()
+	asserts, goals := build(c)
+	return &System{Ctx: c, Asserts: asserts, Goals: goals}
+}
+
+// solve reports the sat status string of the system's asserts conjoined
+// with its goals.
+func solve(sys *System) string {
+	s := smt.NewSolver(sys.Ctx)
+	for _, a := range sys.Asserts {
+		s.Assert(a)
+	}
+	for _, g := range sys.Goals {
+		s.Assert(g)
+	}
+	return s.Check().String()
+}
+
+// clone copies the mutable slices so the same logical system can be run
+// through different pipelines.
+func clone(sys *System) *System {
+	return &System{
+		Ctx:     sys.Ctx,
+		Asserts: append([]*smt.Term(nil), sys.Asserts...),
+		Goals:   append([]*smt.Term(nil), sys.Goals...),
+	}
+}
+
+// buildMixed is a small system exercising every pass: a unit bool, a
+// var=const unit, a conjunction to flatten, a duplicated assert, and a
+// variable cluster disconnected from the goal.
+func buildMixed(c *smt.Context) ([]*smt.Term, []*smt.Term) {
+	x, y := c.BoolVar("x"), c.BoolVar("y")
+	a := c.BVVar("a", 8)
+	b := c.BVVar("b", 8)
+	island := c.BoolVar("island")
+	island2 := c.BoolVar("island2")
+	asserts := []*smt.Term{
+		x,
+		c.Eq(a, c.BV(7, 8)),
+		c.And(c.Or(x, y), c.Ule(a, b)),
+		c.Or(x, y), // duplicate after flattening
+		c.Or(island, island2),
+	}
+	goals := []*smt.Term{c.Ult(b, c.BV(100, 8))}
+	return asserts, goals
+}
+
+func TestEachPassIsIdempotent(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sys := newSys(buildMixed)
+			pass, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := pass.Run(sys)
+			snapshot := append([]*smt.Term(nil), sys.Asserts...)
+			second := pass.Run(sys)
+			if second.AssertsBefore != second.AssertsAfter ||
+				second.TermsBefore != second.TermsAfter {
+				t.Fatalf("second run not a fixpoint: %+v (first %+v)", second, first)
+			}
+			if len(sys.Asserts) != len(snapshot) {
+				t.Fatalf("second run changed assert count: %d -> %d", len(snapshot), len(sys.Asserts))
+			}
+			for i := range snapshot {
+				if sys.Asserts[i] != snapshot[i] {
+					t.Fatalf("second run changed assert %d: %v -> %v", i, snapshot[i], sys.Asserts[i])
+				}
+			}
+		})
+	}
+}
+
+func TestEachPassPreservesSatisfiability(t *testing.T) {
+	builders := map[string]func(c *smt.Context) ([]*smt.Term, []*smt.Term){
+		"mixed": buildMixed,
+		"unsat": func(c *smt.Context) ([]*smt.Term, []*smt.Term) {
+			x := c.BoolVar("x")
+			a := c.BVVar("a", 4)
+			return []*smt.Term{x, c.Not(x), c.Eq(a, c.BV(1, 4))}, nil
+		},
+		"eq-chain": func(c *smt.Context) ([]*smt.Term, []*smt.Term) {
+			a, b, d := c.BVVar("a", 8), c.BVVar("b", 8), c.BVVar("d", 8)
+			return []*smt.Term{c.Eq(a, b), c.Eq(b, c.BV(5, 8)), c.Ult(d, a)}, []*smt.Term{c.Ugt(d, c.BV(1, 8))}
+		},
+		"eq-conflict": func(c *smt.Context) ([]*smt.Term, []*smt.Term) {
+			a, b := c.BVVar("a", 8), c.BVVar("b", 8)
+			return []*smt.Term{c.Eq(a, b), c.Eq(b, c.BV(5, 8)), c.Eq(a, c.BV(6, 8))}, nil
+		},
+	}
+	for bname, build := range builders {
+		for _, pname := range Names() {
+			bname, pname, build := bname, pname, build
+			t.Run(bname+"/"+pname, func(t *testing.T) {
+				base := newSys(build)
+				want := solve(clone(base))
+				pass, err := New(pname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pass.Run(base)
+				if got := solve(base); got != want {
+					t.Fatalf("pass %s changed status: %s -> %s", pname, want, got)
+				}
+			})
+		}
+	}
+}
+
+func TestPropagateKeepsUnitAsserts(t *testing.T) {
+	sys := newSys(func(c *smt.Context) ([]*smt.Term, []*smt.Term) {
+		x := c.BoolVar("x")
+		a := c.BVVar("a", 8)
+		return []*smt.Term{x, c.Eq(a, c.BV(7, 8)), c.Implies(x, c.Ule(a, c.BV(9, 8)))}, nil
+	})
+	pass, _ := New(Propagate)
+	pass.Run(sys)
+	c := sys.Ctx
+	hasX, hasEq := false, false
+	for _, a := range sys.Asserts {
+		if a == c.BoolVar("x") {
+			hasX = true
+		}
+		if a == c.Eq(c.BVVar("a", 8), c.BV(7, 8)) {
+			hasEq = true
+		}
+	}
+	if !hasX || !hasEq {
+		t.Fatalf("unit facts were dropped: hasX=%v hasEq=%v asserts=%v", hasX, hasEq, sys.Asserts)
+	}
+	// The implication is discharged: x ∧ a=7 makes it a ≤ 9, i.e. true,
+	// so only the two unit facts remain.
+	if len(sys.Asserts) != 2 {
+		t.Fatalf("expected 2 asserts after propagation, got %v", sys.Asserts)
+	}
+}
+
+func TestCSEFlattensAndDedupes(t *testing.T) {
+	sys := newSys(func(c *smt.Context) ([]*smt.Term, []*smt.Term) {
+		x, y, z := c.BoolVar("x"), c.BoolVar("y"), c.BoolVar("z")
+		dup := c.Or(x, y)
+		return []*smt.Term{c.And(dup, z), dup, c.True()}, nil
+	})
+	pass, _ := New(CSE)
+	st := pass.Run(sys)
+	if st.AssertsAfter != 2 {
+		t.Fatalf("want 2 asserts (or(x,y), z), got %d: %v", st.AssertsAfter, sys.Asserts)
+	}
+}
+
+func TestCOIPrunesDisconnectedAsserts(t *testing.T) {
+	sys := newSys(buildMixed)
+	pass, _ := New(COI)
+	st := pass.Run(sys)
+	if st.AssertsAfter >= st.AssertsBefore {
+		t.Fatalf("coi pruned nothing: %+v", st)
+	}
+	c := sys.Ctx
+	for _, a := range sys.Asserts {
+		if a == c.Or(c.BoolVar("island"), c.BoolVar("island2")) {
+			t.Fatalf("island assert not pruned: %v", sys.Asserts)
+		}
+	}
+	// The goal mentions b; a ≤ b connects a's cluster, so the units stay.
+	found := false
+	for _, a := range sys.Asserts {
+		if a == c.Eq(c.BVVar("a", 8), c.BV(7, 8)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("goal-connected assert was pruned: %v", sys.Asserts)
+	}
+}
+
+func TestCOIKeepsEverythingWithoutGoals(t *testing.T) {
+	sys := newSys(func(c *smt.Context) ([]*smt.Term, []*smt.Term) {
+		asserts, _ := buildMixed(c)
+		return asserts, nil
+	})
+	pass, _ := New(COI)
+	st := pass.Run(sys)
+	if st.AssertsBefore != st.AssertsAfter {
+		t.Fatalf("coi with no goals must keep everything: %+v", st)
+	}
+}
+
+func TestPipelineParseAndRun(t *testing.T) {
+	if _, err := NewPipeline("fold", "bogus"); err == nil {
+		t.Fatal("expected error for unknown pass name")
+	}
+	p, err := NewPipeline(Names()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newSys(buildMixed)
+	want := solve(clone(sys))
+	stats := p.Run(sys, nil)
+	if len(stats) != len(Names()) {
+		t.Fatalf("want %d stats rows, got %d", len(Names()), len(stats))
+	}
+	for i, st := range stats {
+		if st.Pass != Names()[i] {
+			t.Fatalf("stats out of order: %v", stats)
+		}
+	}
+	if got := solve(sys); got != want {
+		t.Fatalf("pipeline changed status: %s -> %s", want, got)
+	}
+}
+
+func TestFoldRewritesAfterSubstitution(t *testing.T) {
+	// fold alone on freshly constructed terms is an identity.
+	sys := newSys(buildMixed)
+	pass, _ := New(Fold)
+	st := pass.Run(sys)
+	if st.AssertsBefore != st.AssertsAfter || st.TermsBefore != st.TermsAfter {
+		t.Fatalf("fold on fresh terms should be identity: %+v", st)
+	}
+}

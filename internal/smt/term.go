@@ -57,6 +57,11 @@ type Term struct {
 // Op returns the term's operator.
 func (t *Term) Op() Op { return t.op }
 
+// ID returns the term's hash-consing id, unique and stable within its
+// Context. The pass pipeline uses it for dense maps and canonical
+// ordering; ids are meaningless across contexts.
+func (t *Term) ID() int32 { return t.id }
+
 // IsBool reports whether the term has boolean sort.
 func (t *Term) IsBool() bool { return t.width == 0 }
 
