@@ -9,13 +9,24 @@
 //
 //	bench -experiment violations [-count 152] [-seed 1]
 //	bench -experiment fig7       [-count 152] [-seed 1]
-//	bench -experiment fig8       [-pods 2,4,6] [-props all] [-json-out BENCH_fig8.json]
+//	bench -experiment fig8       [-pods 2,4,6] [-props all] [-json-out BENCH_fig8.json] [-certify]
 //	bench -experiment ablation   [-pods 4]
 //	bench -experiment service    [-pods 2] [-json-out BENCH_service.json]
+//	bench -experiment fuzz       [-iters 2] [-seed 1]
 //
 // The service experiment measures the batch engine's amortization: the
 // same ≥10-property suite on one fabric, verified once with a fresh
 // solver per property and once over a single incremental session.
+//
+// With -certify, fig8 records a DRAT proof trace per query and replays it
+// through the independent checker; the proof_steps/proof_lemmas/
+// proof_check_ms columns report the certificate size and overhead.
+//
+// The fuzz experiment is a deterministic smoke run of the differential
+// fuzzing subsystem (internal/fuzz): every scenario family is generated
+// -iters times and pushed through all oracles — simulator differential,
+// pass-pipeline/renaming/execution-path metamorphic parity, and DRAT
+// certification of every UNSAT verdict.
 //
 // Observability: -trace-json FILE dumps the span tree of a fig8/ablation
 // run as JSON, and -progress N prints solver progress to stderr every N
@@ -33,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fuzz"
 	"repro/internal/harness"
 	"repro/internal/netgen"
 	"repro/internal/obs"
@@ -50,6 +62,8 @@ func main() {
 		traceJSON  = flag.String("trace-json", "", "write the fig8/ablation span tree as JSON to this file")
 		progress   = flag.String("progress", "", "print solver progress to stderr every N conflicts")
 		passesFlag = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all; ablation pins its own)")
+		certify    = flag.Bool("certify", false, "fig8: record DRAT proofs and check verified verdicts, adding the proof columns")
+		iters      = flag.Int("iters", 2, "fuzz: iterations per scenario family")
 	)
 	flag.Parse()
 	if err := core.ValidatePasses(*passesFlag); err != nil {
@@ -78,7 +92,7 @@ func main() {
 	case "fig7":
 		err = runFig7(*count, *seed)
 	case "fig8":
-		err = runFig8(parseInts(*podsFlag), parseProps(*propsFlag), *jsonOut, tr, every, *passesFlag)
+		err = runFig8(parseInts(*podsFlag), parseProps(*propsFlag), *jsonOut, tr, every, *passesFlag, *certify)
 	case "ablation":
 		ks := parseInts(*podsFlag)
 		if len(ks) == 0 {
@@ -95,8 +109,10 @@ func main() {
 			ks = []int{2}
 		}
 		err = runService(ks, out, tr, every, *passesFlag)
+	case "fuzz":
+		err = runFuzz(*iters, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|ablation|service")
+		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|ablation|service|fuzz")
 		os.Exit(2)
 	}
 	if err == nil && tr != nil {
@@ -221,24 +237,27 @@ func ms(nc *harness.NetCheck, prop string) float64 {
 // diffable form of the Figure 8 table, so performance can be compared
 // across revisions without parsing the text output.
 type fig8JSON struct {
-	Pods       int     `json:"pods"`
-	Routers    int     `json:"routers"`
-	Property   string  `json:"property"`
-	Ms         float64 `json:"ms"`
-	EncodeMs   float64 `json:"encode_ms"`
-	SimplifyMs float64 `json:"simplify_ms"`
-	SolveMs    float64 `json:"solve_ms"`
-	Verified   bool    `json:"verified"`
-	SATVars    int     `json:"sat_vars"`
-	SATClauses int     `json:"sat_clauses"`
-	Conflicts  int64   `json:"conflicts"`
+	Pods         int     `json:"pods"`
+	Routers      int     `json:"routers"`
+	Property     string  `json:"property"`
+	Ms           float64 `json:"ms"`
+	EncodeMs     float64 `json:"encode_ms"`
+	SimplifyMs   float64 `json:"simplify_ms"`
+	SolveMs      float64 `json:"solve_ms"`
+	Verified     bool    `json:"verified"`
+	SATVars      int     `json:"sat_vars"`
+	SATClauses   int     `json:"sat_clauses"`
+	Conflicts    int64   `json:"conflicts"`
+	ProofSteps   int     `json:"proof_steps,omitempty"`
+	ProofLemmas  int     `json:"proof_lemmas,omitempty"`
+	ProofCheckMs float64 `json:"proof_check_ms,omitempty"`
 }
 
 // runFig8 reproduces Figure 8: verification time per property per fabric
 // size.
-func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every int64, passes string) error {
+func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every int64, passes string, certify bool) error {
 	fmt.Println("# Figure 8: verification time (ms) per property and fabric size")
-	fmt.Println("pods\trouters\tproperty\tms\tencode_ms\tsimplify_ms\tsolve_ms\tverified\tsat_vars\tsat_clauses\tconflicts")
+	fmt.Println("pods\trouters\tproperty\tms\tencode_ms\tsimplify_ms\tsolve_ms\tverified\tsat_vars\tsat_clauses\tconflicts\tproof_steps\tproof_lemmas\tproof_check_ms")
 	var art []fig8JSON
 	for _, k := range pods {
 		f, err := harness.BuildFabric(k)
@@ -246,6 +265,7 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 			return err
 		}
 		f.Passes = passes
+		f.Certify = certify
 		var podSp *obs.Span
 		if tr != nil {
 			podSp = tr.Root().Start(fmt.Sprintf("pods:%d", k))
@@ -263,16 +283,19 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 			toMs := func(d interface{ Microseconds() int64 }) float64 {
 				return float64(d.Microseconds()) / 1000
 			}
-			fmt.Printf("%d\t%d\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%v\t%d\t%d\t%d\n",
+			fmt.Printf("%d\t%d\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%v\t%d\t%d\t%d\t%d\t%d\t%.1f\n",
 				row.Pods, row.Routers, row.Property,
 				toMs(row.Elapsed), toMs(row.Encode), toMs(row.Simplify), toMs(row.Solve),
-				row.Verified, row.SATVars, row.SATClauses, row.Conflicts)
+				row.Verified, row.SATVars, row.SATClauses, row.Conflicts,
+				row.ProofSteps, row.ProofLemmas, toMs(row.ProofCheck))
 			art = append(art, fig8JSON{
 				Pods: row.Pods, Routers: row.Routers, Property: row.Property,
 				Ms: toMs(row.Elapsed), EncodeMs: toMs(row.Encode),
 				SimplifyMs: toMs(row.Simplify), SolveMs: toMs(row.Solve),
 				Verified: row.Verified, SATVars: row.SATVars,
 				SATClauses: row.SATClauses, Conflicts: row.Conflicts,
+				ProofSteps: row.ProofSteps, ProofLemmas: row.ProofLemmas,
+				ProofCheckMs: toMs(row.ProofCheck),
 			})
 		}
 		podSp.End()
@@ -400,6 +423,36 @@ func runService(pods []int, jsonOut string, tr *obs.Trace, every int64, passes s
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d rows)\n", jsonOut, len(art))
+	return nil
+}
+
+// runFuzz is the deterministic smoke run of the fuzzing subsystem: every
+// scenario family from internal/fuzz is generated -iters times and pushed
+// through all oracles (simulator differential where sim-safe, metamorphic
+// parity, DRAT certification of every UNSAT verdict). Any disagreement
+// aborts the run with the reproducing seed bytes.
+func runFuzz(iters int, seed int64) error {
+	fmt.Printf("# fuzz smoke: %d iteration(s) over %d scenario families (seed %d)\n",
+		iters, fuzz.Families(), seed)
+	fmt.Println("family\tscenario\tsimsafe\toracles_ms")
+	total := 0
+	for it := 0; it < iters; it++ {
+		for fam := 0; fam < fuzz.Families(); fam++ {
+			data := []byte{byte(fam), byte(seed), byte(seed >> 8), byte(it)}
+			s, rng, err := fuzz.FromSeed(data)
+			if err != nil {
+				return fmt.Errorf("fuzz family %d iter %d: %w", fam, it, err)
+			}
+			start := time.Now()
+			if err := s.CheckAll(rng, 2); err != nil {
+				return fmt.Errorf("fuzz %s (seed % x): %w", s.Name, data, err)
+			}
+			fmt.Printf("%d\t%s\t%v\t%.1f\n", fam, s.Name, s.SimSafe,
+				float64(time.Since(start).Microseconds())/1000)
+			total++
+		}
+	}
+	fmt.Printf("# %d scenarios checked, all oracles agree\n", total)
 	return nil
 }
 

@@ -25,6 +25,13 @@
 //	-trace-json FILE  writes the span tree + metrics as JSON
 //	-prom FILE        writes the metrics in Prometheus text format
 //	-progress N       prints solver progress to stderr every N conflicts
+//
+// Certification:
+//
+//	-certify          records a DRAT proof trace in the SAT core and replays
+//	                  it through the independent checker before reporting any
+//	                  "verified" verdict; the proof size and check time are
+//	                  printed (and included in the -json object)
 package main
 
 import (
@@ -51,7 +58,7 @@ import (
 type cliOpts struct {
 	dir, check, src, via, subnet, pair string
 	hops, maxLen, maxFailures          int
-	verbose, replay, jsonOut           bool
+	verbose, replay, jsonOut, certify  bool
 	traceJSON, promOut                 string
 	passes                             string
 	progressEvery                      int64
@@ -74,6 +81,7 @@ func main() {
 	flag.StringVar(&o.traceJSON, "trace-json", "", "write the span tree and metrics as JSON to this file")
 	flag.StringVar(&o.promOut, "prom", "", "write the metrics in Prometheus text format to this file")
 	flag.StringVar(&o.passes, "passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
+	flag.BoolVar(&o.certify, "certify", false, "record a DRAT proof trace and check verified verdicts with the independent checker")
 	flag.Int64Var(&o.progressEvery, "progress", 0, "print solver progress to stderr every N conflicts")
 	flag.Parse()
 	if o.dir == "" || o.check == "" {
@@ -119,6 +127,7 @@ func run(o cliOpts) error {
 	if err := core.ValidatePasses(o.passes); err != nil {
 		return err
 	}
+	opts.Certify = o.certify
 	opts.Span = tr.Root()
 	progress := func(p sat.Progress) {
 		fmt.Fprintf(os.Stderr, "progress: conflicts=%d decisions=%d propagations=%d learned=%d restarts=%d\n",
@@ -335,8 +344,20 @@ type jsonReport struct {
 	SATVars        int        `json:"sat_vars,omitempty"`
 	SATClauses     int        `json:"sat_clauses,omitempty"`
 	Solver         *jsonStats `json:"solver,omitempty"`
+	Proof          *jsonProof `json:"proof,omitempty"`
 	Counterexample *jsonCex   `json:"counterexample,omitempty"`
 	Difference     string     `json:"difference,omitempty"`
+}
+
+// jsonProof reports the checked DRAT certificate behind a verified
+// verdict (-certify only).
+type jsonProof struct {
+	Checked   bool    `json:"checked"`
+	Steps     int     `json:"steps"`
+	Inputs    int     `json:"inputs"`
+	Lemmas    int     `json:"lemmas"`
+	Deletions int     `json:"deletions"`
+	CheckMs   float64 `json:"check_ms"`
 }
 
 type jsonStats struct {
@@ -392,6 +413,13 @@ func emitJSONResult(o cliOpts, res *core.Result, m *core.Model, tr *obs.Trace) e
 			Learned:      res.Stats.Learned,
 			Restarts:     res.Stats.Restarts,
 		},
+	}
+	if cert := res.Certificate; cert != nil {
+		rep.Proof = &jsonProof{
+			Checked: cert.Checked, Steps: cert.Steps,
+			Inputs: cert.Inputs, Lemmas: cert.Lemmas, Deletions: cert.Deletions,
+			CheckMs: durMs(cert.CheckElapsed),
+		}
 	}
 	if cex := res.Counterexample; cex != nil {
 		jc := &jsonCex{
@@ -449,6 +477,10 @@ func emitJSON(rep jsonReport) error {
 
 func report(check string, res *core.Result, m *core.Model, verbose bool) {
 	fmt.Println(properties.Describe(check, res))
+	if cert := res.Certificate; cert != nil {
+		fmt.Printf("proof: checked (%d steps, %d lemmas, %d deletions, %.1fms check)\n",
+			cert.Steps, cert.Lemmas, cert.Deletions, durMs(cert.CheckElapsed))
+	}
 	if verbose && res.Counterexample != nil && m != nil {
 		fmt.Println("forwarding state:")
 		for _, line := range m.DecodeForwarding(m.Main, res.Counterexample.Assignment) {

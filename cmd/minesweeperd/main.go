@@ -46,24 +46,26 @@ func main() {
 		queue   = flag.Int("queue", 64, "maximum queued jobs before 429s")
 		timeout = flag.Duration("timeout", 120*time.Second, "default per-job deadline")
 		passes  = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
+		certify = flag.Bool("certify", false, "record DRAT proof traces and check verified verdicts with the independent checker")
 	)
 	flag.Parse()
 	if err := core.ValidatePasses(*passes); err != nil {
 		fmt.Fprintln(os.Stderr, "minesweeperd:", err)
 		os.Exit(2)
 	}
-	if err := run(*listen, *workers, *queue, *timeout, *passes); err != nil {
+	if err := run(*listen, *workers, *queue, *timeout, *passes, *certify); err != nil {
 		fmt.Fprintln(os.Stderr, "minesweeperd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, workers, queue int, timeout time.Duration, passes string) error {
+func run(listen string, workers, queue int, timeout time.Duration, passes string, certify bool) error {
 	engine := service.NewEngine(service.Options{
 		Workers:    workers,
 		QueueDepth: queue,
 		Timeout:    timeout,
 		Passes:     passes,
+		Certify:    certify,
 		Trace:      obs.New("minesweeperd"),
 	})
 	defer engine.Close()

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/smt"
+	"repro/internal/testnets"
+)
+
+func certifyOptions() Options {
+	o := DefaultOptions()
+	o.Certify = true
+	return o
+}
+
+// TestCertifyFreshCheck: with Options.Certify on, every UNSAT verdict of
+// Model.Check carries a checked certificate; SAT verdicts carry none.
+func TestCertifyFreshCheck(t *testing.T) {
+	net := testnets.OSPFChain(3)
+	m, err := Encode(net.Graph, certifyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Ctx
+
+	res, err := m.Check(c.True()) // ¬True is unsatisfiable outright
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("trivially true property not verified")
+	}
+	if res.Certificate == nil || !res.Certificate.Checked {
+		t.Fatalf("verified verdict without checked certificate: %+v", res.Certificate)
+	}
+	if res.Certificate.Steps == 0 || res.Certificate.Inputs == 0 {
+		t.Fatalf("degenerate certificate: %+v", res.Certificate)
+	}
+
+	res, err = m.Check(c.False()) // any stable state violates False
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified {
+		t.Fatal("False verified")
+	}
+	if res.Certificate != nil {
+		t.Fatal("SAT verdict carries a certificate")
+	}
+}
+
+// TestCertifyRealProperty runs a meaningful verified property through
+// certification: reachability of the stub owner under no failures.
+func TestCertifyRealProperty(t *testing.T) {
+	net := testnets.OSPFChain(3)
+	m, err := Encode(net.Graph, certifyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Ctx
+	dst := testnets.StubIP(3)
+	prop := m.Reach(m.Main, true)["R1"]
+	pin := c.Eq(m.DstIP, c.BV(uint64(dst), WidthIP))
+	res, err := m.Check(prop, m.NoFailures(), pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("R1 should reach R3's stub with no failures")
+	}
+	if res.Certificate == nil || res.Certificate.Lemmas < 0 {
+		t.Fatalf("missing certificate: %+v", res.Certificate)
+	}
+}
+
+// TestCertifySession: session UNSATs are certified under the activation
+// literal, across several checks of the same session.
+func TestCertifySession(t *testing.T) {
+	net := testnets.OSPFChain(3)
+	m, err := Encode(net.Graph, certifyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Ctx
+	s := m.NewSession()
+	dst := testnets.StubIP(3)
+	pin := c.Eq(m.DstIP, c.BV(uint64(dst), WidthIP))
+	prop := m.Reach(m.Main, true)["R1"]
+	for i := 0; i < 3; i++ {
+		res, err := s.Check(prop, m.NoFailures(), pin)
+		if err != nil {
+			t.Fatalf("check %d: %v", i, err)
+		}
+		if !res.Verified {
+			t.Fatalf("check %d: not verified", i)
+		}
+		if res.Certificate == nil || !res.Certificate.Checked {
+			t.Fatalf("check %d: no certificate", i)
+		}
+	}
+	// A falsified query in the same session: no certificate, no error.
+	res, err := s.Check(c.False())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified || res.Certificate != nil {
+		t.Fatalf("False query: verified=%v cert=%v", res.Verified, res.Certificate)
+	}
+}
+
+// TestSessionInvalidated is the regression for the stale-session fix:
+// replacing or truncating already-blasted asserts must turn later session
+// checks into ErrSessionInvalidated, not silently stale verdicts.
+// Restoring the original assert list heals the session.
+func TestSessionInvalidated(t *testing.T) {
+	net := testnets.OSPFChain(2)
+	m, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Ctx
+	s := m.NewSession()
+	if _, err := s.Check(c.True()); err != nil {
+		t.Fatalf("baseline check: %v", err)
+	}
+
+	// Splice: same length, different final assert — the EquivPair.Check
+	// pattern applied to already-blasted entries.
+	saved := m.Asserts
+	spliced := append([]*smt.Term(nil), saved...)
+	spliced[len(spliced)-1] = c.True()
+	m.Asserts = spliced
+	if _, err := s.Check(c.True()); !errors.Is(err, ErrSessionInvalidated) {
+		t.Fatalf("spliced asserts: got err=%v, want ErrSessionInvalidated", err)
+	}
+
+	// Truncation below the blasted prefix.
+	m.Asserts = saved[:len(saved)-1]
+	if _, err := s.Check(c.True()); !errors.Is(err, ErrSessionInvalidated) {
+		t.Fatalf("truncated asserts: got err=%v, want ErrSessionInvalidated", err)
+	}
+
+	// Restore: the blasted prefix is intact again, checks resume.
+	m.Asserts = saved
+	if _, err := s.Check(c.True()); err != nil {
+		t.Fatalf("restored asserts: %v", err)
+	}
+
+	// Appending (the supported builder pattern) keeps working.
+	m.Asserts = append(m.Asserts, c.True())
+	if _, err := s.Check(c.True()); err != nil {
+		t.Fatalf("appended asserts: %v", err)
+	}
+}

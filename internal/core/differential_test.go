@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"testing"
 
 	"repro/internal/config"
@@ -11,141 +10,26 @@ import (
 	"repro/internal/testnets"
 )
 
-// pinEnvironment constrains the model to one concrete environment and
-// packet, so the formula's stable state can be compared against the
-// simulator's.
-func pinEnvironment(m *Model, dst network.IP, env *simulator.Environment) []*smt.Term {
-	c := m.Ctx
-	var out []*smt.Term
-	out = append(out,
-		c.Eq(m.DstIP, c.BV(uint64(dst), WidthIP)),
-		c.Eq(m.SrcIP, c.BV(0, WidthIP)),
-		c.Eq(m.SrcPort, c.BV(0, 16)),
-		c.Eq(m.DstPort, c.BV(80, 16)),
-		c.Eq(m.IPProto, c.BV(6, 8)),
-	)
-	pinSliceEnv := func(sl *Slice, sliceDst network.IP) {
-		for _, e := range m.G.Topo.Externals {
-			rec := sl.Env[e.Name]
-			ann := env.Anns[e.Name]
-			if ann == nil || !ann.Prefix.Contains(sliceDst) {
-				out = append(out, c.Not(rec.Valid))
-				continue
-			}
-			out = append(out,
-				rec.Valid,
-				c.Eq(rec.PrefixLen, c.BV(uint64(ann.Prefix.Len), WidthPrefixLen)),
-				c.Eq(rec.Metric, c.BV(uint64(ann.PathLen), WidthMetric)),
-			)
-			if m.medActive {
-				out = append(out, c.Eq(rec.MED, c.BV(uint64(ann.MED), WidthMED)))
-			}
-			if rec.Prefix != nil {
-				out = append(out, c.Eq(rec.Prefix, c.BV(uint64(ann.Prefix.Addr), WidthIP)))
-			}
-			has := map[string]bool{}
-			for _, cm := range ann.Communities {
-				has[cm] = true
-			}
-			for cm, bit := range rec.Comms {
-				if bit.Op() != smt.OpBoolVar {
-					continue
-				}
-				if has[cm] {
-					out = append(out, bit)
-				} else {
-					out = append(out, c.Not(bit))
-				}
-			}
-		}
-	}
-	pinSliceEnv(m.Main, dst)
-	for addr, sl := range m.Addr {
-		pinSliceEnv(sl, addr)
-	}
-	for id, v := range m.Failed {
-		if env.FailedLinks[id] {
-			out = append(out, v)
-		} else {
-			out = append(out, c.Not(v))
-		}
-	}
-	return out
-}
-
-// solveConcrete pins the environment and extracts the unique stable state.
+// solveConcrete pins the environment and extracts the unique stable
+// state (test wrapper over Model.SolveConcrete).
 func solveConcrete(t *testing.T, m *Model, dst network.IP, env *simulator.Environment) smt.Assignment {
 	t.Helper()
-	c := m.Ctx
-	solver := smt.NewSolver(c)
-	for _, a := range m.Asserts {
-		solver.Assert(a)
+	asg, err := m.SolveConcrete(dst, env)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, a := range pinEnvironment(m, dst, env) {
-		solver.Assert(a)
-	}
-	st := solver.Check()
-	if st.String() != "sat" {
-		t.Fatalf("no stable state found (%v) for dst %v env %v", st, dst, env)
-	}
-	return solver.Model()
+	return asg
 }
 
 // compareStates checks the decoded symbolic stable state against the
-// simulator's.
+// simulator's (test wrapper over Model.DiffSimulator).
 func compareStates(t *testing.T, m *Model, asg smt.Assignment, simres *simulator.Result, dst network.IP, env *simulator.Environment) {
 	t.Helper()
-	for _, n := range m.G.Topo.Nodes {
-		name := n.Name
-		sym := DecodeRecord(m.Main.Best[name], asg)
-		conc := simres.States[name].Best
-		ctx := fmt.Sprintf("router %s dst %v env [%v]", name, dst, env)
-		if sym.Valid != conc.Valid {
-			t.Fatalf("%s: valid mismatch sym=%v conc=%v", ctx, sym, conc)
-		}
-		if conc.Valid {
-			if sym.PrefixLen != conc.PrefixLen || sym.AD != conc.AD ||
-				sym.LocalPref != conc.LocalPref || sym.Metric != conc.Metric {
-				t.Fatalf("%s: record mismatch sym=%+v conc=%v", ctx, sym, conc)
-			}
-			if m.ibgpActive && sym.Internal != conc.Internal {
-				t.Fatalf("%s: internal mismatch sym=%+v conc=%v", ctx, sym, conc)
-			}
-		}
-		// Forwarding decisions.
-		simHops := map[Hop]bool{}
-		for _, h := range simres.States[name].Hops {
-			simHops[Hop{Node: h.Node, Ext: h.Ext}] = true
-		}
-		for h, bit := range m.Main.CtrlFwd[name] {
-			got := smt.Eval(bit, asg).Bool
-			if got != simHops[h] {
-				t.Fatalf("%s: fwd %v sym=%v conc=%v (sym best %+v, conc %v)", ctx, h, got, simHops[h], sym, conc)
-			}
-			delete(simHops, h)
-		}
-		for h, want := range simHops {
-			if want {
-				t.Fatalf("%s: simulator forwards to %v but model has no such edge", ctx, h)
-			}
-		}
-		if got := smt.Eval(m.Main.DeliveredLocal[name], asg).Bool; got != simres.States[name].DeliveredLocal {
-			t.Fatalf("%s: deliveredLocal sym=%v conc=%v", ctx, got, simres.States[name].DeliveredLocal)
-		}
-		if got := smt.Eval(m.Main.DroppedNull[name], asg).Bool; got != simres.States[name].DroppedNull {
-			t.Fatalf("%s: droppedNull sym=%v conc=%v", ctx, got, simres.States[name].DroppedNull)
-		}
+	for _, d := range m.DiffSimulator(asg, simres, dst, env) {
+		t.Error(d)
 	}
-	// Exports to external neighbors.
-	for extName, symRec := range m.Main.ExtExports {
-		sym := DecodeRecord(symRec, asg)
-		conc := simres.ExportsToExt[extName]
-		if sym.Valid != conc.Valid {
-			t.Fatalf("export to %s: valid sym=%v conc=%v (dst %v env %v)", extName, sym.Valid, conc.Valid, dst, env)
-		}
-		if conc.Valid && sym.Metric != conc.Metric {
-			t.Fatalf("export to %s: metric sym=%d conc=%d", extName, sym.Metric, conc.Metric)
-		}
+	if t.Failed() {
+		t.FailNow()
 	}
 }
 
@@ -157,15 +41,18 @@ func runDifferential(t *testing.T, net *testnets.Net, opts Options, dsts []netwo
 	if err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	sim := simulator.New(net.Graph)
 	for _, dst := range dsts {
 		for _, env := range envs {
-			simres, err := sim.Run(dst, env)
+			diffs, err := m.DiffAgainstSimulator(dst, env)
 			if err != nil {
-				t.Fatalf("simulate dst %v env %v: %v", dst, env, err)
+				t.Fatal(err)
 			}
-			asg := solveConcrete(t, m, dst, env)
-			compareStates(t, m, asg, simres, dst, env)
+			for _, d := range diffs {
+				t.Error(d)
+			}
+			if t.Failed() {
+				t.FailNow()
+			}
 		}
 	}
 }

@@ -42,6 +42,13 @@ type Options struct {
 	// properties need this.
 	KeepAllCommunities bool
 
+	// Certify records a DRAT proof trace while solving and validates it
+	// with the in-process checker (internal/sat/drat) whenever a check
+	// returns UNSAT, so every "verified" verdict carries a machine-checked
+	// certificate (Result.Certificate). A rejected certificate turns the
+	// check into an error — a soundness alarm, never a silent verdict.
+	Certify bool
+
 	// Span, when non-nil, is the parent under which Encode emits its
 	// instrumentation spans and Check its per-query spans (the model
 	// inherits it as Model.Obs). A nil span disables tracing at zero

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -35,12 +36,31 @@ type Session struct {
 	ss *smt.Session
 
 	asserted int // prefix of m.Asserts already blasted as shared
-	checks   int
+	// lastBlasted remembers the final assert of that prefix. The session
+	// blasts m.Asserts incrementally and can never un-blast: if a caller
+	// replaces or truncates already-blasted asserts (EquivPair.Check
+	// splices the model's assert list, and anything invalidating the
+	// compile cache mid-session has the same effect), the solver state no
+	// longer corresponds to the model and every later verdict would be
+	// silently stale. Check detects the mismatch and returns
+	// ErrSessionInvalidated instead.
+	lastBlasted *smt.Term
+	checks      int
+
+	proof *sat.Proof // non-nil when Options.Certify is on
 
 	setupCompile  time.Duration
 	setupEncode   time.Duration
 	setupSimplify time.Duration
 }
+
+// ErrSessionInvalidated is returned by Session.Check when the model's
+// assert list was replaced or truncated after the session blasted it,
+// so the session's solver state no longer matches the model. Callers
+// must open a new session (or re-check with Model.Check, which
+// recompiles).
+var ErrSessionInvalidated = errors.New(
+	"core: session invalidated: already-blasted model asserts were replaced or truncated")
 
 // NewSession compiles the model (reusing a cached CompiledNetwork when
 // available), blasts the compiled constraint system into a fresh
@@ -52,6 +72,9 @@ func (m *Model) NewSession() *Session {
 	defer sp.End()
 	if m.ProgressEvery > 0 && m.OnProgress != nil {
 		s.ss.Solver().SetProgress(m.ProgressEvery, m.OnProgress)
+	}
+	if m.Opts.Certify {
+		s.proof = s.ss.Solver().EnableProof()
 	}
 
 	compiles := m.compiles
@@ -66,6 +89,9 @@ func (m *Model) NewSession() *Session {
 		s.ss.Assert(a)
 	}
 	s.asserted = cn.BaseLen
+	if cn.BaseLen > 0 {
+		s.lastBlasted = m.Asserts[cn.BaseLen-1]
+	}
 	s.setupEncode = time.Since(start)
 	blastSp.SetInt("asserts", int64(len(cn.Asserts)))
 	blastSp.SetInt("sat_vars", int64(s.ss.Solver().NumSATVars()))
@@ -128,6 +154,13 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 	sp := m.Obs.Start("session-check")
 	defer sp.End()
 
+	// The session only ever appends to the solver: verify the blasted
+	// prefix of m.Asserts is still the one we blasted before trusting it.
+	if len(m.Asserts) < s.asserted ||
+		(s.asserted > 0 && m.Asserts[s.asserted-1] != s.lastBlasted) {
+		return nil, ErrSessionInvalidated
+	}
+
 	// Phase 1: blast instrumentation asserts added by property builders
 	// since the last check (permanent), then the goals under a fresh
 	// activation literal.
@@ -138,6 +171,9 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 		s.ss.Assert(a)
 	}
 	s.asserted = len(m.Asserts)
+	if s.asserted > 0 {
+		s.lastBlasted = m.Asserts[s.asserted-1]
+	}
 	goals := make([]*smt.Term, 0, len(assumptions)+1)
 	goals = append(goals, assumptions...)
 	goals = append(goals, c.Not(property))
@@ -180,6 +216,17 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 	switch status {
 	case sat.Unsat:
 		res.Verified = true
+		if s.proof != nil {
+			// The session's UNSAT is relative to its activation literal;
+			// the checker gets it as an assumption. The trace replayed is
+			// cumulative over the session's whole life, so certification
+			// cost grows with the number of checks.
+			cert, err := certify(sp, s.proof, s.ss.Assumptions()...)
+			if err != nil {
+				return nil, err
+			}
+			res.Certificate = cert
+		}
 	case sat.Sat:
 		dSp := sp.Start("decode")
 		res.Counterexample = m.Decode(s.ss.Model())

@@ -9,7 +9,9 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sat"
+	"repro/internal/sat/drat"
 	"repro/internal/simulator"
 	"repro/internal/smt"
 	"repro/internal/smt/passes"
@@ -57,6 +59,53 @@ type Result struct {
 	SATVars    int
 	SATClauses int
 	Stats      sat.Stats
+	// Certificate is set on UNSAT verdicts when Options.Certify is on:
+	// the recorded DRAT trace was replayed through the independent
+	// checker before the verdict was returned.
+	Certificate *Certificate
+}
+
+// Certificate summarizes a checked UNSAT proof.
+type Certificate struct {
+	// Checked is true when the trace passed the drat checker (always, on
+	// a returned Result: a failed check is an error instead).
+	Checked bool
+	// Steps and Lits give the trace size; Inputs/Lemmas/Deletions split
+	// Steps by kind.
+	Steps, Lits               int
+	Inputs, Lemmas, Deletions int
+	// CheckElapsed is the checker's replay time, reported separately from
+	// the solve phases (certification is off the verdict path).
+	CheckElapsed time.Duration
+}
+
+// certify replays a recorded proof trace through the independent DRAT
+// checker under an obs span. It returns the certificate, or an error when
+// the trace does not establish UNSAT — in which case the caller must not
+// report a verdict.
+func certify(sp *obs.Span, proof *sat.Proof, assumptions ...sat.Lit) (*Certificate, error) {
+	cSp := sp.Start("certify")
+	defer cSp.End()
+	start := time.Now()
+	st, err := drat.Check(proof, assumptions...)
+	elapsed := time.Since(start)
+	cSp.SetInt("steps", int64(proof.NumSteps()))
+	cSp.SetInt("lits", int64(proof.NumLits()))
+	cSp.SetInt("check_us", elapsed.Microseconds())
+	if err != nil {
+		cSp.SetStr("verdict", "rejected")
+		return nil, fmt.Errorf("core: UNSAT verdict failed certification: %w", err)
+	}
+	cSp.SetStr("verdict", "checked")
+	return &Certificate{
+		Checked:      true,
+		Steps:        proof.NumSteps(),
+		Lits:         proof.NumLits(),
+		Inputs:       st.Inputs,
+		Lemmas:       st.Lemmas,
+		Deletions:    st.Deletions,
+		CheckElapsed: elapsed,
+	}, nil
 }
 
 // Check decides whether the property holds in every stable state: it
@@ -127,6 +176,10 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 	solver := smt.NewSolver(c)
 	if m.ProgressEvery > 0 && m.OnProgress != nil {
 		solver.SetProgress(m.ProgressEvery, m.OnProgress)
+	}
+	var proof *sat.Proof
+	if m.Opts.Certify {
+		proof = solver.EnableProof()
 	}
 
 	// Phase 0 (charged to simplify): goal-relative term passes. The
@@ -211,6 +264,13 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 	switch status {
 	case sat.Unsat:
 		res.Verified = true
+		if proof != nil {
+			cert, err := certify(sp, proof)
+			if err != nil {
+				return nil, err
+			}
+			res.Certificate = cert
+		}
 	case sat.Sat:
 		dSp := sp.Start("decode")
 		res.Counterexample = m.Decode(solver.Model())

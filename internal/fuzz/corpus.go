@@ -1,0 +1,306 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/properties"
+	"repro/internal/service"
+	"repro/internal/smt"
+)
+
+// The regression corpus under testdata/regressions holds minimized fuzz
+// findings as self-documenting text files, replayed by plain `go test`.
+// The format:
+//
+//	# comment (anywhere)
+//	simsafe: true
+//	check: reachability src=R1 subnet=10.100.2.0/24 maxfail=1 expect=verified
+//	--- R1
+//	hostname R1
+//	...
+//	--- R2
+//	...
+//
+// Directives come first; each "--- name" line starts one router's
+// configuration block. Every check is replayed on all three execution
+// paths (fresh Model.Check, Session.Check, service engine) with
+// certification on, and sim-safe scenarios additionally run the
+// differential oracle on a fixed random stream.
+
+// CorpusCheck is one expected verdict of a corpus scenario.
+type CorpusCheck struct {
+	Check       string
+	Src, Via    string
+	Subnet      string
+	Hops        int
+	MaxFailures int
+	// Expect is the pinned verdict: true = verified.
+	Expect bool
+}
+
+// CorpusScenario is a corpus file: a scenario plus its pinned checks.
+type CorpusScenario struct {
+	*Scenario
+	Path   string
+	Checks []CorpusCheck
+}
+
+// LoadCorpusFile parses one corpus file.
+func LoadCorpusFile(path string) (*CorpusScenario, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	cs := &CorpusScenario{Path: path}
+	simSafe := false
+	var texts []string
+	var cur *strings.Builder
+	for ln, line := range strings.Split(string(raw), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "---") {
+			texts = append(texts, "")
+			cur = &strings.Builder{}
+			continue
+		}
+		if cur != nil {
+			cur.WriteString(line)
+			cur.WriteString("\n")
+			texts[len(texts)-1] = cur.String()
+			continue
+		}
+		// Directive section.
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(trimmed, "simsafe:"):
+			v := strings.TrimSpace(strings.TrimPrefix(trimmed, "simsafe:"))
+			simSafe = v == "true"
+		case strings.HasPrefix(trimmed, "check:"):
+			ck, err := parseCheck(strings.TrimSpace(strings.TrimPrefix(trimmed, "check:")))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, ln+1, err)
+			}
+			cs.Checks = append(cs.Checks, ck)
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown directive %q", path, ln+1, trimmed)
+		}
+	}
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("%s: no configuration blocks", path)
+	}
+	if len(cs.Checks) == 0 {
+		return nil, fmt.Errorf("%s: no checks", path)
+	}
+	s, err := NewScenario(name, simSafe, texts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	cs.Scenario = s
+	return cs, nil
+}
+
+func parseCheck(s string) (CorpusCheck, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return CorpusCheck{}, fmt.Errorf("empty check")
+	}
+	ck := CorpusCheck{Check: fields[0]}
+	seenExpect := false
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return CorpusCheck{}, fmt.Errorf("malformed check field %q (want key=value)", f)
+		}
+		switch k {
+		case "src":
+			ck.Src = v
+		case "via":
+			ck.Via = v
+		case "subnet":
+			ck.Subnet = v
+		case "hops":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return CorpusCheck{}, fmt.Errorf("bad hops %q", v)
+			}
+			ck.Hops = n
+		case "maxfail":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return CorpusCheck{}, fmt.Errorf("bad maxfail %q", v)
+			}
+			ck.MaxFailures = n
+		case "expect":
+			switch v {
+			case "verified":
+				ck.Expect = true
+			case "falsified":
+				ck.Expect = false
+			default:
+				return CorpusCheck{}, fmt.Errorf("bad expect %q (want verified|falsified)", v)
+			}
+			seenExpect = true
+		default:
+			return CorpusCheck{}, fmt.Errorf("unknown check field %q", k)
+		}
+	}
+	if !seenExpect {
+		return CorpusCheck{}, fmt.Errorf("check %q has no expect=", s)
+	}
+	return ck, nil
+}
+
+// LoadCorpus loads every *.txt scenario in the directory, sorted by name.
+func LoadCorpus(dir string) ([]*CorpusScenario, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.txt"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*CorpusScenario, 0, len(paths))
+	for _, p := range paths {
+		cs, err := LoadCorpusFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// buildProperty mirrors the service's spec→property mapping for the
+// checks the corpus uses, so corpus files read like service requests.
+func buildProperty(m *core.Model, ck CorpusCheck) (*smt.Term, error) {
+	var sub network.Prefix
+	if ck.Subnet != "" {
+		var err error
+		sub, err = network.ParsePrefix(ck.Subnet)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch ck.Check {
+	case "reachability":
+		return properties.Reachable(m, ck.Src, sub), nil
+	case "isolation":
+		return properties.Isolated(m, ck.Src, sub), nil
+	case "bounded-length":
+		hops := ck.Hops
+		if hops == 0 {
+			hops = service.DefaultHops
+		}
+		return properties.BoundedLength(m, ck.Src, sub, hops), nil
+	case "waypoint":
+		return properties.Waypointed(m, ck.Src, ck.Via, sub), nil
+	case "blackholes":
+		return properties.NoBlackholes(m), nil
+	case "multipath-consistency":
+		return properties.MultipathConsistent(m), nil
+	case "loops":
+		return properties.NoForwardingLoops(m, nil), nil
+	case "mgmt-reachability":
+		return properties.ManagementReachable(m), nil
+	}
+	return nil, fmt.Errorf("fuzz: unsupported corpus check %q", ck.Check)
+}
+
+func assumptionFor(m *core.Model, ck CorpusCheck) *smt.Term {
+	if ck.MaxFailures > 0 {
+		return m.AtMostFailures(ck.MaxFailures)
+	}
+	return m.NoFailures()
+}
+
+// Verify replays the corpus scenario: every check must reproduce its
+// pinned verdict on the fresh-check, session and service paths (all with
+// certification on), and sim-safe scenarios run the differential oracle
+// over a few environments from the given stream.
+func (cs *CorpusScenario) Verify(rng *rand.Rand, simIters int) error {
+	// Path 1: fresh Model.Check per check.
+	m, err := cs.Encode("")
+	if err != nil {
+		return err
+	}
+	for i, ck := range cs.Checks {
+		prop, err := buildProperty(m, ck)
+		if err != nil {
+			return fmt.Errorf("%s: check %d: %w", cs.Path, i, err)
+		}
+		res, err := m.Check(prop, assumptionFor(m, ck))
+		if err != nil {
+			return fmt.Errorf("%s: check %d (%s): %w", cs.Path, i, ck.Check, err)
+		}
+		if res.Verified != ck.Expect {
+			return fmt.Errorf("%s: check %d (%s src=%s subnet=%s): got verified=%v want %v",
+				cs.Path, i, ck.Check, ck.Src, ck.Subnet, res.Verified, ck.Expect)
+		}
+		if res.Verified && (res.Certificate == nil || !res.Certificate.Checked) {
+			return fmt.Errorf("%s: check %d: verified without checked certificate", cs.Path, i)
+		}
+	}
+
+	// Path 2: one incremental session answering all checks.
+	ms, err := cs.Encode("")
+	if err != nil {
+		return err
+	}
+	sess := ms.NewSession()
+	for i, ck := range cs.Checks {
+		prop, err := buildProperty(ms, ck)
+		if err != nil {
+			return fmt.Errorf("%s: session check %d: %w", cs.Path, i, err)
+		}
+		res, err := sess.Check(prop, assumptionFor(ms, ck))
+		if err != nil {
+			return fmt.Errorf("%s: session check %d (%s): %w", cs.Path, i, ck.Check, err)
+		}
+		if res.Verified != ck.Expect {
+			return fmt.Errorf("%s: session check %d (%s): got verified=%v want %v",
+				cs.Path, i, ck.Check, res.Verified, ck.Expect)
+		}
+		if res.Verified && (res.Certificate == nil || !res.Certificate.Checked) {
+			return fmt.Errorf("%s: session check %d: verified without checked certificate", cs.Path, i)
+		}
+	}
+
+	// Path 3: the service engine (its own property builder and session).
+	eng := service.NewEngine(service.Options{Workers: 1, Certify: true})
+	defer eng.Close()
+	for i, ck := range cs.Checks {
+		v, err := eng.Verify(context.Background(), &service.Request{
+			Configs: cs.configs(),
+			Spec: service.Spec{
+				Check: ck.Check, Src: ck.Src, Via: ck.Via, Subnet: ck.Subnet,
+				Hops: ck.Hops, MaxFailures: ck.MaxFailures,
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("%s: service check %d (%s): %w", cs.Path, i, ck.Check, err)
+		}
+		if v.Verified != ck.Expect {
+			return fmt.Errorf("%s: service check %d (%s): got verified=%v want %v",
+				cs.Path, i, ck.Check, v.Verified, ck.Expect)
+		}
+		if v.Verified && (v.Proof == nil || !v.Proof.Checked) {
+			return fmt.Errorf("%s: service check %d: verified without checked proof", cs.Path, i)
+		}
+	}
+
+	if cs.SimSafe && simIters > 0 {
+		if err := cs.DiffVsSim(rng, simIters); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/properties"
+	"repro/internal/service"
+)
+
+// certifyOptions is the option set every fuzz encode uses: the chosen
+// pass pipeline plus Certify, so any UNSAT verdict reached by an oracle
+// is DRAT-checked as a side effect (the third oracle family).
+func certifyOptions(passes string) core.Options {
+	o := core.DefaultOptions()
+	o.Passes = passes
+	o.Certify = true
+	return o
+}
+
+// Encode builds the scenario's model under the given pass pipeline, with
+// certification on.
+func (s *Scenario) Encode(passes string) (*core.Model, error) {
+	m, err := core.Encode(s.Net.Graph, certifyOptions(passes))
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: %s: encode (passes=%q): %w", s.Name, passes, err)
+	}
+	return m, nil
+}
+
+// DiffVsSim is the differential oracle: for iters random (dst, env)
+// scenarios, the pinned symbolic model and the concrete simulator must
+// produce identical stable states. Only valid on SimSafe scenarios.
+func (s *Scenario) DiffVsSim(rng *rand.Rand, iters int) error {
+	if !s.SimSafe {
+		return fmt.Errorf("fuzz: %s: DiffVsSim on a multi-stable scenario", s.Name)
+	}
+	m, err := s.Encode("")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < iters; i++ {
+		dst := s.Dsts[rng.Intn(len(s.Dsts))]
+		env := RandEnv(rng, s.Net.Topo, dst, 2, s.Comms)
+		diffs, err := m.DiffAgainstSimulator(dst, env)
+		if err != nil {
+			return fmt.Errorf("fuzz: %s: iter %d: %w", s.Name, i, err)
+		}
+		if len(diffs) > 0 {
+			return fmt.Errorf("fuzz: %s: iter %d: symbolic/concrete disagreement:\n%s",
+				s.Name, i, strings.Join(diffs, "\n"))
+		}
+	}
+	return nil
+}
+
+// query is one randomly drawn property instance, shared by the
+// metamorphic oracles so every variant answers the same question.
+type query struct {
+	src     string
+	sub     network.Prefix
+	maxFail int
+}
+
+func (s *Scenario) pickQuery(rng *rand.Rand) query {
+	nodes := s.Net.Topo.Nodes
+	return query{
+		src:     nodes[rng.Intn(len(nodes))].Name,
+		sub:     network.Prefix{Addr: s.Dsts[rng.Intn(len(s.Dsts))], Len: 32},
+		maxFail: rng.Intn(2),
+	}
+}
+
+// checkOn answers q with a fresh Model.Check on m and validates the
+// certification invariant (verified ⇒ checked certificate).
+func checkOn(m *core.Model, q query) (bool, error) {
+	prop := properties.Reachable(m, q.src, q.sub)
+	assum := m.NoFailures()
+	if q.maxFail > 0 {
+		assum = m.AtMostFailures(q.maxFail)
+	}
+	res, err := m.Check(prop, assum)
+	if err != nil {
+		return false, err
+	}
+	if res.Verified && (res.Certificate == nil || !res.Certificate.Checked) {
+		return false, fmt.Errorf("verified verdict without checked certificate")
+	}
+	return res.Verified, nil
+}
+
+// PassesParity is the metamorphic pass oracle: the verdict of one
+// reachability query must be invariant under the optimization pipeline
+// (all passes, none, encoding passes only, term passes only) and under a
+// permutation of the model's assert list.
+func (s *Scenario) PassesParity(rng *rand.Rand) error {
+	q := s.pickQuery(rng)
+	pipelines := []string{"all", "none", "hoist,slice", "fold,cse,propagate,coi"}
+	verdicts := make([]bool, 0, len(pipelines)+1)
+	for _, p := range pipelines {
+		m, err := s.Encode(p)
+		if err != nil {
+			return err
+		}
+		v, err := checkOn(m, q)
+		if err != nil {
+			return fmt.Errorf("fuzz: %s: passes=%q src=%s dst=%v: %w", s.Name, p, q.src, q.sub, err)
+		}
+		verdicts = append(verdicts, v)
+	}
+	// Assert-order permutation: conjunction is commutative, so a shuffled
+	// assert list must not change the verdict (or trip the compiler).
+	m, err := s.Encode("all")
+	if err != nil {
+		return err
+	}
+	rng.Shuffle(len(m.Asserts), func(i, j int) {
+		m.Asserts[i], m.Asserts[j] = m.Asserts[j], m.Asserts[i]
+	})
+	v, err := checkOn(m, q)
+	if err != nil {
+		return fmt.Errorf("fuzz: %s: shuffled asserts: %w", s.Name, err)
+	}
+	verdicts = append(verdicts, v)
+	for i := 1; i < len(verdicts); i++ {
+		if verdicts[i] != verdicts[0] {
+			variant := "shuffled asserts"
+			if i < len(pipelines) {
+				variant = "passes=" + pipelines[i]
+			}
+			return fmt.Errorf("fuzz: %s: verdict differs under %s: src=%s dst=%v got %v want %v",
+				s.Name, variant, q.src, q.sub, verdicts[i], verdicts[0])
+		}
+	}
+	return nil
+}
+
+// PathParity is the execution-path oracle: the same query answered via a
+// fresh Model.Check, an incremental Session.Check (twice, so the warm
+// path is covered) and the batch service engine must agree.
+func (s *Scenario) PathParity(rng *rand.Rand) error {
+	q := s.pickQuery(rng)
+	m, err := s.Encode("")
+	if err != nil {
+		return err
+	}
+	fresh, err := checkOn(m, q)
+	if err != nil {
+		return fmt.Errorf("fuzz: %s: fresh check: %w", s.Name, err)
+	}
+
+	ms, err := s.Encode("")
+	if err != nil {
+		return err
+	}
+	sess := ms.NewSession()
+	for i := 0; i < 2; i++ {
+		prop := properties.Reachable(ms, q.src, q.sub)
+		assum := ms.NoFailures()
+		if q.maxFail > 0 {
+			assum = ms.AtMostFailures(q.maxFail)
+		}
+		res, err := sess.Check(prop, assum)
+		if err != nil {
+			return fmt.Errorf("fuzz: %s: session check %d: %w", s.Name, i, err)
+		}
+		if res.Verified && (res.Certificate == nil || !res.Certificate.Checked) {
+			return fmt.Errorf("fuzz: %s: session check %d: verified without certificate", s.Name, i)
+		}
+		if res.Verified != fresh {
+			return fmt.Errorf("fuzz: %s: session check %d disagrees with fresh check: src=%s dst=%v session=%v fresh=%v",
+				s.Name, i, q.src, q.sub, res.Verified, fresh)
+		}
+	}
+
+	eng := service.NewEngine(service.Options{Workers: 1, Certify: true})
+	defer eng.Close()
+	v, err := eng.Verify(context.Background(), &service.Request{
+		Configs: s.configs(),
+		Spec: service.Spec{
+			Check:       "reachability",
+			Src:         q.src,
+			Subnet:      q.sub.String(),
+			MaxFailures: q.maxFail,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("fuzz: %s: service check: %w", s.Name, err)
+	}
+	if v.Verified && (v.Proof == nil || !v.Proof.Checked) {
+		return fmt.Errorf("fuzz: %s: service verdict verified without checked proof", s.Name)
+	}
+	if v.Verified != fresh {
+		return fmt.Errorf("fuzz: %s: service disagrees with fresh check: src=%s dst=%v service=%v fresh=%v",
+			s.Name, q.src, q.sub, v.Verified, fresh)
+	}
+	return nil
+}
+
+func (s *Scenario) configs() map[string]string {
+	cfgs := make(map[string]string, len(s.Texts))
+	for i, t := range s.Texts {
+		cfgs[fmt.Sprintf("r%02d.cfg", i)] = t
+	}
+	return cfgs
+}
+
+// RenamingParity is the renaming oracle: consistently renaming routers
+// (hostname lines; everything else references routers by address) and
+// community values must not change the verdict.
+func (s *Scenario) RenamingParity(rng *rand.Rand) error {
+	q := s.pickQuery(rng)
+	m, err := s.Encode("")
+	if err != nil {
+		return err
+	}
+	orig, err := checkOn(m, q)
+	if err != nil {
+		return fmt.Errorf("fuzz: %s: original: %w", s.Name, err)
+	}
+
+	renamed, srcRenamed, err := s.rename(q.src)
+	if err != nil {
+		return err
+	}
+	rq := q
+	rq.src = srcRenamed
+	rm, err := renamed.Encode("")
+	if err != nil {
+		return err
+	}
+	got, err := checkOn(rm, rq)
+	if err != nil {
+		return fmt.Errorf("fuzz: %s: renamed: %w", s.Name, err)
+	}
+	if got != orig {
+		return fmt.Errorf("fuzz: %s: verdict changed under renaming: src=%s dst=%v renamed=%v original=%v",
+			s.Name, q.src, q.sub, got, orig)
+	}
+	return nil
+}
+
+// rename rewrites every hostname to a fresh name and every community
+// value to a fresh value, rebuilding the scenario from the transformed
+// texts. It returns the renamed scenario and the new name of src.
+func (s *Scenario) rename(src string) (*Scenario, string, error) {
+	names := map[string]string{}
+	for i, n := range s.Net.Topo.Nodes {
+		names[n.Name] = fmt.Sprintf("ZZ%02d", i)
+	}
+	texts := make([]string, len(s.Texts))
+	for i, t := range s.Texts {
+		lines := strings.Split(t, "\n")
+		for j, line := range lines {
+			rest, ok := strings.CutPrefix(strings.TrimSpace(line), "hostname ")
+			if !ok {
+				continue
+			}
+			if nn, ok := names[strings.TrimSpace(rest)]; ok {
+				lines[j] = "hostname " + nn
+			}
+		}
+		texts[i] = strings.Join(lines, "\n")
+	}
+	// Communities: longest-first so no value is clobbered by a prefix of
+	// another; fresh values are drawn from a reserved private-ASN range
+	// that no fixture uses.
+	comms := append([]string(nil), s.Comms...)
+	for i := range comms {
+		for j := i + 1; j < len(comms); j++ {
+			if len(comms[j]) > len(comms[i]) {
+				comms[i], comms[j] = comms[j], comms[i]
+			}
+		}
+	}
+	for i, cm := range comms {
+		fresh := fmt.Sprintf("64900:%d", 1000+i)
+		for j := range texts {
+			texts[j] = strings.ReplaceAll(texts[j], cm, fresh)
+		}
+	}
+	renamed, err := NewScenario(s.Name+"-renamed", s.SimSafe, texts)
+	if err != nil {
+		return nil, "", fmt.Errorf("fuzz: %s: rebuild after renaming: %w", s.Name, err)
+	}
+	nn, ok := names[src]
+	if !ok {
+		return nil, "", fmt.Errorf("fuzz: %s: src %q not in rename map", s.Name, src)
+	}
+	return renamed, nn, nil
+}
+
+// CheckAll runs every oracle valid for the scenario: the differential
+// oracle (SimSafe scenarios only) plus the three metamorphic oracles.
+// Certification runs implicitly in all of them.
+func (s *Scenario) CheckAll(rng *rand.Rand, simIters int) error {
+	if s.SimSafe {
+		if err := s.DiffVsSim(rng, simIters); err != nil {
+			return err
+		}
+	}
+	if err := s.PassesParity(rng); err != nil {
+		return err
+	}
+	if err := s.PathParity(rng); err != nil {
+		return err
+	}
+	return s.RenamingParity(rng)
+}

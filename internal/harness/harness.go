@@ -237,6 +237,9 @@ func AllFig8Props() []string {
 
 // Fig8Row is one point of Figure 8. Encode/Simplify/Solve split Elapsed
 // by pipeline phase (zero for the structural local-consistency property).
+// The Proof columns stay zero unless the fabric runs with Certify: they
+// give the DRAT trace size and the independent checker's replay time
+// behind a verified verdict.
 type Fig8Row struct {
 	Pods, Routers int
 	Property      string
@@ -248,6 +251,9 @@ type Fig8Row struct {
 	SATVars       int
 	SATClauses    int
 	Conflicts     int64
+	ProofSteps    int
+	ProofLemmas   int
+	ProofCheck    time.Duration
 }
 
 // Fabric caches a generated fat-tree and its graph. The optional
@@ -263,6 +269,11 @@ type Fabric struct {
 	// -passes flag lands here).
 	Passes string
 
+	// Certify turns on DRAT proof recording for every encode: verified
+	// verdicts carry an independently checked certificate and the Fig8Row
+	// proof columns are populated.
+	Certify bool
+
 	Obs           *obs.Span
 	ProgressEvery int64
 	OnProgress    func(sat.Progress)
@@ -273,6 +284,9 @@ func (f *Fabric) encode(opts core.Options) (*core.Model, error) {
 	opts.Span = f.Obs
 	if opts.Passes == "" {
 		opts.Passes = f.Passes
+	}
+	if f.Certify {
+		opts.Certify = true
 	}
 	m, err := core.Encode(f.G, opts)
 	if err != nil {
@@ -380,6 +394,11 @@ func RunFig8Property(f *Fabric, prop string) (*Fig8Row, error) {
 	row.SATVars = res.SATVars
 	row.SATClauses = res.SATClauses
 	row.Conflicts = res.Stats.Conflicts
+	if cert := res.Certificate; cert != nil {
+		row.ProofSteps = cert.Steps
+		row.ProofLemmas = cert.Lemmas
+		row.ProofCheck = cert.CheckElapsed
+	}
 	return row, nil
 }
 

@@ -1,0 +1,318 @@
+// Package drat is a from-scratch RUP/DRAT proof checker for the traces
+// recorded by sat.Solver.EnableProof. It shares no solving code with the
+// solver: an independent two-watched-literal propagator replays the trace
+// chronologically, accepting Input steps unchecked, verifying every
+// Derive step by reverse unit propagation (assume the negation of the
+// clause, propagate, require a conflict) and removing Delete steps from
+// the database. A trace certifies unsatisfiability when the empty clause
+// is derived, or when unit propagation alone refutes the accumulated
+// database.
+//
+// Assumption literals (incremental sessions solve under activation
+// literals) are treated as unit clauses present from the start, so the
+// checked statement is UNSAT(formula ∧ assumptions).
+package drat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sat"
+)
+
+// Stats summarizes a successful check.
+type Stats struct {
+	Inputs       int   // input clauses accepted unchecked
+	Lemmas       int   // derive steps verified by RUP
+	Deletions    int   // delete steps applied
+	Propagations int64 // literals propagated while checking
+}
+
+// Check replays the proof chronologically and verifies that it
+// establishes unsatisfiability of the recorded formula together with the
+// given assumptions. It returns an error describing the first failing
+// step, or the step count on success.
+func Check(p *sat.Proof, assumptions ...sat.Lit) (*Stats, error) {
+	if p == nil {
+		return nil, fmt.Errorf("drat: no proof recorded")
+	}
+	c := newChecker()
+	for _, a := range assumptions {
+		c.install([]sat.Lit{a})
+	}
+	for i, st := range p.Steps() {
+		switch st.Kind {
+		case sat.ProofInput:
+			c.stats.Inputs++
+			c.install(st.Lits)
+		case sat.ProofDerive:
+			if !c.rup(st.Lits) {
+				return nil, fmt.Errorf("drat: step %d: derived clause %v is not RUP", i, st.Lits)
+			}
+			c.stats.Lemmas++
+			c.install(st.Lits)
+		case sat.ProofDelete:
+			if err := c.remove(st.Lits); err != nil {
+				return nil, fmt.Errorf("drat: step %d: %w", i, err)
+			}
+			c.stats.Deletions++
+		default:
+			return nil, fmt.Errorf("drat: step %d: unknown kind %d", i, st.Kind)
+		}
+	}
+	if !c.unsat {
+		return nil, fmt.Errorf("drat: proof ends without deriving the empty clause")
+	}
+	return &c.stats, nil
+}
+
+// value is a three-state assignment: 0 unknown, +1 true, -1 false.
+type value int8
+
+// clause is a checker clause. lits[0] and lits[1] are the watched
+// positions while attached; key is the normalized (sorted, deduplicated)
+// form used for deletion matching.
+type clause struct {
+	lits     []sat.Lit
+	key      string
+	attached bool
+}
+
+type checker struct {
+	assigns []value     // indexed by Var
+	watches [][]*clause // indexed by Lit
+	trail   []sat.Lit
+	qhead   int
+	fixed   int // trail prefix that is permanent (root units + consequences)
+	db      map[string][]*clause
+	unsat   bool // empty clause derived or database refuted by propagation
+	stats   Stats
+}
+
+func newChecker() *checker {
+	return &checker{db: map[string][]*clause{}}
+}
+
+func (c *checker) ensure(v sat.Var) {
+	for int(v) >= len(c.assigns) {
+		c.assigns = append(c.assigns, 0)
+		c.watches = append(c.watches, nil, nil)
+	}
+}
+
+func (c *checker) val(l sat.Lit) value {
+	a := c.assigns[l.Var()]
+	if l.Neg() {
+		return -a
+	}
+	return a
+}
+
+func (c *checker) assign(l sat.Lit) {
+	if l.Neg() {
+		c.assigns[l.Var()] = -1
+	} else {
+		c.assigns[l.Var()] = 1
+	}
+	c.trail = append(c.trail, l)
+}
+
+// normalize sorts and deduplicates, reporting tautologies (x ∨ ¬x).
+func normalize(lits []sat.Lit) (out []sat.Lit, taut bool) {
+	out = append(out, lits...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	var prev sat.Lit = -1
+	for _, l := range out {
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() {
+			return nil, true
+		}
+		out[n] = l
+		n++
+		prev = l
+	}
+	return out[:n], false
+}
+
+func key(norm []sat.Lit) string {
+	b := make([]byte, 0, len(norm)*4)
+	for _, l := range norm {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}
+
+// install adds a clause to the database and updates the persistent
+// assignment: empty or all-false clauses refute the database, unit (or
+// effectively-unit) clauses are propagated permanently. Tautologies are
+// recorded for deletion matching but never attached.
+func (c *checker) install(lits []sat.Lit) {
+	norm, taut := normalize(lits)
+	for _, l := range norm {
+		c.ensure(l.Var())
+	}
+	cl := &clause{lits: norm, key: key(norm)}
+	c.db[cl.key] = append(c.db[cl.key], cl)
+	if taut || c.unsat {
+		return
+	}
+	// Move two non-false literals to the watched positions. A clause with
+	// a permanently-true literal can never become all-false, so it is
+	// left detached.
+	nonFalse := 0
+	for i, l := range norm {
+		switch c.val(l) {
+		case 1:
+			return
+		case 0:
+			norm[nonFalse], norm[i] = norm[i], norm[nonFalse]
+			nonFalse++
+		}
+	}
+	switch nonFalse {
+	case 0:
+		c.unsat = true
+	case 1:
+		c.assign(norm[0])
+		if !c.propagateFixed() {
+			c.unsat = true
+		}
+	default:
+		cl.attached = true
+		c.watch(norm[0], cl)
+		c.watch(norm[1], cl)
+	}
+}
+
+func (c *checker) watch(l sat.Lit, cl *clause) {
+	c.watches[l.Not()] = append(c.watches[l.Not()], cl)
+}
+
+func (c *checker) unwatch(l sat.Lit, cl *clause) {
+	ws := c.watches[l.Not()]
+	for i := range ws {
+		if ws[i] == cl {
+			ws[i] = ws[len(ws)-1]
+			c.watches[l.Not()] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+// remove deletes one database occurrence of the clause. Units and the
+// empty clause are never deleted by the solver, so a trace asking for
+// that — or for a clause the database does not hold — is malformed.
+func (c *checker) remove(lits []sat.Lit) error {
+	norm, taut := normalize(lits)
+	if !taut && len(norm) < 2 {
+		return fmt.Errorf("deletion of unit/empty clause %v", lits)
+	}
+	k := key(norm)
+	cls := c.db[k]
+	if len(cls) == 0 {
+		return fmt.Errorf("deletion of clause %v not in database", lits)
+	}
+	cl := cls[len(cls)-1]
+	c.db[k] = cls[:len(cls)-1]
+	if cl.attached {
+		c.unwatch(cl.lits[0], cl)
+		c.unwatch(cl.lits[1], cl)
+	}
+	return nil
+}
+
+// propagateFixed runs propagation and makes the result permanent,
+// reporting false on conflict.
+func (c *checker) propagateFixed() bool {
+	ok := c.propagate()
+	c.qhead = len(c.trail)
+	c.fixed = len(c.trail)
+	if !ok {
+		c.unsat = true
+	}
+	return ok
+}
+
+// propagate processes the trail from qhead, returning false on conflict.
+func (c *checker) propagate() bool {
+	for c.qhead < len(c.trail) {
+		p := c.trail[c.qhead]
+		c.qhead++
+		c.stats.Propagations++
+		ws := c.watches[p]
+		j := 0
+	nextClause:
+		for i := 0; i < len(ws); i++ {
+			cl := ws[i]
+			np := p.Not()
+			if cl.lits[0] == np {
+				cl.lits[0], cl.lits[1] = cl.lits[1], np
+			}
+			if c.val(cl.lits[0]) == 1 {
+				ws[j] = cl
+				j++
+				continue
+			}
+			for k := 2; k < len(cl.lits); k++ {
+				if c.val(cl.lits[k]) != -1 {
+					cl.lits[1], cl.lits[k] = cl.lits[k], cl.lits[1]
+					c.watch(cl.lits[1], cl)
+					continue nextClause
+				}
+			}
+			ws[j] = cl
+			j++
+			if c.val(cl.lits[0]) == -1 {
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				c.watches[p] = ws[:j]
+				return false
+			}
+			c.assign(cl.lits[0])
+		}
+		c.watches[p] = ws[:j]
+	}
+	return true
+}
+
+// rup verifies a derived clause by reverse unit propagation: assume every
+// literal false, propagate, and require a conflict. A clause containing a
+// permanently-true literal is already entailed; once the database is
+// refuted everything is entailed.
+func (c *checker) rup(lits []sat.Lit) bool {
+	if c.unsat {
+		return true
+	}
+	norm, taut := normalize(lits)
+	if taut {
+		return true
+	}
+	mark := len(c.trail)
+	for _, l := range norm {
+		c.ensure(l.Var())
+		switch c.val(l) {
+		case 1:
+			c.backtrack(mark)
+			return true
+		case 0:
+			c.assign(l.Not())
+		}
+	}
+	ok := c.propagate()
+	c.backtrack(mark)
+	return !ok
+}
+
+// backtrack undoes every assignment past the persistent prefix mark.
+func (c *checker) backtrack(mark int) {
+	for i := len(c.trail) - 1; i >= mark; i-- {
+		c.assigns[c.trail[i].Var()] = 0
+	}
+	c.trail = c.trail[:mark]
+	c.qhead = mark
+}

@@ -1,0 +1,157 @@
+package sat
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ProofKind classifies one step of a recorded proof trace.
+type ProofKind uint8
+
+// Proof step kinds. Input steps record clauses handed to AddClause (and
+// the database snapshot taken when recording was enabled); Derive steps
+// record clauses the solver claims follow from everything before them
+// (learned clauses, normalized inputs, the empty clause); Delete steps
+// record clauses removed from the database by Simplify or reduceDB.
+const (
+	ProofInput ProofKind = iota
+	ProofDerive
+	ProofDelete
+)
+
+func (k ProofKind) String() string {
+	switch k {
+	case ProofInput:
+		return "input"
+	case ProofDerive:
+		return "derive"
+	case ProofDelete:
+		return "delete"
+	}
+	return "?"
+}
+
+// ProofStep is one chronological entry of a proof trace. A Derive step
+// with no literals is the empty clause: deriving it certifies
+// unsatisfiability of everything added before it.
+type ProofStep struct {
+	Kind ProofKind
+	Lits []Lit
+}
+
+// Proof is a chronological DRAT-style trace of one solver's clause
+// database: every clause added, every clause the solver derived and every
+// clause it deleted, in order. Incremental use (clauses added between
+// Solve calls) interleaves Input steps after Derive steps; a checker must
+// process the trace in order. The trace certifies verdicts relative to
+// the database as of EnableProof.
+type Proof struct {
+	steps []ProofStep
+	lits  int
+}
+
+// Steps returns the recorded steps. The slice and its literal slices are
+// owned by the proof; callers must not mutate them.
+func (p *Proof) Steps() []ProofStep { return p.steps }
+
+// NumSteps returns the number of recorded steps.
+func (p *Proof) NumSteps() int { return len(p.steps) }
+
+// NumLits returns the total literal count across all steps, a proxy for
+// the proof's size in memory and on disk.
+func (p *Proof) NumLits() int { return p.lits }
+
+// Counts returns the number of input, derive and delete steps.
+func (p *Proof) Counts() (inputs, derives, deletes int) {
+	for _, st := range p.steps {
+		switch st.Kind {
+		case ProofInput:
+			inputs++
+		case ProofDerive:
+			derives++
+		case ProofDelete:
+			deletes++
+		}
+	}
+	return
+}
+
+func (p *Proof) add(k ProofKind, lits []Lit) {
+	p.steps = append(p.steps, ProofStep{Kind: k, Lits: append([]Lit(nil), lits...)})
+	p.lits += len(lits)
+}
+
+// RebuildProof assembles a Proof from explicit steps, for replaying
+// traces that were stored or transformed outside the solver (tests,
+// corpus minimization). Literal slices are copied.
+func RebuildProof(steps []ProofStep) *Proof {
+	p := &Proof{}
+	for _, st := range steps {
+		p.add(st.Kind, st.Lits)
+	}
+	return p
+}
+
+// WriteDRAT writes the derive and delete steps in the textual DRAT format
+// consumed by external checkers such as drat-trim (variable v becomes
+// DIMACS index v+1). Input steps are skipped: DRAT checkers take the
+// original formula separately, e.g. a DIMACS dump of Solver.Clauses.
+func (p *Proof) WriteDRAT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, st := range p.steps {
+		if st.Kind == ProofInput {
+			continue
+		}
+		if st.Kind == ProofDelete {
+			if _, err := bw.WriteString("d "); err != nil {
+				return err
+			}
+		}
+		for _, l := range st.Lits {
+			n := int(l.Var()) + 1
+			if l.Neg() {
+				n = -n
+			}
+			if _, err := bw.WriteString(strconv.Itoa(n)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// EnableProof turns on proof logging and returns the trace, which grows
+// as the solver works. Enabling is idempotent. The current database
+// (root-level facts, problem clauses and any learned clauses) is
+// snapshotted as Input steps, so the proof certifies verdicts relative
+// to the formula as of this call; enable before solving to certify
+// relative to the original input.
+func (s *Solver) EnableProof() *Proof {
+	if s.proof != nil {
+		return s.proof
+	}
+	s.proof = &Proof{}
+	for _, l := range s.trail {
+		if s.level[l.Var()] == 0 {
+			s.proof.add(ProofInput, []Lit{l})
+		}
+	}
+	for _, c := range s.clauses {
+		s.proof.add(ProofInput, c.lits)
+	}
+	for _, c := range s.learnts {
+		s.proof.add(ProofInput, c.lits)
+	}
+	return s.proof
+}
+
+// Proof returns the trace being recorded, or nil when proof logging is
+// off.
+func (s *Solver) Proof() *Proof { return s.proof }

@@ -203,6 +203,10 @@ type Solver struct {
 
 	ok bool // false once top-level conflict proven
 
+	// proof, when non-nil, records every clause addition, derivation and
+	// deletion as a DRAT-style trace. Enabled via EnableProof.
+	proof *Proof
+
 	Stats Stats
 
 	// MaxConflicts, when positive, bounds the search effort for
@@ -300,6 +304,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
+	if s.proof != nil {
+		s.proof.add(ProofInput, lits)
+	}
 	// A previous Sat result leaves the trail intact so the model stays
 	// readable; adding a clause invalidates it, so backtrack first.
 	s.cancelUntil(0)
@@ -308,6 +315,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 	out := ls[:0]
 	var prev Lit = -1
+	dropped := false // a root-falsified literal was stripped
 	for _, l := range ls {
 		if int(l.Var()) >= s.NumVars() {
 			panic(fmt.Sprintf("sat: literal %v references unallocated variable", l))
@@ -322,22 +330,39 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		case True:
 			return true // already satisfied at top level
 		case False:
+			dropped = true
 			continue // drop falsified literal
 		}
 		out = append(out, l)
 		prev = l
 	}
+	// The stored clause differs from the input when falsified literals
+	// were stripped; the strengthened form is a RUP consequence of the
+	// input plus root facts, so record it as a derivation. Later Delete
+	// steps then match the clause the database actually holds.
 	switch len(out) {
 	case 0:
+		if s.proof != nil {
+			s.proof.add(ProofDerive, nil)
+		}
 		s.ok = false
 		return false
 	case 1:
+		if s.proof != nil && dropped {
+			s.proof.add(ProofDerive, out)
+		}
 		s.uncheckedEnqueue(out[0], nil)
 		if s.propagate() != nil {
+			if s.proof != nil {
+				s.proof.add(ProofDerive, nil)
+			}
 			s.ok = false
 			return false
 		}
 		return true
+	}
+	if s.proof != nil && dropped {
+		s.proof.add(ProofDerive, out)
 	}
 	c := &clause{lits: append([]Lit(nil), out...)}
 	s.clauses = append(s.clauses, c)
@@ -645,6 +670,9 @@ func (s *Solver) reduceDB() {
 			continue
 		}
 		s.detach(c)
+		if s.proof != nil {
+			s.proof.add(ProofDelete, c.lits)
+		}
 		s.Stats.Deleted++
 	}
 	s.learnts = keep
@@ -738,6 +766,9 @@ func (s *Solver) search(budget int64, assumptions []Lit) (Status, int64) {
 				s.OnProgress(s.progress())
 			}
 			if s.decisionLevel() == 0 {
+				if s.proof != nil {
+					s.proof.add(ProofDerive, nil)
+				}
 				s.ok = false
 				return Unsat, conflicts
 			}
@@ -749,6 +780,9 @@ func (s *Solver) search(budget int64, assumptions []Lit) (Status, int64) {
 			// them.
 			s.cancelUntil(btLevel)
 			learned := append([]Lit(nil), s.analyzeCl...)
+			if s.proof != nil {
+				s.proof.add(ProofDerive, learned)
+			}
 			if len(learned) == 1 {
 				s.uncheckedEnqueue(learned[0], nil)
 			} else {
@@ -871,6 +905,9 @@ func (s *Solver) Simplify() bool {
 	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {
+		if s.proof != nil {
+			s.proof.add(ProofDerive, nil)
+		}
 		s.ok = false
 		return false
 	}
@@ -889,6 +926,13 @@ func (s *Solver) Simplify() bool {
 // Surviving clauses keep their two watched literals (a false watch would
 // have propagated, satisfying the clause or conflicting), so the watch
 // lists stay valid without reattachment.
+//
+// With proof logging on, every rewrite is mirrored in the trace so no
+// clause silently vanishes: a satisfied clause gets a Delete step, and a
+// strengthened clause gets a Derive of its new form (RUP: the stripped
+// literals are root-falsified) followed by a Delete of the old one —
+// recorded before the in-place mutation, so a later deletion of the
+// strengthened clause matches what the trace says the database holds.
 func (s *Solver) simplifyList(cs []*clause) []*clause {
 	out := cs[:0]
 	for _, c := range cs {
@@ -900,9 +944,16 @@ func (s *Solver) simplifyList(cs []*clause) []*clause {
 			}
 		}
 		if satisfied {
+			if s.proof != nil {
+				s.proof.add(ProofDelete, c.lits)
+			}
 			s.detach(c)
 			s.Stats.Simplified++
 			continue
+		}
+		var orig []Lit
+		if s.proof != nil {
+			orig = append(orig, c.lits...)
 		}
 		n := 0
 		for _, l := range c.lits {
@@ -910,6 +961,10 @@ func (s *Solver) simplifyList(cs []*clause) []*clause {
 				c.lits[n] = l
 				n++
 			}
+		}
+		if s.proof != nil && n != len(orig) {
+			s.proof.add(ProofDerive, c.lits[:n])
+			s.proof.add(ProofDelete, orig)
 		}
 		s.Stats.Strengthened += int64(len(c.lits) - n)
 		c.lits = c.lits[:n]

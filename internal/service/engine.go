@@ -44,6 +44,11 @@ type Options struct {
 	// network (core.Options.Passes syntax); empty keeps the default
 	// pipeline.
 	Passes string
+	// Certify records a DRAT proof trace for every network's solver
+	// session and validates it with the in-process checker whenever a
+	// job's verdict is "verified"; checked certificates are reported in
+	// the verdict's proof fields, rejected ones fail the job.
+	Certify bool
 	// Trace receives the engine's counters and gauges; nil creates a
 	// private trace (exposed via Engine.Trace for /metrics).
 	Trace *obs.Trace
@@ -157,6 +162,7 @@ type Engine struct {
 	tr      *obs.Trace
 	timeout time.Duration
 	passes  string
+	certify bool
 
 	jobCh   chan *Job
 	wg      sync.WaitGroup
@@ -190,6 +196,7 @@ func NewEngine(o Options) *Engine {
 		tr:        o.Trace,
 		timeout:   o.Timeout,
 		passes:    o.Passes,
+		certify:   o.Certify,
 		jobCh:     make(chan *Job, o.QueueDepth),
 		jobs:      map[string]*Job{},
 		nets:      map[string]*netEntry{},
@@ -409,6 +416,7 @@ func (e *Engine) build(ent *netEntry, configs map[string]string) error {
 	}
 	opts := core.DefaultOptions()
 	opts.Passes = e.passes
+	opts.Certify = e.certify
 	m, err := core.Encode(g, opts)
 	if err != nil {
 		return fmt.Errorf("service: encode: %w", err)

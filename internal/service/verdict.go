@@ -25,7 +25,17 @@ type Verdict struct {
 	SATClauses int     `json:"sat_clauses,omitempty"`
 
 	Solver         *SolverStats    `json:"solver,omitempty"`
+	Proof          *ProofInfo      `json:"proof,omitempty"`
 	Counterexample *Counterexample `json:"counterexample,omitempty"`
+}
+
+// ProofInfo summarizes the checked DRAT certificate of a verified
+// verdict (present only when the engine runs with Options.Certify).
+type ProofInfo struct {
+	Checked bool    `json:"checked"`
+	Steps   int     `json:"steps"`
+	Lemmas  int     `json:"lemmas"`
+	CheckMs float64 `json:"check_ms"`
 }
 
 // SolverStats is the per-check CDCL work (deltas for session checks, not
@@ -90,6 +100,14 @@ func newVerdict(jobID string, spec Spec, res *core.Result, m *core.Model) *Verdi
 	// Summed after per-phase rounding so the JSON fields keep the exact
 	// identity elapsed = encode + simplify + solve.
 	v.ElapsedMs = v.EncodeMs + v.SimplifyMs + v.SolveMs
+	if cert := res.Certificate; cert != nil {
+		v.Proof = &ProofInfo{
+			Checked: cert.Checked,
+			Steps:   cert.Steps,
+			Lemmas:  cert.Lemmas,
+			CheckMs: durMs(cert.CheckElapsed),
+		}
+	}
 	cex := res.Counterexample
 	if cex == nil {
 		return v

@@ -57,6 +57,17 @@ func NewSession(ctx *Context) *Session {
 // Solver exposes the underlying incremental solver (stats, model, sizes).
 func (ss *Session) Solver() *Solver { return ss.sol }
 
+// Assumptions returns the solver assumptions of the current check (the
+// activation literal of the last Prepare). An Unsat verdict certifies
+// UNSAT(database ∧ assumptions); a DRAT check of the session's proof
+// trace must therefore be given these literals.
+func (ss *Session) Assumptions() []sat.Lit {
+	if !ss.active {
+		return nil
+	}
+	return []sat.Lit{ss.act}
+}
+
 // Assert adds a permanent constraint shared by every later check. The
 // first Assert marks the shared blast; core uses SharedBlasts to prove
 // the encoding is never repeated.

@@ -81,6 +81,15 @@ func (s *Solver) Simplify() bool { return s.sat.Simplify() }
 // Clauses exposes the blasted problem clauses (for DIMACS export).
 func (s *Solver) Clauses() [][]sat.Lit { return s.sat.Clauses() }
 
+// EnableProof turns on DRAT proof logging in the underlying SAT solver
+// and returns the growing trace. Call before Check so the trace covers
+// the whole database; an Unsat verdict can then be validated with
+// drat.Check.
+func (s *Solver) EnableProof() *sat.Proof { return s.sat.EnableProof() }
+
+// Proof returns the recorded trace, or nil when logging is off.
+func (s *Solver) Proof() *sat.Proof { return s.sat.Proof() }
+
 // Assert adds a boolean term as a constraint. Top-level conjunctions and
 // disjunctions are clausified directly without auxiliary gate variables.
 func (s *Solver) Assert(t *Term) {
