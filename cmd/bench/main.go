@@ -10,6 +10,7 @@
 //	bench -experiment violations [-count 152] [-seed 1]
 //	bench -experiment fig7       [-count 152] [-seed 1]
 //	bench -experiment fig8       [-pods 2,4,6] [-props all] [-json-out BENCH_fig8.json] [-certify]
+//	bench -experiment fig8       -profile-origins [-profile-out BENCH_origins.folded]
 //	bench -experiment ablation   [-pods 4]
 //	bench -experiment service    [-pods 2] [-json-out BENCH_service.json]
 //	bench -experiment fuzz       [-iters 2] [-seed 1]
@@ -28,9 +29,16 @@
 // pass-pipeline/renaming/execution-path metamorphic parity, and DRAT
 // certification of every UNSAT verdict.
 //
+// With -profile-origins, fig8 answers every query twice — once plain,
+// once with solver origin attribution — reports the attribution overhead
+// on solve time per row (origin_overhead_pct in the JSON artifact), and
+// writes the merged per-origin hot-constraint profile as a
+// flamegraph-compatible collapsed-stack file (-profile-out).
+//
 // Observability: -trace-json FILE dumps the span tree of a fig8/ablation
 // run as JSON, and -progress N prints solver progress to stderr every N
-// conflicts.
+// conflicts. -cpuprofile/-memprofile write runtime/pprof profiles of the
+// bench process itself.
 package main
 
 import (
@@ -38,6 +46,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -48,6 +58,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/netgen"
 	"repro/internal/obs"
+	"repro/internal/provenance"
 	"repro/internal/sat"
 )
 
@@ -64,11 +75,41 @@ func main() {
 		passesFlag = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all; ablation pins its own)")
 		certify    = flag.Bool("certify", false, "fig8: record DRAT proofs and check verified verdicts, adding the proof columns")
 		iters      = flag.Int("iters", 2, "fuzz: iterations per scenario family")
+		profOrig   = flag.Bool("profile-origins", false, "fig8: run every query twice to measure origin-attribution overhead and collect the per-origin hot-constraint profile")
+		profOut    = flag.String("profile-out", "BENCH_origins.folded", "collapsed-stack output path for -profile-origins ('' to skip)")
+		cpuProf    = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	if err := core.ValidatePasses(*passesFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+			}
+		}()
 	}
 
 	var tr *obs.Trace
@@ -92,7 +133,7 @@ func main() {
 	case "fig7":
 		err = runFig7(*count, *seed)
 	case "fig8":
-		err = runFig8(parseInts(*podsFlag), parseProps(*propsFlag), *jsonOut, tr, every, *passesFlag, *certify)
+		err = runFig8(parseInts(*podsFlag), parseProps(*propsFlag), *jsonOut, tr, every, *passesFlag, *certify, *profOrig, *profOut)
 	case "ablation":
 		ks := parseInts(*podsFlag)
 		if len(ks) == 0 {
@@ -251,14 +292,20 @@ type fig8JSON struct {
 	ProofSteps   int     `json:"proof_steps,omitempty"`
 	ProofLemmas  int     `json:"proof_lemmas,omitempty"`
 	ProofCheckMs float64 `json:"proof_check_ms,omitempty"`
+	// With -profile-origins: the solve time of the origin-tracked rerun
+	// and its overhead relative to the plain solve, in percent.
+	TrackedSolveMs    float64 `json:"tracked_solve_ms,omitempty"`
+	OriginOverheadPct float64 `json:"origin_overhead_pct,omitempty"`
 }
 
 // runFig8 reproduces Figure 8: verification time per property per fabric
 // size.
-func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every int64, passes string, certify bool) error {
+func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every int64, passes string, certify, profOrig bool, profOut string) error {
 	fmt.Println("# Figure 8: verification time (ms) per property and fabric size")
 	fmt.Println("pods\trouters\tproperty\tms\tencode_ms\tsimplify_ms\tsolve_ms\tverified\tsat_vars\tsat_clauses\tconflicts\tproof_steps\tproof_lemmas\tproof_check_ms")
 	var art []fig8JSON
+	var profiles []*provenance.Profile
+	var baseSolve, trackedSolve time.Duration
 	for _, k := range pods {
 		f, err := harness.BuildFabric(k)
 		if err != nil {
@@ -288,7 +335,7 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 				toMs(row.Elapsed), toMs(row.Encode), toMs(row.Simplify), toMs(row.Solve),
 				row.Verified, row.SATVars, row.SATClauses, row.Conflicts,
 				row.ProofSteps, row.ProofLemmas, toMs(row.ProofCheck))
-			art = append(art, fig8JSON{
+			jrow := fig8JSON{
 				Pods: row.Pods, Routers: row.Routers, Property: row.Property,
 				Ms: toMs(row.Elapsed), EncodeMs: toMs(row.Encode),
 				SimplifyMs: toMs(row.Simplify), SolveMs: toMs(row.Solve),
@@ -296,9 +343,56 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 				SATClauses: row.SATClauses, Conflicts: row.Conflicts,
 				ProofSteps: row.ProofSteps, ProofLemmas: row.ProofLemmas,
 				ProofCheckMs: toMs(row.ProofCheck),
-			})
+			}
+			if profOrig && prop != harness.Fig8LocalConsist {
+				// Rerun with attribution on: the delta on solve time is the
+				// cost of origin tracking; the profile is the payoff.
+				f.ProfileOrigins = true
+				trow, err := harness.RunFig8Property(f, prop)
+				f.ProfileOrigins = false
+				if err != nil {
+					return err
+				}
+				profiles = append(profiles, trow.Profile)
+				baseSolve += row.Solve
+				trackedSolve += trow.Solve
+				jrow.TrackedSolveMs = toMs(trow.Solve)
+				if row.Solve > 0 {
+					jrow.OriginOverheadPct = 100 * (float64(trow.Solve)/float64(row.Solve) - 1)
+				}
+				if tr != nil && trow.Profile != nil {
+					for _, r := range trow.Profile.Rows {
+						tr.Observe("origin.conflicts", float64(r.Conflicts))
+						tr.Observe("origin.propagations", float64(r.Propagations))
+					}
+				}
+			}
+			art = append(art, jrow)
 		}
 		podSp.End()
+	}
+	if profOrig {
+		overall := 0.0
+		if baseSolve > 0 {
+			overall = 100 * (float64(trackedSolve)/float64(baseSolve) - 1)
+		}
+		fmt.Printf("# origin tracking overhead: %.1f%% on aggregate solve time (%.1fms plain, %.1fms tracked)\n",
+			overall, float64(baseSolve.Microseconds())/1000, float64(trackedSolve.Microseconds())/1000)
+		if profOut != "" {
+			merged := provenance.MergeProfiles(profiles...)
+			pf, err := os.Create(profOut)
+			if err != nil {
+				return err
+			}
+			if err := merged.WriteCollapsed(pf); err != nil {
+				pf.Close()
+				return err
+			}
+			if err := pf.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "bench: wrote %s (%d origins)\n", profOut, len(merged.Rows))
+		}
 	}
 	if jsonOut == "" {
 		return nil

@@ -32,6 +32,17 @@
 //	                  it through the independent checker before reporting any
 //	                  "verified" verdict; the proof size and check time are
 //	                  printed (and included in the -json object)
+//
+// Blame:
+//
+//	-blame            reports the configuration origins the verdict depends
+//	                  on. For a verified property these are the origins of
+//	                  the constraints in the UNSAT proof's core: the config
+//	                  stanzas that together rule out every violation. For a
+//	                  falsified property they are the origins of the
+//	                  constraints fixing the counterexample's forwarding
+//	                  decisions. Implies proof logging (-certify's machinery)
+//	                  on verified verdicts.
 package main
 
 import (
@@ -50,6 +61,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/properties"
+	"repro/internal/provenance"
 	"repro/internal/sat"
 	"repro/internal/smt"
 )
@@ -59,6 +71,7 @@ type cliOpts struct {
 	dir, check, src, via, subnet, pair string
 	hops, maxLen, maxFailures          int
 	verbose, replay, jsonOut, certify  bool
+	blame                              bool
 	traceJSON, promOut                 string
 	passes                             string
 	progressEvery                      int64
@@ -82,6 +95,7 @@ func main() {
 	flag.StringVar(&o.promOut, "prom", "", "write the metrics in Prometheus text format to this file")
 	flag.StringVar(&o.passes, "passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
 	flag.BoolVar(&o.certify, "certify", false, "record a DRAT proof trace and check verified verdicts with the independent checker")
+	flag.BoolVar(&o.blame, "blame", false, "report the configuration origins the verdict depends on (UNSAT core origins, or the counterexample's forwarding origins)")
 	flag.Int64Var(&o.progressEvery, "progress", 0, "print solver progress to stderr every N conflicts")
 	flag.Parse()
 	if o.dir == "" || o.check == "" {
@@ -128,6 +142,7 @@ func run(o cliOpts) error {
 		return err
 	}
 	opts.Certify = o.certify
+	opts.Blame = o.blame
 	opts.Span = tr.Root()
 	progress := func(p sat.Progress) {
 		fmt.Fprintf(os.Stderr, "progress: conflicts=%d decisions=%d propagations=%d learned=%d restarts=%d\n",
@@ -341,8 +356,10 @@ type jsonReport struct {
 	EncodeMs       float64    `json:"encode_ms,omitempty"`
 	SimplifyMs     float64    `json:"simplify_ms,omitempty"`
 	SolveMs        float64    `json:"solve_ms,omitempty"`
+	CertifyMs      float64    `json:"certify_ms,omitempty"`
 	SATVars        int        `json:"sat_vars,omitempty"`
 	SATClauses     int        `json:"sat_clauses,omitempty"`
+	Blame          []string   `json:"blame,omitempty"`
 	Solver         *jsonStats `json:"solver,omitempty"`
 	Proof          *jsonProof `json:"proof,omitempty"`
 	Counterexample *jsonCex   `json:"counterexample,omitempty"`
@@ -404,6 +421,8 @@ func emitJSONResult(o cliOpts, res *core.Result, m *core.Model, tr *obs.Trace) e
 		EncodeMs:   durMs(res.EncodeElapsed),
 		SimplifyMs: durMs(res.SimplifyElapsed),
 		SolveMs:    durMs(res.SolveElapsed),
+		CertifyMs:  durMs(res.CertifyElapsed),
+		Blame:      provenance.Strings(res.Blame),
 		SATVars:    res.SATVars,
 		SATClauses: res.SATClauses,
 		Solver: &jsonStats{
@@ -480,6 +499,16 @@ func report(check string, res *core.Result, m *core.Model, verbose bool) {
 	if cert := res.Certificate; cert != nil {
 		fmt.Printf("proof: checked (%d steps, %d lemmas, %d deletions, %.1fms check)\n",
 			cert.Steps, cert.Lemmas, cert.Deletions, durMs(cert.CheckElapsed))
+	}
+	if len(res.Blame) > 0 {
+		if res.Verified {
+			fmt.Printf("blame: the verdict rests on %d configuration origins\n", len(res.Blame))
+		} else {
+			fmt.Printf("blame: the counterexample's forwarding is fixed by %d configuration origins\n", len(res.Blame))
+		}
+		for _, o := range res.Blame {
+			fmt.Println("  " + o.String())
+		}
 	}
 	if verbose && res.Counterexample != nil && m != nil {
 		fmt.Println("forwarding state:")

@@ -7,15 +7,29 @@
 //
 // Endpoints:
 //
-//	POST /v1/verify    verification job → verdict (counterexample, phase timings)
-//	GET  /v1/jobs      recent jobs, newest first
-//	GET  /v1/jobs/{id} one job record
-//	GET  /metrics      Prometheus text exposition (same exporter as minesweeper -prom)
-//	GET  /healthz      liveness
+//	POST /v1/verify            verification job → verdict (counterexample, phase timings)
+//	GET  /v1/jobs              recent jobs, newest first
+//	GET  /v1/jobs/{id}         one job record
+//	GET  /v1/jobs/{id}/profile the job's hot-constraint origin profile
+//	                           (with -profile-origins; ?format=collapsed
+//	                           for flamegraph collapsed-stack text)
+//	GET  /metrics              Prometheus text exposition (same exporter as minesweeper -prom)
+//	GET  /healthz              liveness
+//
+// With -blame every verdict carries the configuration origins it depends
+// on (the UNSAT core's origins for verified properties, the forwarding
+// decisions' origins for counterexamples). With -debug-addr the daemon
+// serves net/http/pprof on a second, private listener:
+//
+//	minesweeperd -listen :8080 -debug-addr localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
+// Logs are structured (log/slog, text format): one line per request with
+// a unique request id, plus lifecycle events.
 //
 // Example:
 //
-//	minesweeperd -listen :8080 -workers 4 &
+//	minesweeperd -listen :8080 -workers 4 -blame &
 //	curl -s localhost:8080/v1/verify -d '{
 //	  "configs": {"r1.cfg": "hostname R1\n..."},
 //	  "check": "reachability", "src": "R1", "subnet": "10.3.3.0/24"
@@ -27,10 +41,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -41,38 +57,45 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":8080", "address to serve HTTP on")
-		workers = flag.Int("workers", 2, "concurrent verification workers")
-		queue   = flag.Int("queue", 64, "maximum queued jobs before 429s")
-		timeout = flag.Duration("timeout", 120*time.Second, "default per-job deadline")
-		passes  = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
-		certify = flag.Bool("certify", false, "record DRAT proof traces and check verified verdicts with the independent checker")
+		listen    = flag.String("listen", ":8080", "address to serve HTTP on")
+		debugAddr = flag.String("debug-addr", "", "address to serve net/http/pprof on (empty: disabled); keep it private")
+		workers   = flag.Int("workers", 2, "concurrent verification workers")
+		queue     = flag.Int("queue", 64, "maximum queued jobs before 429s")
+		timeout   = flag.Duration("timeout", 120*time.Second, "default per-job deadline")
+		passes    = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
+		certify   = flag.Bool("certify", false, "record DRAT proof traces and check verified verdicts with the independent checker")
+		blame     = flag.Bool("blame", false, "report the configuration origins each verdict depends on (implies proof logging)")
+		profOrig  = flag.Bool("profile-origins", false, "keep per-origin solver counters and serve each job's hot-constraint profile")
 	)
 	flag.Parse()
 	if err := core.ValidatePasses(*passes); err != nil {
 		fmt.Fprintln(os.Stderr, "minesweeperd:", err)
 		os.Exit(2)
 	}
-	if err := run(*listen, *workers, *queue, *timeout, *passes, *certify); err != nil {
-		fmt.Fprintln(os.Stderr, "minesweeperd:", err)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if err := run(logger, *listen, *debugAddr, *workers, *queue, *timeout, *passes, *certify, *blame, *profOrig); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, workers, queue int, timeout time.Duration, passes string, certify bool) error {
+func run(logger *slog.Logger, listen, debugAddr string, workers, queue int, timeout time.Duration, passes string, certify, blame, profOrig bool) error {
 	engine := service.NewEngine(service.Options{
-		Workers:    workers,
-		QueueDepth: queue,
-		Timeout:    timeout,
-		Passes:     passes,
-		Certify:    certify,
-		Trace:      obs.New("minesweeperd"),
+		Workers:        workers,
+		QueueDepth:     queue,
+		Timeout:        timeout,
+		Passes:         passes,
+		Certify:        certify,
+		Blame:          blame,
+		ProfileOrigins: profOrig,
+		Trace:          obs.New("minesweeperd"),
+		Logger:         logger,
 	})
 	defer engine.Close()
 
 	srv := &http.Server{
 		Addr:              listen,
-		Handler:           NewLoggingHandler(service.NewHandler(engine)),
+		Handler:           NewLoggingHandler(logger, service.NewHandler(engine)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -80,14 +103,31 @@ func run(listen string, workers, queue int, timeout time.Duration, passes string
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("minesweeperd listening on %s (%d workers, %s job timeout)", listen, workers, timeout)
+	logger.Info("listening", "addr", listen, "workers", workers,
+		"timeout", timeout, "certify", certify, "blame", blame,
+		"profile_origins", profOrig)
+
+	if debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              debugAddr,
+			Handler:           newDebugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		defer dbg.Close()
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", debugAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", debugAddr, "path", "/debug/pprof/")
+	}
 
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("minesweeperd shutting down")
+	logger.Info("shutting down")
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
@@ -99,14 +139,35 @@ func run(listen string, workers, queue int, timeout time.Duration, passes string
 	return nil
 }
 
-// NewLoggingHandler wraps a handler with one access-log line per request.
-func NewLoggingHandler(next http.Handler) http.Handler {
+// newDebugMux serves net/http/pprof on an explicit mux (rather than the
+// default one) so the debug listener exposes exactly the profiling
+// endpoints and nothing another package may have registered globally.
+func newDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// reqSeq numbers requests for the per-request log id.
+var reqSeq atomic.Int64
+
+// NewLoggingHandler wraps a handler with one structured access-log line
+// per request, tagged with a unique request id that is also echoed in
+// the X-Request-ID response header so clients can quote it.
+func NewLoggingHandler(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := fmt.Sprintf("req-%06d", reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", id)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
-		log.Printf("%s %s %d %.1fms", r.Method, r.URL.Path, rec.status,
-			float64(time.Since(start).Microseconds())/1000)
+		logger.Info("request", "id", id, "method", r.Method, "path", r.URL.Path,
+			"status", rec.status,
+			"ms", float64(time.Since(start).Microseconds())/1000)
 	})
 }
 

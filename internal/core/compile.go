@@ -110,6 +110,9 @@ type CompiledNetwork struct {
 	PassStats []passes.Stats
 	// Elapsed is the total compile pipeline time.
 	Elapsed time.Duration
+	// Origins runs parallel to Asserts: the provenance base ids (interned
+	// in the model's Prov table) each post-pass assert descends from.
+	Origins [][]int32
 }
 
 // Compile runs the property-agnostic term passes (fold, cse, propagate
@@ -128,6 +131,17 @@ func (m *Model) Compile() *CompiledNetwork {
 	defer sp.End()
 	start := time.Now()
 	sys := &passes.System{Ctx: m.Ctx, Asserts: append([]*smt.Term(nil), m.Asserts...)}
+	// Provenance rides along: one base id per assert, merged by the
+	// passes wherever asserts merge. Asserts spliced in from outside
+	// assert() (equivalence tests) may outrun AssertOrigins; they simply
+	// carry no origin.
+	origins := make([][]int32, len(m.Asserts))
+	for i := range origins {
+		if i < len(m.AssertOrigins) {
+			origins[i] = []int32{m.Prov.ID(m.AssertOrigins[i])}
+		}
+	}
+	sys.Origins = origins
 	pl, err := passes.NewPipeline(m.spec.compile...)
 	if err != nil {
 		// Names come from resolvePasses, which only emits canonical ones.
@@ -140,6 +154,7 @@ func (m *Model) Compile() *CompiledNetwork {
 		BaseLen:   len(m.Asserts),
 		PassStats: stats,
 		Elapsed:   time.Since(start),
+		Origins:   sys.Origins,
 	}
 	sp.SetStr("hash", cn.Hash[:12])
 	sp.SetInt("asserts_in", int64(cn.BaseLen))

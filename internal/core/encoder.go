@@ -8,6 +8,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/protograph"
+	"repro/internal/provenance"
 	"repro/internal/sat"
 	"repro/internal/smt"
 )
@@ -48,6 +49,19 @@ type Options struct {
 	// certificate (Result.Certificate). A rejected certificate turns the
 	// check into an error — a soundness alarm, never a silent verdict.
 	Certify bool
+
+	// Blame reports which config stanzas a verdict depends on
+	// (Result.Blame). For UNSAT it replays the DRAT proof (recording one
+	// when Certify is off), extracts the unsatisfiable core and maps the
+	// core's input clauses back to the encoder origins that emitted them;
+	// for SAT it reports the origins of the constraints that fixed each
+	// decoded forwarding decision.
+	Blame bool
+
+	// ProfileOrigins keeps per-origin solver work counters (conflicts,
+	// propagations, learned clauses, LBD mass) and attaches the
+	// aggregated hot-constraint profile to Result.OriginProfile.
+	ProfileOrigins bool
 
 	// Span, when non-nil, is the parent under which Encode emits its
 	// instrumentation spans and Check its per-query spans (the model
@@ -127,8 +141,19 @@ type Model struct {
 	// SessUp maps multihop iBGP sessions to their session-up bits.
 	SessUp map[*protograph.BGPSession]*smt.Term
 
-	// Asserts is the constraint system N.
-	Asserts []*smt.Term
+	// Asserts is the constraint system N. AssertOrigins runs parallel to
+	// it: AssertOrigins[i] names the config stanza (or synthetic source)
+	// that emitted Asserts[i]. Configs carry no line numbers, so the
+	// granularity is the named stanza.
+	Asserts       []*smt.Term
+	AssertOrigins []provenance.Origin
+
+	// Prov interns origins to the dense base ids carried by the pass
+	// pipeline, the SAT solver and DRAT proof steps.
+	Prov *provenance.Table
+
+	// curOrigin is stamped onto every constraint assert() emits.
+	curOrigin provenance.Origin
 
 	mode       cmpMode
 	commUni    []string
@@ -174,8 +199,21 @@ type Model struct {
 	prefix string
 }
 
-// assert appends a constraint to N.
-func (m *Model) assert(t *smt.Term) { m.Asserts = append(m.Asserts, t) }
+// assert appends a constraint to N, recording the current origin in
+// lockstep so provenance survives every later rewrite.
+func (m *Model) assert(t *smt.Term) {
+	m.Asserts = append(m.Asserts, t)
+	m.AssertOrigins = append(m.AssertOrigins, m.curOrigin)
+}
+
+// setOrigin switches the origin stamped onto subsequent asserts and
+// returns the previous one, for save/restore around nested encoders
+// (route maps refine their caller's origin).
+func (m *Model) setOrigin(o provenance.Origin) provenance.Origin {
+	prev := m.curOrigin
+	m.curOrigin = o
+	return prev
+}
 
 // Formula returns the conjunction of all model constraints.
 func (m *Model) Formula() *smt.Term { return m.Ctx.And(m.Asserts...) }
@@ -196,6 +234,7 @@ func EncodeWithContext(g *protograph.Graph, opts Options, ctx *smt.Context, pref
 		Failed: map[string]*smt.Term{},
 		Addr:   map[network.IP]*Slice{},
 		SessUp: map[*protograph.BGPSession]*smt.Term{},
+		Prov:   provenance.NewTable(),
 		Obs:    opts.Span,
 		prefix: prefix,
 	}
@@ -259,10 +298,12 @@ func EncodeWithContext(g *protograph.Graph, opts Options, ctx *smt.Context, pref
 	// Gate each multihop session on mutual reachability of the peering
 	// addresses in the corresponding copies.
 	for _, s := range multihop {
+		m.setOrigin(provenance.Origin{Proto: "bgp", Kind: "session", Name: s.A.Name + "~" + s.B.Name})
 		reachAB := m.Reach(m.Addr[s.NbrAtA.Addr], false)[s.A.Name]
 		reachBA := m.Reach(m.Addr[s.NbrAtB.Addr], false)[s.B.Name]
 		m.assert(c.Iff(m.SessUp[s], c.And(reachAB, reachBA)))
 	}
+	m.setOrigin(provenance.Origin{})
 
 	main, err := m.encodeSlice(prefix+"main", m.DstIP, false)
 	if err != nil {
@@ -618,5 +659,9 @@ func (m *Model) fbmSym(prefix, dstIP, plen *smt.Term) *smt.Term {
 
 // AssertExtra appends an instrumentation constraint to the model (used by
 // the properties package for load totals and similar definitional
-// constraints).
-func (m *Model) AssertExtra(t *smt.Term) { m.assert(t) }
+// constraints). Such constraints belong to the property, not the config.
+func (m *Model) AssertExtra(t *smt.Term) {
+	prev := m.setOrigin(provenance.Origin{Kind: "property"})
+	m.assert(t)
+	m.setOrigin(prev)
+}

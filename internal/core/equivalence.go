@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/protograph"
+	"repro/internal/provenance"
 	"repro/internal/smt"
 )
 
@@ -334,9 +335,12 @@ func FaultInvariance(g *protograph.Graph, opts Options, k int) (*EquivPair, *smt
 func (p *EquivPair) Check(property *smt.Term, assumptions ...*smt.Term) (*Result, error) {
 	all := append([]*smt.Term{}, p.B.Asserts...)
 	saved := p.A.Asserts
+	savedOrigins := p.A.AssertOrigins
 	p.A.Asserts = append(append([]*smt.Term{}, saved...), all...)
+	p.A.AssertOrigins = append(append([]provenance.Origin{}, savedOrigins...), p.B.AssertOrigins...)
 	res, err := p.A.Check(property, assumptions...)
 	p.A.Asserts = saved
+	p.A.AssertOrigins = savedOrigins
 	if err == nil && res.Counterexample != nil {
 		bEnv := p.B.Decode(res.Counterexample.Assignment).Env
 		for id := range bEnv.FailedLinks {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/provenance"
 	"repro/internal/sat"
 	"repro/internal/smt"
 )
@@ -47,7 +48,12 @@ type Session struct {
 	lastBlasted *smt.Term
 	checks      int
 
-	proof *sat.Proof // non-nil when Options.Certify is on
+	proof *sat.Proof // non-nil when Options.Certify or Options.Blame is on
+
+	// blameAsserts/blameOrigins mirror every shared assert blasted into
+	// the session with its provenance, for SAT-side blame (Options.Blame).
+	blameAsserts []*smt.Term
+	blameOrigins [][]int32
 
 	setupCompile  time.Duration
 	setupEncode   time.Duration
@@ -73,7 +79,11 @@ func (m *Model) NewSession() *Session {
 	if m.ProgressEvery > 0 && m.OnProgress != nil {
 		s.ss.Solver().SetProgress(m.ProgressEvery, m.OnProgress)
 	}
-	if m.Opts.Certify {
+	track := m.Opts.Blame || m.Opts.ProfileOrigins
+	if track {
+		s.ss.Solver().EnableOriginTracking()
+	}
+	if m.Opts.Certify || m.Opts.Blame {
 		s.proof = s.ss.Solver().EnableProof()
 	}
 
@@ -82,11 +92,25 @@ func (m *Model) NewSession() *Session {
 	if m.compiles != compiles {
 		s.setupCompile = cn.Elapsed
 	}
+	if m.Opts.Blame {
+		s.blameAsserts = append([]*smt.Term(nil), cn.Asserts...)
+		s.blameOrigins = append([][]int32(nil), cn.Origins...)
+	}
 
 	blastSp := sp.Start("blast")
 	start := time.Now()
-	for _, a := range cn.Asserts {
+	for i, a := range cn.Asserts {
+		if track {
+			if i < len(cn.Origins) {
+				s.ss.Solver().SetOrigin(cn.Origins[i]...)
+			} else {
+				s.ss.Solver().SetOrigin()
+			}
+		}
 		s.ss.Assert(a)
+	}
+	if track {
+		s.ss.Solver().SetOrigin()
 	}
 	s.asserted = cn.BaseLen
 	if cn.BaseLen > 0 {
@@ -166,8 +190,21 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 	// activation literal.
 	cnfSp := sp.Start("cnf")
 	encStart := time.Now()
+	track := m.Opts.Blame || m.Opts.ProfileOrigins
 	newShared := len(m.Asserts) - s.asserted
-	for _, a := range m.Asserts[s.asserted:] {
+	for i := s.asserted; i < len(m.Asserts); i++ {
+		a := m.Asserts[i]
+		if track {
+			var o []int32
+			if i < len(m.AssertOrigins) {
+				o = []int32{m.Prov.ID(m.AssertOrigins[i])}
+			}
+			s.ss.Solver().SetOrigin(o...)
+			if m.Opts.Blame {
+				s.blameAsserts = append(s.blameAsserts, a)
+				s.blameOrigins = append(s.blameOrigins, o)
+			}
+		}
 		s.ss.Assert(a)
 	}
 	s.asserted = len(m.Asserts)
@@ -177,7 +214,13 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 	goals := make([]*smt.Term, 0, len(assumptions)+1)
 	goals = append(goals, assumptions...)
 	goals = append(goals, c.Not(property))
+	if track {
+		s.ss.Solver().SetOrigin(m.Prov.ID(provenance.Origin{Kind: "property"}))
+	}
 	s.ss.Prepare(goals...)
+	if track {
+		s.ss.Solver().SetOrigin()
+	}
 	encodeElapsed := time.Since(encStart)
 	satVars, satClauses := s.ss.Solver().NumSATVars(), s.ss.Solver().NumSATClauses()
 	cnfSp.SetInt("new_shared_asserts", int64(newShared))
@@ -221,21 +264,32 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 			// the checker gets it as an assumption. The trace replayed is
 			// cumulative over the session's whole life, so certification
 			// cost grows with the number of checks.
-			cert, err := certify(sp, s.proof, s.ss.Assumptions()...)
+			cert, core, err := certify(sp, s.proof, m.Opts.Blame, s.ss.Assumptions()...)
 			if err != nil {
 				return nil, err
 			}
 			res.Certificate = cert
+			res.CertifyElapsed = cert.CheckElapsed
+			res.Elapsed += res.CertifyElapsed
+			if m.Opts.Blame {
+				res.Blame = m.blameFromCore(s.ss.Solver(), s.proof, core)
+			}
 		}
 	case sat.Sat:
 		dSp := sp.Start("decode")
 		res.Counterexample = m.Decode(s.ss.Model())
 		dSp.End()
+		if m.Opts.Blame {
+			res.Blame = m.blameSat(s.blameAsserts, s.blameOrigins, res.Counterexample.Assignment)
+		}
 	default:
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("core: solver returned %v", status)
+	}
+	if m.Opts.ProfileOrigins {
+		res.OriginProfile = m.originProfile(s.ss.Solver())
 	}
 	return res, nil
 }

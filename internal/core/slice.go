@@ -7,6 +7,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/network"
 	"repro/internal/protograph"
+	"repro/internal/provenance"
 	"repro/internal/smt"
 )
 
@@ -55,8 +56,10 @@ func (m *Model) encodeSlice(name string, dstIP *smt.Term, isAddr bool) (*Slice, 
 
 	// Environment records: one symbolic announcement per external peer.
 	for _, e := range g.Topo.Externals {
+		m.setOrigin(provenance.Origin{Router: e.Router.Name, Proto: "bgp", Kind: "env", Name: e.Name})
 		sl.Env[e.Name] = m.envRecord(sl, e)
 	}
+	m.setOrigin(provenance.Origin{})
 
 	// Pass A: allocate the selected-record variables that break the
 	// cross-router cycles (one per dynamic protocol instance).
@@ -89,8 +92,10 @@ func (m *Model) encodeSlice(name string, dstIP *smt.Term, isAddr bool) (*Slice, 
 		}
 		exp := m.exportBGP(sl, s.A, s)
 		exp = exp.gate(c, m.linkUp(extLinkID(s.A.Name, s.Ext.Name)))
+		m.setOrigin(provenance.Origin{Router: s.A.Name, Proto: "bgp", Kind: "neighbor", Name: "ext." + s.Ext.Name})
 		sl.ExtExports[s.Ext.Name] = m.wrapVar(name+"|extout|"+s.Ext.Name, exp, true)
 	}
+	m.setOrigin(provenance.Origin{})
 	return sl, nil
 }
 
@@ -174,6 +179,7 @@ func (m *Model) encodeRouter(sl *Slice, n *network.Node, isAddr bool) error {
 		if v == nil {
 			continue
 		}
+		m.setOrigin(provenance.Origin{Router: n.Name, Proto: p.String(), Kind: "selection"})
 		fold := selectBest(c, recsOf(cands[p]),
 			func(a, b *Record) *smt.Term { return betterIntra(c, a, b, m.mode) }, m.inv())
 		m.assertRecEq(v, fold)
@@ -188,6 +194,7 @@ func (m *Model) encodeRouter(sl *Slice, n *network.Node, isAddr bool) error {
 			protoBests = append(protoBests, bp)
 		}
 	}
+	m.setOrigin(provenance.Origin{Router: n.Name, Proto: "overall", Kind: "selection"})
 	best := selectBest(c, protoBests,
 		func(a, b *Record) *smt.Term { return betterOverall(c, a, b, m.mode) }, m.inv())
 	best = m.wrapVar(sl.Name+"|"+n.Name+"|best.overall", best, true)
@@ -294,6 +301,7 @@ func (m *Model) encodeRouter(sl *Slice, n *network.Node, isAddr bool) error {
 		}
 		anyWin = c.Or(anyWin, w)
 		info := within(p, map[config.Protocol]bool{})
+		m.setOrigin(provenance.Origin{Router: n.Name, Proto: p.String(), Kind: "selection"})
 		m.assert(c.Implies(sl.BestProto[n.Name][p].Valid, info.any))
 		for h, t := range info.fwd {
 			contrib := c.And(w, t)
@@ -306,7 +314,9 @@ func (m *Model) encodeRouter(sl *Slice, n *network.Node, isAddr bool) error {
 		delivered = c.Or(delivered, c.And(w, info.local))
 		dropped = c.Or(dropped, c.And(w, info.drop))
 	}
+	m.setOrigin(provenance.Origin{Router: n.Name, Proto: "overall", Kind: "selection"})
 	m.assert(c.Implies(best.Valid, anyWin))
+	m.setOrigin(provenance.Origin{})
 	sl.CtrlFwd[n.Name] = ctrl
 	sl.DeliveredLocal[n.Name] = delivered
 	sl.DroppedNull[n.Name] = dropped
@@ -535,6 +545,7 @@ func (m *Model) bgpCands(sl *Slice, n *network.Node, cfg *config.Router, isAddr 
 			if sess.A != n {
 				continue
 			}
+			prev := m.setOrigin(provenance.Origin{Router: n.Name, Proto: "bgp", Kind: "neighbor", Name: "ext." + sess.Ext.Name})
 			env := sl.Env[sess.Ext.Name]
 			r := env.clone()
 			r.Valid = c.And(env.Valid, m.linkUp(extLinkID(n.Name, sess.Ext.Name)))
@@ -548,6 +559,7 @@ func (m *Model) bgpCands(sl *Slice, n *network.Node, cfg *config.Router, isAddr 
 				r = m.applyRouteMap(sl, cfg, sess.NbrAtA.InMap, r)
 			}
 			r = m.wrapVar(sl.Name+"|"+n.Name+"|in.ext."+sess.Ext.Name, r, true)
+			m.setOrigin(prev)
 			sl.ExtImports[sess.Ext.Name] = r
 			out = append(out, &candidate{rec: r, hop: &Hop{Ext: sess.Ext.Name}})
 
@@ -569,6 +581,7 @@ func (m *Model) bgpCands(sl *Slice, n *network.Node, cfg *config.Router, isAddr 
 			}
 			stanza := sess.StanzaOf(n)
 			peerCfg := m.G.Configs[peer.Name]
+			prev := m.setOrigin(provenance.Origin{Router: n.Name, Proto: "bgp", Kind: "neighbor", Name: peer.Name})
 			r := exp.clone()
 			valid := c.And(exp.Valid, up)
 			if m.riskySet[n.Name] {
@@ -587,6 +600,7 @@ func (m *Model) bgpCands(sl *Slice, n *network.Node, cfg *config.Router, isAddr 
 				r = m.applyRouteMap(sl, cfg, stanza.InMap, r)
 			}
 			r = m.wrapVar(sl.Name+"|"+n.Name+"|in.bgp."+peer.Name, r, true)
+			m.setOrigin(prev)
 			cand := &candidate{rec: r, hop: &Hop{Node: peer.Name}}
 			if isIBGP && sess.Link == nil {
 				cand.hop = nil
@@ -609,6 +623,8 @@ func (m *Model) exportBGP(sl *Slice, sender *network.Node, sess *protograph.BGPS
 	if b == nil {
 		return m.inv()
 	}
+	prev := m.setOrigin(provenance.Origin{Router: sender.Name, Proto: "bgp", Kind: "neighbor", Name: sessionTag(sess, sender)})
+	defer m.setOrigin(prev)
 	stanza := sess.StanzaOf(sender)
 	toIBGP := sess.Kind == protograph.IBGP
 	allowed := c.True()
@@ -781,6 +797,7 @@ func (m *Model) Reach(sl *Slice, countExit bool) map[string]*smt.Term {
 		dist[n.Name] = c.BVVar(sl.Name+"|"+tag+"dist|"+n.Name, w)
 	}
 	for _, n := range m.G.Topo.Nodes {
+		m.setOrigin(provenance.Origin{Router: n.Name, Kind: "reach", Name: tag})
 		base := sl.DeliveredLocal[n.Name]
 		alts := []*smt.Term{base}
 		// Lower bound (no spurious unreachability): delivery or a
@@ -802,6 +819,7 @@ func (m *Model) Reach(sl *Slice, countExit bool) map[string]*smt.Term {
 		}
 		m.assert(c.Implies(reach[n.Name], c.Or(alts...)))
 	}
+	m.setOrigin(provenance.Origin{})
 	sl.reachMemo[countExit] = reach
 	return reach
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/provenance"
 	"repro/internal/sat"
 	"repro/internal/sat/drat"
 	"repro/internal/simulator"
@@ -59,10 +60,24 @@ type Result struct {
 	SATVars    int
 	SATClauses int
 	Stats      sat.Stats
+	// CertifyElapsed is the DRAT replay time when a proof was checked
+	// (Options.Certify or Options.Blame); it is part of Elapsed.
+	CertifyElapsed time.Duration
 	// Certificate is set on UNSAT verdicts when Options.Certify is on:
 	// the recorded DRAT trace was replayed through the independent
 	// checker before the verdict was returned.
 	Certificate *Certificate
+	// Blame is set when Options.Blame is on: for UNSAT verdicts, the
+	// config origins the checked proof's unsatisfiable core descends
+	// from — the stanzas the verdict actually depends on; for SAT, the
+	// origins of the constraints that fixed the counterexample's
+	// forwarding decisions. Sorted and deduplicated, so equal inputs
+	// blame identically.
+	Blame []provenance.Origin
+	// OriginProfile is set when Options.ProfileOrigins is on: solver
+	// work (conflicts, propagations, learned clauses, LBD mass)
+	// attributed per config origin, hottest first.
+	OriginProfile *provenance.Profile
 }
 
 // Certificate summarizes a checked UNSAT proof.
@@ -82,19 +97,28 @@ type Certificate struct {
 // certify replays a recorded proof trace through the independent DRAT
 // checker under an obs span. It returns the certificate, or an error when
 // the trace does not establish UNSAT — in which case the caller must not
-// report a verdict.
-func certify(sp *obs.Span, proof *sat.Proof, assumptions ...sat.Lit) (*Certificate, error) {
+// report a verdict. With wantCore set the checker additionally extracts
+// the unsatisfiable core (indices of the input steps the refutation
+// depends on) in the same replay.
+func certify(sp *obs.Span, proof *sat.Proof, wantCore bool, assumptions ...sat.Lit) (*Certificate, []int, error) {
 	cSp := sp.Start("certify")
 	defer cSp.End()
 	start := time.Now()
-	st, err := drat.Check(proof, assumptions...)
+	var st *drat.Stats
+	var core []int
+	var err error
+	if wantCore {
+		st, core, err = drat.CheckCore(proof, assumptions...)
+	} else {
+		st, err = drat.Check(proof, assumptions...)
+	}
 	elapsed := time.Since(start)
 	cSp.SetInt("steps", int64(proof.NumSteps()))
 	cSp.SetInt("lits", int64(proof.NumLits()))
 	cSp.SetInt("check_us", elapsed.Microseconds())
 	if err != nil {
 		cSp.SetStr("verdict", "rejected")
-		return nil, fmt.Errorf("core: UNSAT verdict failed certification: %w", err)
+		return nil, nil, fmt.Errorf("core: UNSAT verdict failed certification: %w", err)
 	}
 	cSp.SetStr("verdict", "checked")
 	return &Certificate{
@@ -105,7 +129,7 @@ func certify(sp *obs.Span, proof *sat.Proof, assumptions ...sat.Lit) (*Certifica
 		Lemmas:       st.Lemmas,
 		Deletions:    st.Deletions,
 		CheckElapsed: elapsed,
-	}, nil
+	}, core, nil
 }
 
 // Check decides whether the property holds in every stable state: it
@@ -177,8 +201,15 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 	if m.ProgressEvery > 0 && m.OnProgress != nil {
 		solver.SetProgress(m.ProgressEvery, m.OnProgress)
 	}
+	// Origin tracking (blame, profiling) stamps every clause with the
+	// provenance of the assert it was blasted from; blame additionally
+	// needs the proof trace so the UNSAT core can be extracted.
+	track := m.Opts.Blame || m.Opts.ProfileOrigins
+	if track {
+		solver.EnableOriginTracking()
+	}
 	var proof *sat.Proof
-	if m.Opts.Certify {
+	if m.Opts.Certify || m.Opts.Blame {
 		proof = solver.EnableProof()
 	}
 
@@ -188,31 +219,59 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 	passStats := append([]passes.Stats(nil), prior...)
 	termStart := time.Now()
 	asserts := cn.Asserts
+	origins := cn.Origins
 	if tail := m.Asserts[cn.BaseLen:]; len(tail) > 0 {
 		asserts = append(append([]*smt.Term(nil), asserts...), tail...)
+		origins = append([][]int32(nil), origins...)
+		for i := cn.BaseLen; i < len(m.Asserts); i++ {
+			var o []int32
+			if i < len(m.AssertOrigins) {
+				o = []int32{m.Prov.ID(m.AssertOrigins[i])}
+			}
+			origins = append(origins, o)
+		}
 	}
 	goals := make([]*smt.Term, 0, len(assumptions)+1)
 	goals = append(goals, assumptions...)
 	goals = append(goals, c.Not(property))
 	if m.spec.coi {
 		sys := &passes.System{Ctx: c, Asserts: append([]*smt.Term(nil), asserts...), Goals: goals}
+		if track {
+			sys.Origins = append([][]int32(nil), origins...)
+		}
 		pl, err := passes.NewPipeline(passes.COI)
 		if err != nil {
 			panic(err)
 		}
 		passStats = append(passStats, pl.Run(sys, sp)...)
 		asserts, goals = sys.Asserts, sys.Goals
+		if track {
+			origins = sys.Origins
+		}
 	}
 	termElapsed := priorElapsed + time.Since(termStart)
 
 	// Phase 1: Tseitin CNF conversion + bit-blasting of N ∧ ¬P.
 	cnfSp := sp.Start("cnf")
 	encStart := time.Now()
-	for _, a := range asserts {
+	for i, a := range asserts {
+		if track {
+			if i < len(origins) {
+				solver.SetOrigin(origins[i]...)
+			} else {
+				solver.SetOrigin()
+			}
+		}
 		solver.Assert(a)
+	}
+	if track {
+		solver.SetOrigin(m.Prov.ID(provenance.Origin{Kind: "property"}))
 	}
 	for _, g := range goals {
 		solver.Assert(g)
+	}
+	if track {
+		solver.SetOrigin()
 	}
 	encodeElapsed := time.Since(encStart)
 	satVars, satClauses := solver.NumSATVars(), solver.NumSATClauses()
@@ -265,23 +324,148 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 	case sat.Unsat:
 		res.Verified = true
 		if proof != nil {
-			cert, err := certify(sp, proof)
+			cert, core, err := certify(sp, proof, m.Opts.Blame)
 			if err != nil {
 				return nil, err
 			}
 			res.Certificate = cert
+			res.CertifyElapsed = cert.CheckElapsed
+			res.Elapsed += res.CertifyElapsed
+			if m.Opts.Blame {
+				res.Blame = m.blameFromCore(solver, proof, core)
+			}
 		}
 	case sat.Sat:
 		dSp := sp.Start("decode")
 		res.Counterexample = m.Decode(solver.Model())
 		dSp.End()
+		if m.Opts.Blame {
+			res.Blame = m.blameSat(asserts, origins, res.Counterexample.Assignment)
+		}
 	default:
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("core: solver returned %v", status)
 	}
+	if m.Opts.ProfileOrigins {
+		res.OriginProfile = m.originProfile(solver)
+	}
 	return res, nil
+}
+
+// blameFromCore maps an UNSAT core (input-step indices of a checked
+// proof) back to config origins: each input clause carries the interned
+// origin set of the assert it was blasted from. Untagged clauses (the
+// zero origin) are dropped; the result is sorted, so equal cores blame
+// identically.
+func (m *Model) blameFromCore(solver *smt.Solver, proof *sat.Proof, core []int) []provenance.Origin {
+	steps := proof.Steps()
+	seen := map[int32]bool{}
+	var out []provenance.Origin
+	for _, si := range core {
+		if si < 0 || si >= len(steps) {
+			continue
+		}
+		for _, base := range solver.OriginSetBases(steps[si].Origin) {
+			if seen[base] {
+				continue
+			}
+			seen[base] = true
+			if o := m.Prov.Origin(base); o != (provenance.Origin{}) {
+				out = append(out, o)
+			}
+		}
+	}
+	return provenance.DedupeOrigins(out)
+}
+
+// blameSat attributes a SAT counterexample: the origins of every
+// constraint whose term DAG overlaps an active forwarding decision
+// (control-plane forwarding, local delivery, null drop) of the decoded
+// stable state. Terms are hash-consed, so shared subterms — in
+// particular the decision indicators and their variables — identify the
+// asserts that fixed each decision even after the pass pipeline
+// rewrote them.
+func (m *Model) blameSat(asserts []*smt.Term, origins [][]int32, asg smt.Assignment) []provenance.Origin {
+	want := map[*smt.Term]bool{}
+	var markAll func(t *smt.Term)
+	markAll = func(t *smt.Term) {
+		if want[t] {
+			return
+		}
+		want[t] = true
+		for _, k := range t.Kids() {
+			markAll(k)
+		}
+	}
+	sl := m.Main
+	for _, fwd := range sl.CtrlFwd {
+		for _, t := range fwd {
+			if evalBool(t, asg) {
+				markAll(t)
+			}
+		}
+	}
+	for _, t := range sl.DeliveredLocal {
+		if evalBool(t, asg) {
+			markAll(t)
+		}
+	}
+	for _, t := range sl.DroppedNull {
+		if evalBool(t, asg) {
+			markAll(t)
+		}
+	}
+	touched := map[*smt.Term]bool{}
+	var touches func(t *smt.Term) bool
+	touches = func(t *smt.Term) bool {
+		if v, ok := touched[t]; ok {
+			return v
+		}
+		r := want[t]
+		for _, k := range t.Kids() {
+			if r {
+				break
+			}
+			r = touches(k)
+		}
+		touched[t] = r
+		return r
+	}
+	seen := map[provenance.Origin]bool{}
+	var out []provenance.Origin
+	for i, a := range asserts {
+		if i >= len(origins) || len(origins[i]) == 0 || !touches(a) {
+			continue
+		}
+		for _, b := range origins[i] {
+			o := m.Prov.Origin(b)
+			if o == (provenance.Origin{}) || seen[o] {
+				continue
+			}
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	provenance.SortOrigins(out)
+	return out
+}
+
+// originProfile converts the solver's per-set work counters into the
+// per-origin hot-constraint profile.
+func (m *Model) originProfile(solver *smt.Solver) *provenance.Profile {
+	sets, counts := solver.OriginSnapshot()
+	pc := make([]provenance.Counts, len(counts))
+	for i, c := range counts {
+		pc[i] = provenance.Counts{
+			Conflicts:    c.Conflicts,
+			Propagations: c.Propagations,
+			Learned:      c.Learned,
+			LBDSum:       c.LBDSum,
+		}
+	}
+	return provenance.BuildProfile(m.Prov, sets, pc)
 }
 
 // CheckSat searches for a stable state satisfying the given condition

@@ -120,6 +120,7 @@ func (s *Scenario) PassesParity(rng *rand.Rand) error {
 	}
 	rng.Shuffle(len(m.Asserts), func(i, j int) {
 		m.Asserts[i], m.Asserts[j] = m.Asserts[j], m.Asserts[i]
+		m.AssertOrigins[i], m.AssertOrigins[j] = m.AssertOrigins[j], m.AssertOrigins[i]
 	})
 	v, err := checkOn(m, q)
 	if err != nil {

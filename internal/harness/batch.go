@@ -99,6 +99,7 @@ type BatchCheck struct {
 	Encode    time.Duration
 	Simplify  time.Duration
 	Solve     time.Duration
+	Certify   time.Duration
 	Verified  bool
 	Conflicts int64
 }
@@ -172,8 +173,8 @@ func RunBatch(f *Fabric) (*BatchResult, error) {
 		out.Fresh.Checks = append(out.Fresh.Checks, BatchCheck{
 			Property: bp.Name, Elapsed: res.Elapsed,
 			Encode: res.EncodeElapsed, Simplify: res.SimplifyElapsed,
-			Solve: res.SolveElapsed, Verified: res.Verified,
-			Conflicts: res.Stats.Conflicts,
+			Solve: res.SolveElapsed, Certify: res.CertifyElapsed,
+			Verified: res.Verified, Conflicts: res.Stats.Conflicts,
 		})
 	}
 	out.Fresh.Compiles = mf.CompileCount()
@@ -198,8 +199,8 @@ func RunBatch(f *Fabric) (*BatchResult, error) {
 		out.Session.Checks = append(out.Session.Checks, BatchCheck{
 			Property: bp.Name, Elapsed: res.Elapsed,
 			Encode: res.EncodeElapsed, Simplify: res.SimplifyElapsed,
-			Solve: res.SolveElapsed, Verified: res.Verified,
-			Conflicts: res.Stats.Conflicts,
+			Solve: res.SolveElapsed, Certify: res.CertifyElapsed,
+			Verified: res.Verified, Conflicts: res.Stats.Conflicts,
 		})
 	}
 	out.Session.SharedBlasts = sess.SharedBlasts()

@@ -32,9 +32,9 @@ func TestRunBatchAmortization(t *testing.T) {
 		t.Fatalf("fresh blasted the shared formula %d times, want %d", res.Fresh.SharedBlasts, res.Properties)
 	}
 	for i, c := range res.Session.Checks {
-		if c.Elapsed != c.Encode+c.Simplify+c.Solve {
+		if c.Elapsed != c.Encode+c.Simplify+c.Solve+c.Certify {
 			t.Fatalf("session check %d: elapsed %v != phase sum %v",
-				i, c.Elapsed, c.Encode+c.Simplify+c.Solve)
+				i, c.Elapsed, c.Encode+c.Simplify+c.Solve+c.Certify)
 		}
 	}
 	if res.Session.Total >= res.Fresh.Total {

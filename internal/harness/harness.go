@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/properties"
 	"repro/internal/protograph"
+	"repro/internal/provenance"
 	"repro/internal/sat"
 	"repro/internal/smt"
 	"repro/internal/topogen"
@@ -254,6 +255,9 @@ type Fig8Row struct {
 	ProofSteps    int
 	ProofLemmas   int
 	ProofCheck    time.Duration
+	// Profile is the per-origin hot-constraint profile, populated only
+	// when the fabric runs with ProfileOrigins.
+	Profile *provenance.Profile
 }
 
 // Fabric caches a generated fat-tree and its graph. The optional
@@ -274,6 +278,10 @@ type Fabric struct {
 	// proof columns are populated.
 	Certify bool
 
+	// ProfileOrigins turns on solver origin attribution for every encode:
+	// rows carry the per-origin hot-constraint profile.
+	ProfileOrigins bool
+
 	Obs           *obs.Span
 	ProgressEvery int64
 	OnProgress    func(sat.Progress)
@@ -287,6 +295,9 @@ func (f *Fabric) encode(opts core.Options) (*core.Model, error) {
 	}
 	if f.Certify {
 		opts.Certify = true
+	}
+	if f.ProfileOrigins {
+		opts.ProfileOrigins = true
 	}
 	m, err := core.Encode(f.G, opts)
 	if err != nil {
@@ -399,6 +410,7 @@ func RunFig8Property(f *Fabric, prop string) (*Fig8Row, error) {
 		row.ProofLemmas = cert.Lemmas
 		row.ProofCheck = cert.CheckElapsed
 	}
+	row.Profile = res.OriginProfile
 	return row, nil
 }
 

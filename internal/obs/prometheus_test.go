@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPromNameEscaping pins the exporter's name sanitizer: dots and other
+// punctuation collapse to underscores, digits are kept except in the
+// leading position, and anything outside the Prometheus charset (spaces,
+// unicode) becomes an underscore.
+func TestPromNameEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"sat.conflicts", "sat_conflicts"},
+		{"origin.profile-rows", "origin_profile_rows"},
+		{"fig8/solve ms", "fig8_solve_ms"},
+		{"9lives", "_lives"},
+		{"p99", "p99"},
+		{"héllo", "h_llo"},
+		{"a:b=c", "a_b_c"},
+		{"already_fine_123", "already_fine_123"},
+	}
+	for _, c := range cases {
+		if got := promName(c.in); got != c.want {
+			t.Errorf("promName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+
+	// The escaped name is what reaches the exposition, so a dotted metric
+	// must appear under its underscored name.
+	tr := New("t")
+	tr.Add("weird.metric-name 1", 1)
+	tr.Root().End()
+	var buf bytes.Buffer
+	tr.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "minesweeper_weird_metric_name_1 1") {
+		t.Fatalf("escaped metric missing from exposition:\n%s", buf.String())
+	}
+}
+
+// TestPrometheusConcurrentExport races metric writers against the
+// exporter; run under -race. The dump taken after the writers finish must
+// reflect every update.
+func TestPrometheusConcurrentExport(t *testing.T) {
+	tr := New("race")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Add("events", 1)
+				tr.Gauge("level", float64(i))
+				tr.Observe("latency", float64(i%11))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			tr.WritePrometheus(&buf)
+		}
+	}()
+	wg.Wait()
+	<-done
+	tr.Root().End()
+
+	var buf bytes.Buffer
+	tr.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"minesweeper_events 2000",
+		"minesweeper_latency_count 2000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("final dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusStableOrdering pins that the exposition is byte-identical
+// across repeated dumps and independent of metric insertion order, so
+// scrapes diff cleanly.
+func TestPrometheusStableOrdering(t *testing.T) {
+	build := func(names []string) string {
+		tr := New("order")
+		for i, n := range names {
+			tr.Add("c."+n, int64(i+1))
+			tr.Gauge("g."+n, float64(i))
+			tr.Observe("h."+n, float64(i))
+		}
+		tr.Root().End()
+		var buf bytes.Buffer
+		tr.WritePrometheus(&buf)
+		// Drop span lines: durations differ between traces by design.
+		var keep []string
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if !strings.Contains(line, "span_duration") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+
+	fwd := build([]string{"alpha", "beta", "gamma"})
+	rev := build([]string{"gamma", "beta", "alpha"})
+	if fwd == rev {
+		t.Fatal("test is vacuous: forward and reverse traces carry identical values")
+	}
+
+	// Same trace, repeated dumps: byte-identical.
+	tr := New("order")
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		tr.Add("c."+n, 1)
+	}
+	tr.Root().End()
+	var a, b bytes.Buffer
+	tr.WritePrometheus(&a)
+	tr.WritePrometheus(&b)
+	// Span durations are measured at dump time on live spans; the root is
+	// ended above so both dumps must agree byte for byte.
+	if a.String() != b.String() {
+		t.Fatalf("repeated dumps differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	// Keys appear sorted regardless of insertion order.
+	var lines []string
+	for _, line := range strings.Split(a.String(), "\n") {
+		if strings.HasPrefix(line, "minesweeper_c_") {
+			lines = append(lines, line)
+		}
+	}
+	want := []string{"minesweeper_c_alpha 1", "minesweeper_c_mid 1", "minesweeper_c_zeta 1"}
+	if strings.Join(lines, "|") != strings.Join(want, "|") {
+		t.Fatalf("counters not in sorted order: %v", lines)
+	}
+}

@@ -1,0 +1,268 @@
+// Package provenance defines the origin vocabulary that threads through
+// the verification stack: the encoder tags every asserted term with the
+// configuration construct it came from, the pass pipeline and Tseitin
+// conversion propagate those tags onto CNF clauses, and the solver and
+// DRAT checker report their work in terms of them. Two products sit on
+// top: blame sets (the config origins an UNSAT proof actually depends
+// on) and the hot-constraint profile (solver conflicts grouped by
+// origin, in a flamegraph-compatible collapsed-stack format).
+//
+// The package is dependency-free so every layer can import it.
+package provenance
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Origin identifies the configuration construct (or synthetic source)
+// one asserted constraint came from. Components may be empty: an
+// environment announcement has no config stanza, a property has no
+// router. Configs carry no line numbers, so the granularity is the
+// named stanza (a BGP neighbor, a route map, a static route, ...).
+type Origin struct {
+	// Router is the config whose stanza emitted the constraint; empty
+	// for network-wide or synthetic origins.
+	Router string `json:"router,omitempty"`
+	// Proto is the protocol context: "bgp", "ospf", "rip", "static",
+	// "connected", or "" for protocol-free origins.
+	Proto string `json:"proto,omitempty"`
+	// Kind names the stanza class or synthetic source: "neighbor",
+	// "route-map", "interface", "redistribute", "selection", "env",
+	// "reach", "property", "pass", ...
+	Kind string `json:"kind,omitempty"`
+	// Name distinguishes stanzas of one kind (the neighbor's peer, the
+	// route map's name, the redistribution source).
+	Name string `json:"name,omitempty"`
+}
+
+// String renders the origin as "router/proto/kind name" with empty
+// components collapsed to "-" so collapsed-stack frames stay aligned.
+func (o Origin) String() string {
+	frame := func(s string) string {
+		if s == "" {
+			return "-"
+		}
+		return s
+	}
+	s := frame(o.Router) + "/" + frame(o.Proto) + "/" + frame(o.Kind)
+	if o.Name != "" {
+		s += " " + o.Name
+	}
+	return s
+}
+
+// Less orders origins lexicographically by component, giving every
+// report a deterministic order.
+func (o Origin) Less(p Origin) bool {
+	if o.Router != p.Router {
+		return o.Router < p.Router
+	}
+	if o.Proto != p.Proto {
+		return o.Proto < p.Proto
+	}
+	if o.Kind != p.Kind {
+		return o.Kind < p.Kind
+	}
+	return o.Name < p.Name
+}
+
+// Table interns origins to dense int32 ids so the hot layers (passes,
+// SAT solver, proof steps) can carry provenance as plain integers. Ids
+// are allocated in first-intern order starting at 0. A Table is not
+// safe for concurrent mutation; the layers that share one (a model and
+// its sessions) already serialize encoding and checking.
+type Table struct {
+	ids     map[Origin]int32
+	origins []Origin
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{ids: map[Origin]int32{}}
+}
+
+// ID interns the origin, returning its dense id.
+func (t *Table) ID(o Origin) int32 {
+	if id, ok := t.ids[o]; ok {
+		return id
+	}
+	id := int32(len(t.origins))
+	t.ids[o] = id
+	t.origins = append(t.origins, o)
+	return id
+}
+
+// Origin returns the origin for an id. Ids outside the table map to the
+// zero Origin rather than panicking, so stale ids degrade to "-/-/-".
+func (t *Table) Origin(id int32) Origin {
+	if id < 0 || int(id) >= len(t.origins) {
+		return Origin{}
+	}
+	return t.origins[id]
+}
+
+// Len returns the number of interned origins.
+func (t *Table) Len() int { return len(t.origins) }
+
+// SortOrigins sorts a blame set in place into the canonical order.
+func SortOrigins(os []Origin) {
+	sort.Slice(os, func(i, j int) bool { return os[i].Less(os[j]) })
+}
+
+// DedupeOrigins sorts and deduplicates a blame set.
+func DedupeOrigins(os []Origin) []Origin {
+	SortOrigins(os)
+	out := os[:0]
+	for i, o := range os {
+		if i == 0 || o != os[i-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Counts accumulates solver work attributed to one origin: conflicts
+// whose conflicting clause carried it, unit propagations driven by a
+// clause carrying it, clauses learned from antecedents carrying it, and
+// the LBD mass of those learned clauses (LBDSum / Learned is the mean
+// learned-clause LBD for the origin).
+type Counts struct {
+	Conflicts    int64 `json:"conflicts"`
+	Propagations int64 `json:"propagations"`
+	Learned      int64 `json:"learned"`
+	LBDSum       int64 `json:"lbd_sum"`
+}
+
+func (c *Counts) add(d Counts) {
+	c.Conflicts += d.Conflicts
+	c.Propagations += d.Propagations
+	c.Learned += d.Learned
+	c.LBDSum += d.LBDSum
+}
+
+// Row is one origin's profile line.
+type Row struct {
+	Origin Origin `json:"origin"`
+	Counts
+}
+
+// Profile is the hot-constraint report: per-origin solver work, hottest
+// (most conflicts) first. An event on a clause whose origin set holds
+// several base origins is attributed to each of them, so rows measure
+// involvement and do not sum to the solver totals.
+type Profile struct {
+	Rows []Row `json:"rows"`
+}
+
+// BuildProfile expands per-origin-set counters into per-origin rows.
+// sets[i] lists the base origin ids of interned set i; counts[i] is the
+// work attributed to that set. Empty rows are dropped; the result is
+// sorted by conflicts, then propagations, then origin order.
+func BuildProfile(t *Table, sets [][]int32, counts []Counts) *Profile {
+	acc := map[Origin]*Counts{}
+	for i, set := range sets {
+		if i >= len(counts) {
+			break
+		}
+		c := counts[i]
+		if c == (Counts{}) {
+			continue
+		}
+		for _, base := range set {
+			o := t.Origin(base)
+			if acc[o] == nil {
+				acc[o] = &Counts{}
+			}
+			acc[o].add(c)
+		}
+	}
+	p := &Profile{}
+	for o, c := range acc {
+		p.Rows = append(p.Rows, Row{Origin: o, Counts: *c})
+	}
+	sort.Slice(p.Rows, func(i, j int) bool {
+		a, b := p.Rows[i], p.Rows[j]
+		if a.Conflicts != b.Conflicts {
+			return a.Conflicts > b.Conflicts
+		}
+		if a.Propagations != b.Propagations {
+			return a.Propagations > b.Propagations
+		}
+		return a.Origin.Less(b.Origin)
+	})
+	return p
+}
+
+// MergeProfiles folds several profiles into one, summing counts per
+// origin and re-sorting, so a whole experiment (many queries) can be
+// reported as a single flamegraph.
+func MergeProfiles(ps ...*Profile) *Profile {
+	acc := map[Origin]*Counts{}
+	var order []Origin
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		for _, r := range p.Rows {
+			c := acc[r.Origin]
+			if c == nil {
+				c = &Counts{}
+				acc[r.Origin] = c
+				order = append(order, r.Origin)
+			}
+			c.add(r.Counts)
+		}
+	}
+	out := &Profile{}
+	for _, o := range order {
+		out.Rows = append(out.Rows, Row{Origin: o, Counts: *acc[o]})
+	}
+	sort.Slice(out.Rows, func(i, j int) bool {
+		a, b := out.Rows[i], out.Rows[j]
+		if a.Conflicts != b.Conflicts {
+			return a.Conflicts > b.Conflicts
+		}
+		if a.Propagations != b.Propagations {
+			return a.Propagations > b.Propagations
+		}
+		return a.Origin.Less(b.Origin)
+	})
+	return out
+}
+
+// WriteCollapsed emits the profile in the collapsed-stack format
+// consumed by flamegraph tools: one "router;proto;kind name count" line
+// per origin, counting conflicts. Lines appear in profile (hottest
+// first) order; empty frames render as "-".
+func (p *Profile) WriteCollapsed(w io.Writer) error {
+	for _, r := range p.Rows {
+		frame := func(s string) string {
+			if s == "" {
+				return "-"
+			}
+			return strings.ReplaceAll(s, ";", "_")
+		}
+		o := r.Origin
+		leaf := frame(o.Kind)
+		if o.Name != "" {
+			leaf += " " + frame(o.Name)
+		}
+		if _, err := fmt.Fprintf(w, "%s;%s;%s %d\n",
+			frame(o.Router), frame(o.Proto), leaf, r.Conflicts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Strings renders a blame set as its origin strings, for JSON reports.
+func Strings(os []Origin) []string {
+	out := make([]string, len(os))
+	for i, o := range os {
+		out[i] = o.String()
+	}
+	return out
+}

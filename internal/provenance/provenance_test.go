@@ -1,0 +1,111 @@
+package provenance
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOriginStringAndOrder(t *testing.T) {
+	o := Origin{Router: "R1", Proto: "bgp", Kind: "neighbor", Name: "10.0.0.2"}
+	if got, want := o.String(), "R1/bgp/neighbor 10.0.0.2"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if got, want := (Origin{Kind: "property"}).String(), "-/-/property"; got != want {
+		t.Fatalf("empty components: %q, want %q", got, want)
+	}
+	os := []Origin{
+		{Router: "R2"},
+		{Router: "R1", Proto: "ospf"},
+		{Router: "R1", Proto: "bgp", Kind: "neighbor", Name: "b"},
+		{Router: "R1", Proto: "bgp", Kind: "neighbor", Name: "a"},
+		{Router: "R1", Proto: "bgp", Kind: "neighbor", Name: "a"},
+	}
+	os = DedupeOrigins(os)
+	want := []string{
+		"R1/bgp/neighbor a",
+		"R1/bgp/neighbor b",
+		"R1/ospf/-",
+		"R2/-/-",
+	}
+	if got := strings.Join(Strings(os), "|"); got != strings.Join(want, "|") {
+		t.Fatalf("DedupeOrigins order: %v", Strings(os))
+	}
+}
+
+func TestTableInterning(t *testing.T) {
+	tab := NewTable()
+	a := tab.ID(Origin{Router: "R1"})
+	b := tab.ID(Origin{Router: "R2"})
+	if a == b {
+		t.Fatal("distinct origins share an id")
+	}
+	if again := tab.ID(Origin{Router: "R1"}); again != a {
+		t.Fatalf("re-intern changed the id: %d vs %d", again, a)
+	}
+	if got := tab.Origin(a); got != (Origin{Router: "R1"}) {
+		t.Fatalf("round trip lost the origin: %+v", got)
+	}
+	if got := tab.Origin(999); got != (Origin{}) {
+		t.Fatalf("stale id should map to the zero origin, got %+v", got)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", tab.Len())
+	}
+}
+
+func TestBuildProfileAttribution(t *testing.T) {
+	tab := NewTable()
+	r1 := tab.ID(Origin{Router: "R1", Proto: "bgp", Kind: "neighbor", Name: "N1"})
+	r2 := tab.ID(Origin{Router: "R2", Proto: "ospf", Kind: "interface", Name: "eth0"})
+	// Set 0: both origins. Set 1: only R2. Set 2: no work (dropped).
+	sets := [][]int32{{r1, r2}, {r2}, {r1}}
+	counts := []Counts{
+		{Conflicts: 3, Propagations: 10, Learned: 2, LBDSum: 6},
+		{Conflicts: 5, Propagations: 1},
+		{},
+	}
+	p := BuildProfile(tab, sets, counts)
+	if len(p.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (empty counts dropped)", len(p.Rows))
+	}
+	// R2 is involved in both counted sets: 3+5 conflicts, hottest first.
+	if p.Rows[0].Origin.Router != "R2" || p.Rows[0].Conflicts != 8 {
+		t.Fatalf("hottest row wrong: %+v", p.Rows[0])
+	}
+	if p.Rows[1].Origin.Router != "R1" || p.Rows[1].Conflicts != 3 {
+		t.Fatalf("second row wrong: %+v", p.Rows[1])
+	}
+
+	merged := MergeProfiles(p, p, nil)
+	if merged.Rows[0].Conflicts != 16 {
+		t.Fatalf("merge did not sum counts: %+v", merged.Rows[0])
+	}
+
+	var buf bytes.Buffer
+	if err := merged.WriteCollapsed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("collapsed lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "R2;ospf;interface eth0 16" {
+		t.Fatalf("collapsed frame = %q", lines[0])
+	}
+}
+
+// TestWriteCollapsedEscapesSeparator pins that frame text cannot inject
+// extra stack levels: semicolons inside components are rewritten.
+func TestWriteCollapsedEscapesSeparator(t *testing.T) {
+	tab := NewTable()
+	id := tab.ID(Origin{Router: "R;1", Kind: "route-map", Name: "in;out"})
+	p := BuildProfile(tab, [][]int32{{id}}, []Counts{{Conflicts: 1}})
+	var buf bytes.Buffer
+	if err := p.WriteCollapsed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.TrimSpace(buf.String()), "R_1;-;route-map in_out 1"; got != want {
+		t.Fatalf("collapsed line = %q, want %q", got, want)
+	}
+}

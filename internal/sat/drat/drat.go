@@ -33,37 +33,96 @@ type Stats struct {
 // given assumptions. It returns an error describing the first failing
 // step, or the step count on success.
 func Check(p *sat.Proof, assumptions ...sat.Lit) (*Stats, error) {
+	c, _, err := replayTrace(p, false, assumptions)
+	if err != nil {
+		return nil, err
+	}
+	return &c.stats, nil
+}
+
+// CheckCore verifies the proof like Check and additionally extracts an
+// unsatisfiable core: the indices of the Input steps the refutation
+// actually depends on. While replaying, the checker records for every
+// verified Derive step which database clauses its reverse-unit-
+// propagation conflict touched (the conflicting clause plus the reason
+// chain of every falsified literal); the refutation's own conflict is
+// recorded the same way. Marking backwards from the refutation through
+// those used-sets reaches exactly the steps the proof needs; the Input
+// steps among them are the core. Assumption clauses are not steps and
+// never appear in the core. Indices are sorted ascending.
+func CheckCore(p *sat.Proof, assumptions ...sat.Lit) (*Stats, []int, error) {
+	c, used, err := replayTrace(p, true, assumptions)
+	if err != nil {
+		return nil, nil, err
+	}
+	steps := p.Steps()
+	marked := make(map[int]bool, len(c.refUsed))
+	work := append([]int(nil), c.refUsed...)
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		if marked[s] {
+			continue
+		}
+		marked[s] = true
+		if steps[s].Kind == sat.ProofDerive {
+			work = append(work, used[s]...)
+		}
+	}
+	var core []int
+	for s := range marked {
+		if steps[s].Kind == sat.ProofInput {
+			core = append(core, s)
+		}
+	}
+	sort.Ints(core)
+	return &c.stats, core, nil
+}
+
+// replayTrace drives the checker over the trace. With core set it returns the
+// per-Derive used-step sets; the refutation's used-set lands on
+// checker.refUsed.
+func replayTrace(p *sat.Proof, core bool, assumptions []sat.Lit) (*checker, map[int][]int, error) {
 	if p == nil {
-		return nil, fmt.Errorf("drat: no proof recorded")
+		return nil, nil, fmt.Errorf("drat: no proof recorded")
 	}
 	c := newChecker()
+	c.core = core
+	var used map[int][]int
+	if core {
+		used = map[int][]int{}
+	}
 	for _, a := range assumptions {
-		c.install([]sat.Lit{a})
+		c.install([]sat.Lit{a}, -1)
 	}
 	for i, st := range p.Steps() {
 		switch st.Kind {
 		case sat.ProofInput:
 			c.stats.Inputs++
-			c.install(st.Lits)
+			c.install(st.Lits, i)
 		case sat.ProofDerive:
-			if !c.rup(st.Lits) {
-				return nil, fmt.Errorf("drat: step %d: derived clause %v is not RUP", i, st.Lits)
+			ok, u := c.rup(st.Lits)
+			if !ok {
+				return nil, nil, fmt.Errorf("drat: step %d: derived clause %v is not RUP", i, st.Lits)
 			}
 			c.stats.Lemmas++
-			c.install(st.Lits)
+			if core {
+				used[i] = u
+			}
+			c.install(st.Lits, i)
 		case sat.ProofDelete:
 			if err := c.remove(st.Lits); err != nil {
-				return nil, fmt.Errorf("drat: step %d: %w", i, err)
+				return nil, nil, fmt.Errorf("drat: step %d: %w", i, err)
 			}
 			c.stats.Deletions++
 		default:
-			return nil, fmt.Errorf("drat: step %d: unknown kind %d", i, st.Kind)
+			return nil, nil, fmt.Errorf("drat: step %d: unknown kind %d", i, st.Kind)
 		}
 	}
 	if !c.unsat {
-		return nil, fmt.Errorf("drat: proof ends without deriving the empty clause")
+		return nil, nil, fmt.Errorf("drat: proof ends without deriving the empty clause")
 	}
-	return &c.stats, nil
+	return c, used, nil
 }
 
 // value is a three-state assignment: 0 unknown, +1 true, -1 false.
@@ -71,21 +130,26 @@ type value int8
 
 // clause is a checker clause. lits[0] and lits[1] are the watched
 // positions while attached; key is the normalized (sorted, deduplicated)
-// form used for deletion matching.
+// form used for deletion matching; step is the proof step that introduced
+// the clause (-1 for assumption units, which are not proof steps).
 type clause struct {
 	lits     []sat.Lit
 	key      string
 	attached bool
+	step     int
 }
 
 type checker struct {
 	assigns []value     // indexed by Var
+	reasons []*clause   // indexed by Var: antecedent of the current assignment
 	watches [][]*clause // indexed by Lit
 	trail   []sat.Lit
 	qhead   int
 	fixed   int // trail prefix that is permanent (root units + consequences)
 	db      map[string][]*clause
 	unsat   bool // empty clause derived or database refuted by propagation
+	core    bool // record used-step sets for core extraction
+	refUsed []int
 	stats   Stats
 }
 
@@ -96,6 +160,7 @@ func newChecker() *checker {
 func (c *checker) ensure(v sat.Var) {
 	for int(v) >= len(c.assigns) {
 		c.assigns = append(c.assigns, 0)
+		c.reasons = append(c.reasons, nil)
 		c.watches = append(c.watches, nil, nil)
 	}
 }
@@ -108,13 +173,58 @@ func (c *checker) val(l sat.Lit) value {
 	return a
 }
 
-func (c *checker) assign(l sat.Lit) {
+// assign records l as true with the clause that forced it (nil for the
+// assumed negations of a RUP check).
+func (c *checker) assign(l sat.Lit, reason *clause) {
 	if l.Neg() {
 		c.assigns[l.Var()] = -1
 	} else {
 		c.assigns[l.Var()] = 1
 	}
+	c.reasons[l.Var()] = reason
 	c.trail = append(c.trail, l)
+}
+
+// chainFrom collects the proof steps a conflict on cl depends on: cl's
+// own step plus, transitively, the steps of the reason clauses that
+// falsified its literals. Assumption clauses (step -1) terminate chains
+// without contributing a step. The result is sorted.
+func (c *checker) chainFrom(cl *clause) []int {
+	seen := map[int]struct{}{}
+	visited := map[sat.Var]struct{}{}
+	var steps []int
+	add := func(s int) {
+		if s < 0 {
+			return
+		}
+		if _, ok := seen[s]; !ok {
+			seen[s] = struct{}{}
+			steps = append(steps, s)
+		}
+	}
+	add(cl.step)
+	stack := make([]sat.Var, 0, len(cl.lits))
+	for _, l := range cl.lits {
+		stack = append(stack, l.Var())
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := visited[v]; ok {
+			continue
+		}
+		visited[v] = struct{}{}
+		r := c.reasons[v]
+		if r == nil {
+			continue
+		}
+		add(r.step)
+		for _, l := range r.lits {
+			stack = append(stack, l.Var())
+		}
+	}
+	sort.Ints(steps)
+	return steps
 }
 
 // normalize sorts and deduplicates, reporting tautologies (x ∨ ¬x).
@@ -149,12 +259,12 @@ func key(norm []sat.Lit) string {
 // assignment: empty or all-false clauses refute the database, unit (or
 // effectively-unit) clauses are propagated permanently. Tautologies are
 // recorded for deletion matching but never attached.
-func (c *checker) install(lits []sat.Lit) {
+func (c *checker) install(lits []sat.Lit, step int) {
 	norm, taut := normalize(lits)
 	for _, l := range norm {
 		c.ensure(l.Var())
 	}
-	cl := &clause{lits: norm, key: key(norm)}
+	cl := &clause{lits: norm, key: key(norm), step: step}
 	c.db[cl.key] = append(c.db[cl.key], cl)
 	if taut || c.unsat {
 		return
@@ -175,10 +285,15 @@ func (c *checker) install(lits []sat.Lit) {
 	switch nonFalse {
 	case 0:
 		c.unsat = true
+		if c.core {
+			c.refUsed = c.chainFrom(cl)
+		}
 	case 1:
-		c.assign(norm[0])
-		if !c.propagateFixed() {
-			c.unsat = true
+		c.assign(norm[0], cl)
+		if confl := c.propagateFixed(); confl != nil {
+			if c.core {
+				c.refUsed = c.chainFrom(confl)
+			}
 		}
 	default:
 		cl.attached = true
@@ -225,19 +340,21 @@ func (c *checker) remove(lits []sat.Lit) error {
 }
 
 // propagateFixed runs propagation and makes the result permanent,
-// reporting false on conflict.
-func (c *checker) propagateFixed() bool {
-	ok := c.propagate()
+// returning the conflicting clause (and marking the database refuted) if
+// one arises.
+func (c *checker) propagateFixed() *clause {
+	confl := c.propagate()
 	c.qhead = len(c.trail)
 	c.fixed = len(c.trail)
-	if !ok {
+	if confl != nil {
 		c.unsat = true
 	}
-	return ok
+	return confl
 }
 
-// propagate processes the trail from qhead, returning false on conflict.
-func (c *checker) propagate() bool {
+// propagate processes the trail from qhead, returning the conflicting
+// clause or nil.
+func (c *checker) propagate() *clause {
 	for c.qhead < len(c.trail) {
 		p := c.trail[c.qhead]
 		c.qhead++
@@ -271,47 +388,60 @@ func (c *checker) propagate() bool {
 					j++
 				}
 				c.watches[p] = ws[:j]
-				return false
+				return cl
 			}
-			c.assign(cl.lits[0])
+			c.assign(cl.lits[0], cl)
 		}
 		c.watches[p] = ws[:j]
 	}
-	return true
+	return nil
 }
 
 // rup verifies a derived clause by reverse unit propagation: assume every
 // literal false, propagate, and require a conflict. A clause containing a
 // permanently-true literal is already entailed; once the database is
-// refuted everything is entailed.
-func (c *checker) rup(lits []sat.Lit) bool {
+// refuted everything is entailed. In core mode the second result lists
+// the proof steps the verification depended on (the conflict's chain, or
+// the entailing literal's reason chain).
+func (c *checker) rup(lits []sat.Lit) (bool, []int) {
 	if c.unsat {
-		return true
+		return true, nil
 	}
 	norm, taut := normalize(lits)
 	if taut {
-		return true
+		return true, nil
 	}
 	mark := len(c.trail)
 	for _, l := range norm {
 		c.ensure(l.Var())
 		switch c.val(l) {
 		case 1:
+			var used []int
+			if c.core {
+				if r := c.reasons[l.Var()]; r != nil {
+					used = c.chainFrom(r)
+				}
+			}
 			c.backtrack(mark)
-			return true
+			return true, used
 		case 0:
-			c.assign(l.Not())
+			c.assign(l.Not(), nil)
 		}
 	}
-	ok := c.propagate()
+	confl := c.propagate()
+	var used []int
+	if confl != nil && c.core {
+		used = c.chainFrom(confl)
+	}
 	c.backtrack(mark)
-	return !ok
+	return confl != nil, used
 }
 
 // backtrack undoes every assignment past the persistent prefix mark.
 func (c *checker) backtrack(mark int) {
 	for i := len(c.trail) - 1; i >= mark; i-- {
 		c.assigns[c.trail[i].Var()] = 0
+		c.reasons[c.trail[i].Var()] = nil
 	}
 	c.trail = c.trail[:mark]
 	c.qhead = mark

@@ -34,10 +34,13 @@ func (k ProofKind) String() string {
 
 // ProofStep is one chronological entry of a proof trace. A Derive step
 // with no literals is the empty clause: deriving it certifies
-// unsatisfiability of everything added before it.
+// unsatisfiability of everything added before it. Origin is the interned
+// origin-set id of the clause (see Solver.SetOrigin); 0 when origin
+// tracking is off.
 type ProofStep struct {
-	Kind ProofKind
-	Lits []Lit
+	Kind   ProofKind
+	Lits   []Lit
+	Origin int32
 }
 
 // Proof is a chronological DRAT-style trace of one solver's clause
@@ -77,8 +80,8 @@ func (p *Proof) Counts() (inputs, derives, deletes int) {
 	return
 }
 
-func (p *Proof) add(k ProofKind, lits []Lit) {
-	p.steps = append(p.steps, ProofStep{Kind: k, Lits: append([]Lit(nil), lits...)})
+func (p *Proof) add(k ProofKind, lits []Lit, origin int32) {
+	p.steps = append(p.steps, ProofStep{Kind: k, Lits: append([]Lit(nil), lits...), Origin: origin})
 	p.lits += len(lits)
 }
 
@@ -88,7 +91,7 @@ func (p *Proof) add(k ProofKind, lits []Lit) {
 func RebuildProof(steps []ProofStep) *Proof {
 	p := &Proof{}
 	for _, st := range steps {
-		p.add(st.Kind, st.Lits)
+		p.add(st.Kind, st.Lits, st.Origin)
 	}
 	return p
 }
@@ -140,14 +143,14 @@ func (s *Solver) EnableProof() *Proof {
 	s.proof = &Proof{}
 	for _, l := range s.trail {
 		if s.level[l.Var()] == 0 {
-			s.proof.add(ProofInput, []Lit{l})
+			s.proof.add(ProofInput, []Lit{l}, 0)
 		}
 	}
 	for _, c := range s.clauses {
-		s.proof.add(ProofInput, c.lits)
+		s.proof.add(ProofInput, c.lits, c.origin)
 	}
 	for _, c := range s.learnts {
-		s.proof.add(ProofInput, c.lits)
+		s.proof.add(ProofInput, c.lits, c.origin)
 	}
 	return s.proof
 }

@@ -120,6 +120,10 @@ type clause struct {
 	activity float64
 	lbd      int32
 	learnt   bool
+	// origin is the interned origin-set id of the constraints this
+	// clause came from: the creator's set for problem clauses, the union
+	// of the antecedents' sets for learned ones. 0 when tracking is off.
+	origin int32
 }
 
 // watcher pairs a watched clause with a blocker literal that lets
@@ -206,6 +210,10 @@ type Solver struct {
 	// proof, when non-nil, records every clause addition, derivation and
 	// deletion as a DRAT-style trace. Enabled via EnableProof.
 	proof *Proof
+
+	// origins, when non-nil, attributes solver work to the constraints
+	// that caused it. Enabled via EnableOriginTracking.
+	origins *originState
 
 	Stats Stats
 
@@ -304,8 +312,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
+	origin := s.clauseOrigin()
 	if s.proof != nil {
-		s.proof.add(ProofInput, lits)
+		s.proof.add(ProofInput, lits, origin)
 	}
 	// A previous Sat result leaves the trail intact so the model stays
 	// readable; adding a clause invalidates it, so backtrack first.
@@ -343,18 +352,18 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	switch len(out) {
 	case 0:
 		if s.proof != nil {
-			s.proof.add(ProofDerive, nil)
+			s.proof.add(ProofDerive, nil, origin)
 		}
 		s.ok = false
 		return false
 	case 1:
 		if s.proof != nil && dropped {
-			s.proof.add(ProofDerive, out)
+			s.proof.add(ProofDerive, out, origin)
 		}
 		s.uncheckedEnqueue(out[0], nil)
 		if s.propagate() != nil {
 			if s.proof != nil {
-				s.proof.add(ProofDerive, nil)
+				s.proof.add(ProofDerive, nil, origin)
 			}
 			s.ok = false
 			return false
@@ -362,9 +371,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		return true
 	}
 	if s.proof != nil && dropped {
-		s.proof.add(ProofDerive, out)
+		s.proof.add(ProofDerive, out, origin)
 	}
-	c := &clause{lits: append([]Lit(nil), out...)}
+	c := &clause{lits: append([]Lit(nil), out...), origin: origin}
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true
@@ -403,6 +412,9 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 	s.level[v] = int32(s.decisionLevel())
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
+	if s.origins != nil && from != nil {
+		s.origins.counts[from.origin].Propagations++
+	}
 }
 
 // propagate performs unit propagation over the watch lists and returns the
@@ -474,6 +486,9 @@ func (s *Solver) analyze(confl *clause) int {
 
 	for {
 		s.claBump(confl)
+		if s.origins != nil {
+			s.origins.noteAntecedent(confl.origin)
+		}
 		for _, q := range confl.lits {
 			if p >= 0 && q == p {
 				continue
@@ -504,6 +519,11 @@ func (s *Solver) analyze(confl *clause) int {
 		confl = s.reason[v]
 	}
 	s.analyzeCl[0] = p.Not()
+	if s.origins != nil {
+		// The learned clause follows from exactly the clauses resolved
+		// above; its origin is the union of their origin sets.
+		s.origins.finishAnalyze()
+	}
 
 	// Mark remaining for minimization bookkeeping, remembering every
 	// marked variable so all bits are cleared afterwards — including
@@ -671,7 +691,7 @@ func (s *Solver) reduceDB() {
 		}
 		s.detach(c)
 		if s.proof != nil {
-			s.proof.add(ProofDelete, c.lits)
+			s.proof.add(ProofDelete, c.lits, c.origin)
 		}
 		s.Stats.Deleted++
 	}
@@ -762,12 +782,15 @@ func (s *Solver) search(budget int64, assumptions []Lit) (Status, int64) {
 		if confl != nil {
 			conflicts++
 			s.Stats.Conflicts++
+			if s.origins != nil {
+				s.origins.counts[confl.origin].Conflicts++
+			}
 			if s.ProgressEvery > 0 && s.OnProgress != nil && s.Stats.Conflicts%s.ProgressEvery == 0 {
 				s.OnProgress(s.progress())
 			}
 			if s.decisionLevel() == 0 {
 				if s.proof != nil {
-					s.proof.add(ProofDerive, nil)
+					s.proof.add(ProofDerive, nil, confl.origin)
 				}
 				s.ok = false
 				return Unsat, conflicts
@@ -780,18 +803,30 @@ func (s *Solver) search(budget int64, assumptions []Lit) (Status, int64) {
 			// them.
 			s.cancelUntil(btLevel)
 			learned := append([]Lit(nil), s.analyzeCl...)
+			var learnedOrigin int32
+			if s.origins != nil {
+				learnedOrigin = s.origins.learned
+			}
 			if s.proof != nil {
-				s.proof.add(ProofDerive, learned)
+				s.proof.add(ProofDerive, learned, learnedOrigin)
 			}
 			if len(learned) == 1 {
 				s.uncheckedEnqueue(learned[0], nil)
+				if s.origins != nil {
+					s.origins.counts[learnedOrigin].Learned++
+					s.origins.counts[learnedOrigin].LBDSum++
+				}
 			} else {
-				c := &clause{lits: learned, learnt: true, lbd: s.computeLBD(learned)}
+				c := &clause{lits: learned, learnt: true, lbd: s.computeLBD(learned), origin: learnedOrigin}
 				s.learnts = append(s.learnts, c)
 				s.attach(c)
 				s.claBump(c)
 				s.uncheckedEnqueue(learned[0], c)
 				s.Stats.Learned++
+				if s.origins != nil {
+					s.origins.counts[learnedOrigin].Learned++
+					s.origins.counts[learnedOrigin].LBDSum += int64(c.lbd)
+				}
 				b := int(c.lbd) - 1
 				if b < 0 {
 					b = 0
@@ -904,9 +939,9 @@ func (s *Solver) Simplify() bool {
 		return false
 	}
 	s.cancelUntil(0)
-	if s.propagate() != nil {
+	if confl := s.propagate(); confl != nil {
 		if s.proof != nil {
-			s.proof.add(ProofDerive, nil)
+			s.proof.add(ProofDerive, nil, confl.origin)
 		}
 		s.ok = false
 		return false
@@ -945,7 +980,7 @@ func (s *Solver) simplifyList(cs []*clause) []*clause {
 		}
 		if satisfied {
 			if s.proof != nil {
-				s.proof.add(ProofDelete, c.lits)
+				s.proof.add(ProofDelete, c.lits, c.origin)
 			}
 			s.detach(c)
 			s.Stats.Simplified++
@@ -963,8 +998,8 @@ func (s *Solver) simplifyList(cs []*clause) []*clause {
 			}
 		}
 		if s.proof != nil && n != len(orig) {
-			s.proof.add(ProofDerive, c.lits[:n])
-			s.proof.add(ProofDelete, orig)
+			s.proof.add(ProofDerive, c.lits[:n], c.origin)
+			s.proof.add(ProofDelete, orig, c.origin)
 		}
 		s.Stats.Strengthened += int64(len(c.lits) - n)
 		c.lits = c.lits[:n]

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/protograph"
+	"repro/internal/provenance"
 	"repro/internal/smt"
 )
 
@@ -49,9 +51,21 @@ type Options struct {
 	// job's verdict is "verified"; checked certificates are reported in
 	// the verdict's proof fields, rejected ones fail the job.
 	Certify bool
+	// Blame extracts the UNSAT core of every verified job (implying
+	// proof logging) and reports the configuration origins it depends on
+	// in the verdict's blame field; falsified jobs blame the origins
+	// fixing the counterexample's forwarding decisions.
+	Blame bool
+	// ProfileOrigins keeps per-origin solver counters and attaches a
+	// hot-constraint profile to every job, served at
+	// GET /v1/jobs/{id}/profile.
+	ProfileOrigins bool
 	// Trace receives the engine's counters and gauges; nil creates a
 	// private trace (exposed via Engine.Trace for /metrics).
 	Trace *obs.Trace
+	// Logger receives structured job lifecycle lines (submitted,
+	// done, failed) carrying the job id; nil disables them.
+	Logger *slog.Logger
 }
 
 // netEntry is the long-lived per-network state: the protocol graph, the
@@ -92,6 +106,7 @@ type Job struct {
 	status   Status
 	verdict  *Verdict
 	err      error
+	profile  *provenance.Profile
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -120,6 +135,15 @@ func (j *Job) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// Profile returns the job's hot-constraint profile, present once the job
+// is done when the engine runs with Options.ProfileOrigins (cache hits
+// carry no profile: the solver never ran for them).
+func (j *Job) Profile() *provenance.Profile {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.profile
 }
 
 // View is the JSON shape of a job for the HTTP API.
@@ -159,10 +183,13 @@ func (j *Job) View() View {
 // (network, property) jobs with per-network solver sessions and a
 // content-addressed verdict cache.
 type Engine struct {
-	tr      *obs.Trace
-	timeout time.Duration
-	passes  string
-	certify bool
+	tr       *obs.Trace
+	timeout  time.Duration
+	passes   string
+	certify  bool
+	blame    bool
+	profOrig bool
+	log      *slog.Logger
 
 	jobCh   chan *Job
 	wg      sync.WaitGroup
@@ -197,6 +224,9 @@ func NewEngine(o Options) *Engine {
 		timeout:   o.Timeout,
 		passes:    o.Passes,
 		certify:   o.Certify,
+		blame:     o.Blame,
+		profOrig:  o.ProfileOrigins,
+		log:       o.Logger,
 		jobCh:     make(chan *Job, o.QueueDepth),
 		jobs:      map[string]*Job{},
 		nets:      map[string]*netEntry{},
@@ -290,6 +320,9 @@ func (e *Engine) Submit(req *Request) (*Job, error) {
 	select {
 	case e.jobCh <- j:
 		e.tr.Add("service.jobs_queued", 1)
+		if e.log != nil {
+			e.log.Info("job submitted", "job", j.ID, "check", spec.Check)
+		}
 		return j, nil
 	default:
 		e.mu.Lock()
@@ -339,8 +372,15 @@ func (e *Engine) finishJob(j *Job, v *Verdict, err error) {
 	close(j.done)
 	if err != nil {
 		e.tr.Add("service.jobs_failed", 1)
+		if e.log != nil {
+			e.log.Error("job failed", "job", j.ID, "check", j.Spec.Check, "err", err)
+		}
 	} else {
 		e.tr.Add("service.jobs_done", 1)
+		if e.log != nil {
+			e.log.Info("job done", "job", j.ID, "check", j.Spec.Check,
+				"verified", v.Verified, "cached", v.Cached, "ms", v.ElapsedMs)
+		}
 	}
 	e.tr.Gauge("service.jobs_running", float64(e.running.Add(-1)))
 }
@@ -417,6 +457,8 @@ func (e *Engine) build(ent *netEntry, configs map[string]string) error {
 	opts := core.DefaultOptions()
 	opts.Passes = e.passes
 	opts.Certify = e.certify
+	opts.Blame = e.blame
+	opts.ProfileOrigins = e.profOrig
 	m, err := core.Encode(g, opts)
 	if err != nil {
 		return fmt.Errorf("service: encode: %w", err)
@@ -495,6 +537,11 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 	core.RecordSolverMetrics(e.tr, res)
 	e.tr.Add("service.session_checks", 1)
 	e.tr.Add("service.session_shared_blasts", int64(ent.sess.SharedBlasts())-e.sharedBlastsSeen(ent.cn.Hash, ent.sess.SharedBlasts()))
+	if res.OriginProfile != nil {
+		j.mu.Lock()
+		j.profile = res.OriginProfile
+		j.mu.Unlock()
+	}
 	return newVerdict(j.ID, j.Spec, res, ent.m), nil
 }
 

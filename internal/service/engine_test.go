@@ -48,7 +48,7 @@ func TestEngineVerifiesAndCaches(t *testing.T) {
 	if !v.Verified || v.Cached {
 		t.Fatalf("first query: verified=%v cached=%v, want true/false", v.Verified, v.Cached)
 	}
-	if sum := v.EncodeMs + v.SimplifyMs + v.SolveMs; v.ElapsedMs != sum {
+	if sum := v.EncodeMs + v.SimplifyMs + v.SolveMs + v.CertifyMs; v.ElapsedMs != sum {
 		t.Fatalf("elapsed %v != phase sum %v", v.ElapsedMs, sum)
 	}
 

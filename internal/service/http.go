@@ -10,11 +10,14 @@ import (
 
 // NewHandler exposes the engine over HTTP:
 //
-//	POST /v1/verify    JSON Request → Verdict (synchronous)
-//	GET  /v1/jobs      all job views, newest first
-//	GET  /v1/jobs/{id} one job view
-//	GET  /metrics      Prometheus text exposition of the engine trace
-//	GET  /healthz      liveness + job counters
+//	POST /v1/verify            JSON Request → Verdict (synchronous)
+//	GET  /v1/jobs              all job views, newest first
+//	GET  /v1/jobs/{id}         one job view
+//	GET  /v1/jobs/{id}/profile the job's hot-constraint origin profile
+//	                           (JSON rows; ?format=collapsed for the
+//	                           flamegraph collapsed-stack text)
+//	GET  /metrics              Prometheus text exposition of the engine trace
+//	GET  /healthz              liveness + job counters
 //
 // The mux uses Go 1.22 method/wildcard patterns, so the same handler
 // serves the daemon and httptest.
@@ -45,6 +48,25 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, j.View())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		p := j.Profile()
+		if p == nil {
+			writeError(w, http.StatusNotFound,
+				"no origin profile for this job (engine runs without profiling, the job is not done, or it was a cache hit)")
+			return
+		}
+		if r.URL.Query().Get("format") == "collapsed" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			p.WriteCollapsed(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")

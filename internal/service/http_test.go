@@ -167,3 +167,84 @@ func TestDaemonBadRequests(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonBlameAndProfile runs the engine with blame extraction and
+// origin profiling on: a verified job's verdict carries a deterministic
+// non-empty blame set, its hot-constraint profile is served (JSON and
+// collapsed-stack), and jobs without a profile 404.
+func TestDaemonBlameAndProfile(t *testing.T) {
+	e := NewEngine(Options{Workers: 1, Timeout: 60 * time.Second, Blame: true, ProfileOrigins: true})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	req := &Request{
+		Configs: chainConfigs(3),
+		Spec:    Spec{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"},
+	}
+
+	resp, v := postVerify(t, srv, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !v.Verified {
+		t.Fatal("chain reachability should verify")
+	}
+	if len(v.Blame) == 0 {
+		t.Fatal("verified verdict carries no blame set")
+	}
+	if sum := v.EncodeMs + v.SimplifyMs + v.SolveMs + v.CertifyMs; v.ElapsedMs != sum {
+		t.Fatalf("elapsed %v != phase sum %v", v.ElapsedMs, sum)
+	}
+
+	// The profile endpoint serves the job's origin rows.
+	profResp, err := http.Get(srv.URL + "/v1/jobs/" + v.JobID + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer profResp.Body.Close()
+	if profResp.StatusCode != http.StatusOK {
+		t.Fatalf("profile status %d", profResp.StatusCode)
+	}
+	var prof struct {
+		Rows []struct {
+			Origin    map[string]string `json:"origin"`
+			Conflicts int64             `json:"conflicts"`
+		} `json:"rows"`
+	}
+	if err := json.NewDecoder(profResp.Body).Decode(&prof); err != nil {
+		t.Fatal(err)
+	}
+
+	// The collapsed format is plain text, one frame-stack per line.
+	colResp, err := http.Get(srv.URL + "/v1/jobs/" + v.JobID + "/profile?format=collapsed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer colResp.Body.Close()
+	if colResp.StatusCode != http.StatusOK {
+		t.Fatalf("collapsed profile status %d", colResp.StatusCode)
+	}
+	if ct := colResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("collapsed profile content type %q", ct)
+	}
+	io.Copy(io.Discard, colResp.Body)
+
+	// A cache hit never touches the solver, so its job has no profile.
+	_, v2 := postVerify(t, srv, req)
+	if !v2.Cached {
+		t.Fatal("repeat query should be a cache hit")
+	}
+	if got, want := strings.Join(v2.Blame, "\n"), strings.Join(v.Blame, "\n"); got != want {
+		t.Fatalf("cached blame differs:\n%s\nvs\n%s", got, want)
+	}
+	missResp, err := http.Get(srv.URL + "/v1/jobs/" + v2.JobID + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer missResp.Body.Close()
+	if missResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cache-hit job profile status %d, want 404", missResp.StatusCode)
+	}
+}

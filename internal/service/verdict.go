@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/provenance"
 )
 
 // Verdict is the JSON answer to one verification job. It mirrors the
@@ -21,8 +22,15 @@ type Verdict struct {
 	EncodeMs   float64 `json:"encode_ms"`
 	SimplifyMs float64 `json:"simplify_ms"`
 	SolveMs    float64 `json:"solve_ms"`
+	CertifyMs  float64 `json:"certify_ms,omitempty"`
 	SATVars    int     `json:"sat_vars,omitempty"`
 	SATClauses int     `json:"sat_clauses,omitempty"`
+
+	// Blame is the configuration origins the verdict depends on, as
+	// "router/proto/kind name" strings (engine Options.Blame): for a
+	// verified job the origins in the UNSAT core, for a falsified job the
+	// origins fixing the counterexample's forwarding decisions.
+	Blame []string `json:"blame,omitempty"`
 
 	Solver         *SolverStats    `json:"solver,omitempty"`
 	Proof          *ProofInfo      `json:"proof,omitempty"`
@@ -87,6 +95,7 @@ func newVerdict(jobID string, spec Spec, res *core.Result, m *core.Model) *Verdi
 		EncodeMs:   durMs(res.EncodeElapsed),
 		SimplifyMs: durMs(res.SimplifyElapsed),
 		SolveMs:    durMs(res.SolveElapsed),
+		CertifyMs:  durMs(res.CertifyElapsed),
 		SATVars:    res.SATVars,
 		SATClauses: res.SATClauses,
 		Solver: &SolverStats{
@@ -98,8 +107,12 @@ func newVerdict(jobID string, spec Spec, res *core.Result, m *core.Model) *Verdi
 		},
 	}
 	// Summed after per-phase rounding so the JSON fields keep the exact
-	// identity elapsed = encode + simplify + solve.
-	v.ElapsedMs = v.EncodeMs + v.SimplifyMs + v.SolveMs
+	// identity elapsed = encode + simplify + solve + certify.
+	v.ElapsedMs = v.EncodeMs + v.SimplifyMs + v.SolveMs + v.CertifyMs
+	v.Blame = provenance.Strings(res.Blame)
+	if len(v.Blame) == 0 {
+		v.Blame = nil
+	}
 	if cert := res.Certificate; cert != nil {
 		v.Proof = &ProofInfo{
 			Checked: cert.Checked,

@@ -64,6 +64,32 @@ type System struct {
 	// Goals are the query roots (assumptions and the negated property)
 	// for goal-relative passes; empty for property-agnostic compilation.
 	Goals []*smt.Term
+	// Origins optionally carries provenance: Origins[i] lists the base
+	// origin ids (interned elsewhere, e.g. a provenance.Table) of
+	// Asserts[i]. nil disables tracking; when set it stays parallel to
+	// Asserts through every pass. Rewrites that merge asserts (cse
+	// dedupe) or make one assert depend on another (propagate
+	// substitution) union the origin lists, so blame over-approximates
+	// rather than drops contributors.
+	Origins [][]int32
+}
+
+// mergeBases unions two base-id lists into a fresh sorted, deduplicated
+// list. Inputs are not mutated.
+func mergeBases(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, v := range out {
+		if i > 0 && v == out[n-1] {
+			continue
+		}
+		out[n] = v
+		n++
+	}
+	return out[:n]
 }
 
 // Stats reports one pass execution: assert/term/variable counts before
@@ -187,20 +213,25 @@ type rewriter struct {
 	c     *smt.Context
 	subst map[*smt.Term]*smt.Term // variable node -> replacement
 	memo  map[*smt.Term]*smt.Term
+	used  map[*smt.Term]bool // substitution keys actually applied, when non-nil
 }
 
 func newRewriter(c *smt.Context, subst map[*smt.Term]*smt.Term) *rewriter {
 	return &rewriter{c: c, subst: subst, memo: map[*smt.Term]*smt.Term{}}
 }
 
-// resolve follows substitution chains (x -> y -> z) to their end.
-// Chains always point from higher to lower variable id or from variable
-// to constant, so they terminate.
+// resolve follows substitution chains (x -> y -> z) to their end,
+// recording every hop in used when tracking is on. Chains always point
+// from higher to lower variable id or from variable to constant, so they
+// terminate.
 func (r *rewriter) resolve(t *smt.Term) *smt.Term {
 	for {
 		next, ok := r.subst[t]
 		if !ok {
 			return t
+		}
+		if r.used != nil {
+			r.used[t] = true
 		}
 		t = next
 	}
@@ -282,14 +313,24 @@ func (csePass) Name() string { return CSE }
 
 func (csePass) Run(sys *System) Stats {
 	return measure(CSE, sys, func() {
-		sys.Asserts = normalizeAsserts(sys.Ctx, sys.Asserts)
+		sys.Asserts, sys.Origins = normalizeAsserts(sys.Ctx, sys.Asserts, sys.Origins)
 	})
 }
 
-// normalizeAsserts flattens conjunctions, dedupes and drops true.
-func normalizeAsserts(c *smt.Context, asserts []*smt.Term) []*smt.Term {
+// normalizeAsserts flattens conjunctions, dedupes and drops true. With
+// origins non-nil (parallel to asserts) it returns the rewritten origin
+// lists: flattened conjuncts inherit the conjunction's origin, and when
+// two asserts dedupe to one term the survivor's origin is the union —
+// blame must keep every stanza that emitted the constraint, not just the
+// first.
+func normalizeAsserts(c *smt.Context, asserts []*smt.Term, origins [][]int32) ([]*smt.Term, [][]int32) {
 	out := make([]*smt.Term, 0, len(asserts))
-	seen := map[*smt.Term]bool{}
+	var outOrigins [][]int32
+	if origins != nil {
+		outOrigins = make([][]int32, 0, len(asserts))
+	}
+	seen := map[*smt.Term]int{}    // term -> index in out
+	var cur []int32                // origin of the assert being added
 	var add func(t *smt.Term) bool // false when the system became unsat
 	add = func(t *smt.Term) bool {
 		if t.Op() == smt.OpAnd {
@@ -300,22 +341,37 @@ func normalizeAsserts(c *smt.Context, asserts []*smt.Term) []*smt.Term {
 			}
 			return true
 		}
-		if t == c.True() || seen[t] {
+		if t == c.True() {
+			return true
+		}
+		if idx, ok := seen[t]; ok {
+			if origins != nil {
+				outOrigins[idx] = mergeBases(outOrigins[idx], cur)
+			}
 			return true
 		}
 		if t == c.False() {
 			return false
 		}
-		seen[t] = true
+		seen[t] = len(out)
 		out = append(out, t)
+		if origins != nil {
+			outOrigins = append(outOrigins, cur)
+		}
 		return true
 	}
-	for _, a := range asserts {
+	for i, a := range asserts {
+		if origins != nil {
+			cur = origins[i]
+		}
 		if !add(a) {
-			return []*smt.Term{c.False()}
+			if origins == nil {
+				return []*smt.Term{c.False()}, nil
+			}
+			return []*smt.Term{c.False()}, [][]int32{cur}
 		}
 	}
-	return out
+	return out, outOrigins
 }
 
 // propagatePass performs unit and equality propagation at the term
@@ -345,14 +401,21 @@ func (propagatePass) Run(sys *System) Stats {
 		isVar := func(t *smt.Term) bool {
 			return t.Op() == smt.OpBoolVar || t.Op() == smt.OpBVVar
 		}
+		// factOrigin maps each substitution key to the origins of the
+		// fact asserts that justify it, for provenance tracking.
+		var factOrigin map[*smt.Term][]int32
+		if sys.Origins != nil {
+			factOrigin = map[*smt.Term][]int32{}
+		}
 		// addFact merges v = val into the substitution, resolving both
 		// sides first so chains like {b = a, b = 5} become {b -> a,
-		// a -> 5} rather than a spurious contradiction. It returns false
-		// only on a genuine conflict (two distinct constants equated).
-		addFact := func(v, val *smt.Term) bool {
+		// a -> 5} rather than a spurious contradiction. It returns the
+		// key inserted (nil for no-ops) and ok=false only on a genuine
+		// conflict (two distinct constants equated).
+		addFact := func(v, val *smt.Term) (*smt.Term, bool) {
 			v, val = resolve(v), resolve(val)
 			if v == val {
-				return true
+				return nil, true
 			}
 			switch {
 			case isVar(v) && isVar(val):
@@ -365,10 +428,11 @@ func (propagatePass) Run(sys *System) Stats {
 				subst[v] = val
 			case isVar(val):
 				subst[val] = v
+				v = val
 			default:
-				return false // two distinct constants
+				return nil, false // two distinct constants
 			}
-			return true
+			return v, true
 		}
 		for round := 0; round < 32; round++ {
 			// Phase 1: harvest facts; remember which asserts carry them.
@@ -377,8 +441,12 @@ func (propagatePass) Run(sys *System) Stats {
 			unsat := false
 			fact := func(i int, v, val *smt.Term) {
 				isFact[i] = true
-				if !addFact(v, val) {
+				key, ok := addFact(v, val)
+				if !ok {
 					unsat = true
+				}
+				if key != nil && factOrigin != nil {
+					factOrigin[key] = mergeBases(factOrigin[key], sys.Origins[i])
 				}
 			}
 			for i, a := range sys.Asserts {
@@ -404,6 +472,17 @@ func (propagatePass) Run(sys *System) Stats {
 				}
 			}
 			if unsat {
+				// The contradiction follows from the facts alone; blame
+				// every fact-carrying assert.
+				var fo []int32
+				if sys.Origins != nil {
+					for i := range sys.Asserts {
+						if isFact[i] {
+							fo = mergeBases(fo, sys.Origins[i])
+						}
+					}
+					sys.Origins = [][]int32{fo}
+				}
 				sys.Asserts = []*smt.Term{c.False()}
 				return
 			}
@@ -412,8 +491,15 @@ func (propagatePass) Run(sys *System) Stats {
 				return
 			}
 			// Phase 2: substitute into every non-fact assert and goal.
+			// (Goals carry no origin slot; substituted goals stay sound
+			// for blame because the fact asserts themselves are kept
+			// verbatim in the system.)
 			r := newRewriter(c, subst)
+			if sys.Origins != nil {
+				r.used = map[*smt.Term]bool{}
+			}
 			changed := false
+			var changedIdx []int
 			for i, a := range sys.Asserts {
 				if isFact[i] {
 					continue
@@ -421,6 +507,7 @@ func (propagatePass) Run(sys *System) Stats {
 				if nu := r.rewrite(a); nu != a {
 					sys.Asserts[i] = nu
 					changed = true
+					changedIdx = append(changedIdx, i)
 				}
 			}
 			for i, g := range sys.Goals {
@@ -429,7 +516,23 @@ func (propagatePass) Run(sys *System) Stats {
 					changed = true
 				}
 			}
-			sys.Asserts = normalizeAsserts(c, sys.Asserts)
+			if sys.Origins != nil && len(changedIdx) > 0 {
+				// A rewritten assert is equivalent to its original only
+				// given the facts substituted into it; union the used
+				// facts' origins in so removing a blamed fact stanza is
+				// reflected. The used set is tracked globally per round
+				// (rewrites share a memo across asserts), which
+				// over-approximates per-assert usage — blame may widen,
+				// never drop a contributor.
+				var usedOrigins []int32
+				for key := range r.used {
+					usedOrigins = mergeBases(usedOrigins, factOrigin[key])
+				}
+				for _, i := range changedIdx {
+					sys.Origins[i] = mergeBases(sys.Origins[i], usedOrigins)
+				}
+			}
+			sys.Asserts, sys.Origins = normalizeAsserts(c, sys.Asserts, sys.Origins)
 			if len(sys.Asserts) == 1 && sys.Asserts[0] == c.False() {
 				return
 			}
@@ -474,18 +577,31 @@ func (coiPass) Run(sys *System) Stats {
 			inCone[uf.find(v)] = true
 		}
 		kept := sys.Asserts[:0]
+		var keptO [][]int32
+		if sys.Origins != nil {
+			keptO = sys.Origins[:0]
+		}
+		keep := func(i int) {
+			kept = append(kept, sys.Asserts[i])
+			if sys.Origins != nil {
+				keptO = append(keptO, sys.Origins[i])
+			}
+		}
 		for i, a := range sys.Asserts {
 			if len(assertVars[i]) == 0 {
 				if a != sys.Ctx.True() {
-					kept = append(kept, a)
+					keep(i)
 				}
 				continue
 			}
 			if inCone[uf.find(assertVars[i][0])] {
-				kept = append(kept, a)
+				keep(i)
 			}
 		}
 		sys.Asserts = kept
+		if sys.Origins != nil {
+			sys.Origins = keptO
+		}
 	})
 }
 

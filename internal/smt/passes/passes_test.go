@@ -231,3 +231,64 @@ func TestFoldRewritesAfterSubstitution(t *testing.T) {
 		t.Fatalf("fold on fresh terms should be identity: %+v", st)
 	}
 }
+
+// TestOriginsStayParallelThroughPasses pins the provenance contract:
+// Origins stays parallel to Asserts through every pass and the full
+// pipeline, surviving contributors keep their base ids, and merges
+// (cse dedupe, propagate substitution) union rather than drop them.
+func TestOriginsStayParallelThroughPasses(t *testing.T) {
+	tag := func(sys *System) *System {
+		sys.Origins = make([][]int32, len(sys.Asserts))
+		for i := range sys.Asserts {
+			sys.Origins[i] = []int32{int32(i + 1)}
+		}
+		return sys
+	}
+	pipelines := append([][]string{Names()}, [][]string{
+		{Fold}, {CSE}, {Propagate}, {COI},
+	}...)
+	for _, names := range pipelines {
+		sys := tag(newSys(buildMixed))
+		p, err := NewPipeline(names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run(sys, nil)
+		if len(sys.Origins) != len(sys.Asserts) {
+			t.Fatalf("%v: %d origins for %d asserts", names, len(sys.Origins), len(sys.Asserts))
+		}
+		for i, os := range sys.Origins {
+			if len(os) == 0 {
+				t.Fatalf("%v: assert %d lost its origins", names, i)
+			}
+			for j, b := range os {
+				if b < 1 || b > 5 {
+					t.Fatalf("%v: assert %d carries invented base %d", names, i, b)
+				}
+				if j > 0 && os[j-1] >= b {
+					t.Fatalf("%v: assert %d origins not sorted/deduped: %v", names, i, os)
+				}
+			}
+		}
+	}
+
+	// CSE merges the duplicated assert (buildMixed asserts 3 and 4 are
+	// equal after flattening): its survivor must carry both bases.
+	sys := tag(newSys(buildMixed))
+	p, _ := NewPipeline(Fold, CSE)
+	p.Run(sys, nil)
+	found := false
+	for _, os := range sys.Origins {
+		has3, has4 := false, false
+		for _, b := range os {
+			has3 = has3 || b == 3
+			has4 = has4 || b == 4
+		}
+		if has3 && has4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cse dedupe dropped a contributor: %v", sys.Origins)
+	}
+}

@@ -90,6 +90,24 @@ func (s *Solver) EnableProof() *sat.Proof { return s.sat.EnableProof() }
 // Proof returns the recorded trace, or nil when logging is off.
 func (s *Solver) Proof() *sat.Proof { return s.sat.Proof() }
 
+// EnableOriginTracking turns on per-origin attribution in the underlying
+// SAT solver. Enable before asserting so every blasted clause carries the
+// origin current at Assert time.
+func (s *Solver) EnableOriginTracking() { s.sat.EnableOriginTracking() }
+
+// SetOrigin declares the base origin ids of the constraints asserted
+// next. Tseitin gate clauses memoized across asserts keep their first
+// creator's origin; that is sound for blame because every semantically
+// contributing assert also emits root clauses under its own origin.
+func (s *Solver) SetOrigin(bases ...int32) { s.sat.SetOrigin(bases...) }
+
+// OriginSetBases resolves an interned origin-set id (as recorded on
+// proof steps) to its base origin ids. The slice is owned by the solver.
+func (s *Solver) OriginSetBases(id int32) []int32 { return s.sat.OriginSetBases(id) }
+
+// OriginSnapshot copies the interned origin sets and their work counters.
+func (s *Solver) OriginSnapshot() ([][]int32, []sat.OriginCounts) { return s.sat.OriginSnapshot() }
+
 // Assert adds a boolean term as a constraint. Top-level conjunctions and
 // disjunctions are clausified directly without auxiliary gate variables.
 func (s *Solver) Assert(t *Term) {
