@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// compareRow is the verdict on one (pods, property) row present in both
+// artifacts.
+type compareRow struct {
+	Pods     int
+	Property string
+	OldMs    float64
+	NewMs    float64
+	// DeltaPct is the relative change in percent (+ slower, - faster).
+	DeltaPct float64
+	// Regressed is true when the row slowed beyond both the relative
+	// tolerance and the absolute floor, or its verdict flipped.
+	Regressed bool
+	// Flipped is true when verified changed between artifacts — a
+	// correctness alarm, reported as a regression regardless of timing.
+	Flipped bool
+}
+
+// compareArtifacts diffs two BENCH_fig8.json artifacts row by row over
+// their shared (pods, property) keys. A row regresses when
+//
+//	newMs > oldMs·(1+tolerance)  AND  newMs − oldMs > minMs
+//
+// — the relative gate catches real slowdowns, the absolute floor keeps
+// sub-millisecond noise on fast rows from tripping it. A flipped
+// verified bit is always a regression: the gate guards the answers as
+// well as the clock. The aggregate (summed ms over shared rows) is held
+// to the same relative tolerance.
+func compareArtifacts(oldRows, newRows []fig8JSON, tolerance, minMs float64) (rows []compareRow, aggRegressed bool, oldTotal, newTotal float64) {
+	type key struct {
+		pods int
+		prop string
+	}
+	oldBy := make(map[key]fig8JSON, len(oldRows))
+	for _, r := range oldRows {
+		oldBy[key{r.Pods, r.Property}] = r
+	}
+	for _, n := range newRows {
+		o, ok := oldBy[key{n.Pods, n.Property}]
+		if !ok {
+			continue
+		}
+		row := compareRow{
+			Pods: n.Pods, Property: n.Property,
+			OldMs: o.Ms, NewMs: n.Ms,
+			Flipped: o.Verified != n.Verified,
+		}
+		if o.Ms > 0 {
+			row.DeltaPct = 100 * (n.Ms/o.Ms - 1)
+		}
+		slower := n.Ms > o.Ms*(1+tolerance) && n.Ms-o.Ms > minMs
+		row.Regressed = slower || row.Flipped
+		oldTotal += o.Ms
+		newTotal += n.Ms
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Pods != rows[j].Pods {
+			return rows[i].Pods < rows[j].Pods
+		}
+		return rows[i].Property < rows[j].Property
+	})
+	aggRegressed = newTotal > oldTotal*(1+tolerance) && newTotal-oldTotal > minMs
+	return rows, aggRegressed, oldTotal, newTotal
+}
+
+func loadFig8(path string) ([]fig8JSON, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows []fig8JSON
+	if err := json.NewDecoder(f).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// runCompare is the perf-regression gate: it diffs two fig8 JSON
+// artifacts, prints the per-row and aggregate deltas to w, and returns
+// the number of regressed rows (counting the aggregate as one more when
+// it trips on its own).
+func runCompare(w io.Writer, oldPath, newPath string, tolerance, minMs float64) (int, error) {
+	oldRows, err := loadFig8(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRows, err := loadFig8(newPath)
+	if err != nil {
+		return 0, err
+	}
+	rows, aggRegressed, oldTotal, newTotal := compareArtifacts(oldRows, newRows, tolerance, minMs)
+	if len(rows) == 0 {
+		return 0, fmt.Errorf("no shared (pods, property) rows between %s and %s", oldPath, newPath)
+	}
+	fmt.Fprintf(w, "# bench compare: %s -> %s (tolerance %.0f%%, floor %.1fms)\n",
+		oldPath, newPath, tolerance*100, minMs)
+	fmt.Fprintln(w, "pods\tproperty\told_ms\tnew_ms\tdelta_pct\tstatus")
+	regressed := 0
+	for _, r := range rows {
+		status := "ok"
+		switch {
+		case r.Flipped:
+			status = "VERDICT-FLIPPED"
+		case r.Regressed:
+			status = "REGRESSED"
+		case r.DeltaPct < -10:
+			status = "faster"
+		}
+		if r.Regressed {
+			regressed++
+		}
+		fmt.Fprintf(w, "%d\t%s\t%.1f\t%.1f\t%+.1f%%\t%s\n",
+			r.Pods, r.Property, r.OldMs, r.NewMs, r.DeltaPct, status)
+	}
+	aggDelta := 0.0
+	if oldTotal > 0 {
+		aggDelta = 100 * (newTotal/oldTotal - 1)
+	}
+	aggStatus := "ok"
+	if aggRegressed {
+		aggStatus = "REGRESSED"
+		regressed++
+	}
+	fmt.Fprintf(w, "# aggregate: %.1fms -> %.1fms (%+.1f%%) %s\n",
+		oldTotal, newTotal, aggDelta, aggStatus)
+	if regressed > 0 {
+		fmt.Fprintf(w, "# %d regression(s) beyond tolerance\n", regressed)
+	}
+	return regressed, nil
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name string, rows []fig8JSON) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baselineRows() []fig8JSON {
+	return []fig8JSON{
+		{Pods: 2, Property: "reachability", Ms: 100, Verified: true},
+		{Pods: 2, Property: "no-loops", Ms: 40, Verified: true},
+		{Pods: 4, Property: "reachability", Ms: 400, Verified: true},
+	}
+}
+
+// TestCompareIdentical: identical artifacts produce zero regressions.
+func TestCompareIdentical(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", baselineRows())
+	niu := writeArtifact(t, dir, "new.json", baselineRows())
+	var out strings.Builder
+	n, err := runCompare(&out, old, niu, 0.25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("identical artifacts regressed %d rows:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "aggregate") {
+		t.Fatalf("missing aggregate line:\n%s", out.String())
+	}
+}
+
+// TestCompareInjectedSlowdown: one row slowed well past tolerance and
+// floor trips the gate, and the row is named in the report.
+func TestCompareInjectedSlowdown(t *testing.T) {
+	slow := baselineRows()
+	slow[2].Ms = 900 // 400 → 900: +125%
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", baselineRows())
+	niu := writeArtifact(t, dir, "new.json", slow)
+	var out strings.Builder
+	n, err := runCompare(&out, old, niu, 0.25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slowed row plus the aggregate (540 → 1040 is also past 25%).
+	if n != 2 {
+		t.Fatalf("regressions = %d, want 2:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("report does not flag the regression:\n%s", out.String())
+	}
+}
+
+// TestCompareMinMsFloor: a relative blowup on a sub-floor row is noise,
+// not a regression.
+func TestCompareMinMsFloor(t *testing.T) {
+	oldRows := []fig8JSON{{Pods: 2, Property: "reachability", Ms: 1, Verified: true}}
+	newRows := []fig8JSON{{Pods: 2, Property: "reachability", Ms: 3, Verified: true}}
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", oldRows)
+	niu := writeArtifact(t, dir, "new.json", newRows)
+	var out strings.Builder
+	n, err := runCompare(&out, old, niu, 0.25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("+200%% on a 1ms row tripped the gate despite the 5ms floor:\n%s", out.String())
+	}
+}
+
+// TestCompareVerdictFlip: a flipped verified bit is a regression even
+// when timing improved.
+func TestCompareVerdictFlip(t *testing.T) {
+	flipped := baselineRows()
+	flipped[0].Verified = false
+	flipped[0].Ms = 10 // faster, still broken
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", baselineRows())
+	niu := writeArtifact(t, dir, "new.json", flipped)
+	var out strings.Builder
+	n, err := runCompare(&out, old, niu, 0.25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "VERDICT-FLIPPED") {
+		t.Fatalf("report does not name the flip:\n%s", out.String())
+	}
+}
+
+// TestCompareDisjoint: artifacts with no shared rows are an error, not
+// a silent pass.
+func TestCompareDisjoint(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", baselineRows())
+	niu := writeArtifact(t, dir, "new.json", []fig8JSON{
+		{Pods: 8, Property: "other", Ms: 1},
+	})
+	var out strings.Builder
+	if _, err := runCompare(&out, old, niu, 0.25, 5); err == nil {
+		t.Fatal("disjoint artifacts compared without error")
+	}
+}

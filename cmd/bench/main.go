@@ -14,6 +14,13 @@
 //	bench -experiment ablation   [-pods 4]
 //	bench -experiment service    [-pods 2] [-json-out BENCH_service.json]
 //	bench -experiment fuzz       [-iters 2] [-seed 1]
+//	bench -compare [-tolerance 0.25] [-min-ms 5] old.json new.json
+//
+// -compare is the perf-regression gate: it diffs two fig8 JSON artifacts
+// row by row over their shared (pods, property) keys and exits nonzero
+// when any row — or the aggregate — slowed beyond the relative tolerance
+// and the absolute -min-ms floor, or when a verified bit flipped. CI
+// runs it against the committed BENCH_fig8.json baseline.
 //
 // The service experiment measures the batch engine's amortization: the
 // same ≥10-property suite on one fabric, verified once with a fresh
@@ -79,8 +86,26 @@ func main() {
 		profOut    = flag.String("profile-out", "BENCH_origins.folded", "collapsed-stack output path for -profile-origins ('' to skip)")
 		cpuProf    = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
+		compare    = flag.Bool("compare", false, "compare two fig8 JSON artifacts (old new) and exit nonzero on a perf regression")
+		tolerance  = flag.Float64("tolerance", 0.25, "compare: relative slowdown tolerated per row and on the aggregate (0.25 = 25%)")
+		minMs      = flag.Float64("min-ms", 5, "compare: absolute slowdown floor in ms below which a row never regresses")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bench -compare [-tolerance F] [-min-ms F] old.json new.json")
+			os.Exit(2)
+		}
+		n, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance, *minMs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
+		if n > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := core.ValidatePasses(*passesFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(2)

@@ -20,11 +20,14 @@
 //
 // Observability:
 //
-//	-v                also prints the phase span tree to stderr
-//	-json             prints the verdict as one JSON object on stdout
-//	-trace-json FILE  writes the span tree + metrics as JSON
-//	-prom FILE        writes the metrics in Prometheus text format
-//	-progress N       prints solver progress to stderr every N conflicts
+//	-v                  also prints the phase span tree to stderr
+//	-json               prints the verdict as one JSON object on stdout
+//	-trace-json FILE    writes the span tree + metrics as JSON
+//	-trace-chrome FILE  writes the span tree as Chrome trace_event JSON,
+//	                    browsable in Perfetto (ui.perfetto.dev) or
+//	                    chrome://tracing
+//	-prom FILE          writes the metrics in Prometheus text format
+//	-progress N         prints solver progress to stderr every N conflicts
 //
 // Certification:
 //
@@ -72,7 +75,7 @@ type cliOpts struct {
 	hops, maxLen, maxFailures          int
 	verbose, replay, jsonOut, certify  bool
 	blame                              bool
-	traceJSON, promOut                 string
+	traceJSON, traceChrome, promOut    string
 	passes                             string
 	progressEvery                      int64
 }
@@ -92,6 +95,7 @@ func main() {
 	flag.BoolVar(&o.replay, "replay", false, "replay counterexamples in the concrete simulator")
 	flag.BoolVar(&o.jsonOut, "json", false, "print the verdict as a single JSON object")
 	flag.StringVar(&o.traceJSON, "trace-json", "", "write the span tree and metrics as JSON to this file")
+	flag.StringVar(&o.traceChrome, "trace-chrome", "", "write the span tree as Chrome trace_event JSON to this file (open in Perfetto or chrome://tracing)")
 	flag.StringVar(&o.promOut, "prom", "", "write the metrics in Prometheus text format to this file")
 	flag.StringVar(&o.passes, "passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
 	flag.BoolVar(&o.certify, "certify", false, "record a DRAT proof trace and check verified verdicts with the independent checker")
@@ -327,6 +331,19 @@ func finish(tr *obs.Trace, o cliOpts) error {
 			return err
 		}
 		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.traceChrome != "" {
+		f, err := os.Create(o.traceChrome)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(f); err != nil {
 			f.Close()
 			return err
 		}

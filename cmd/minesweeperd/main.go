@@ -7,14 +7,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/verify            verification job → verdict (counterexample, phase timings)
-//	GET  /v1/jobs              recent jobs, newest first
-//	GET  /v1/jobs/{id}         one job record
-//	GET  /v1/jobs/{id}/profile the job's hot-constraint origin profile
-//	                           (with -profile-origins; ?format=collapsed
-//	                           for flamegraph collapsed-stack text)
-//	GET  /metrics              Prometheus text exposition (same exporter as minesweeper -prom)
-//	GET  /healthz              liveness
+//	POST /v1/verify             verification job → verdict (counterexample, phase timings)
+//	GET  /v1/jobs               recent jobs, newest first
+//	GET  /v1/jobs/{id}          one job record
+//	GET  /v1/jobs/{id}/profile  the job's hot-constraint origin profile
+//	                            (with -profile-origins; ?format=collapsed
+//	                            for flamegraph collapsed-stack text)
+//	GET  /v1/jobs/{id}/events   live telemetry stream (Server-Sent Events):
+//	                            the job's flight recorder replayed from the
+//	                            buffer, then followed live; reconnect with
+//	                            Last-Event-ID (or ?after=N) to resume
+//	GET  /v1/jobs/{id}/timeline the buffered flight-recorder events as JSON
+//	                            (available for finished, timed-out and
+//	                            cancelled jobs alike)
+//	GET  /v1/jobs/{id}/trace    the job's span tree as Chrome trace_event
+//	                            JSON — load it in Perfetto or chrome://tracing
+//	GET  /metrics               Prometheus text exposition (same exporter as minesweeper -prom)
+//	GET  /healthz               liveness
 //
 // With -blame every verdict carries the configuration origins it depends
 // on (the UNSAT core's origins for verified properties, the forwarding
@@ -66,6 +75,9 @@ func main() {
 		certify   = flag.Bool("certify", false, "record DRAT proof traces and check verified verdicts with the independent checker")
 		blame     = flag.Bool("blame", false, "report the configuration origins each verdict depends on (implies proof logging)")
 		profOrig  = flag.Bool("profile-origins", false, "keep per-origin solver counters and serve each job's hot-constraint profile")
+		maxJobs   = flag.Int("max-jobs", 1024, "finished jobs retained before FIFO eviction (bounds memory with their flight recorders)")
+		eventBuf  = flag.Int("event-buffer", 0, "per-job flight-recorder capacity in events (0: default 1024)")
+		progress  = flag.Int64("progress-every", 1000, "emit a solver.progress event every N conflicts (<0: disabled)")
 	)
 	flag.Parse()
 	if err := core.ValidatePasses(*passes); err != nil {
@@ -73,24 +85,28 @@ func main() {
 		os.Exit(2)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	if err := run(logger, *listen, *debugAddr, *workers, *queue, *timeout, *passes, *certify, *blame, *profOrig); err != nil {
+	opts := service.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Timeout:        *timeout,
+		Passes:         *passes,
+		Certify:        *certify,
+		Blame:          *blame,
+		ProfileOrigins: *profOrig,
+		MaxJobs:        *maxJobs,
+		EventBuffer:    *eventBuf,
+		ProgressEvery:  *progress,
+	}
+	if err := run(logger, *listen, *debugAddr, opts); err != nil {
 		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(logger *slog.Logger, listen, debugAddr string, workers, queue int, timeout time.Duration, passes string, certify, blame, profOrig bool) error {
-	engine := service.NewEngine(service.Options{
-		Workers:        workers,
-		QueueDepth:     queue,
-		Timeout:        timeout,
-		Passes:         passes,
-		Certify:        certify,
-		Blame:          blame,
-		ProfileOrigins: profOrig,
-		Trace:          obs.New("minesweeperd"),
-		Logger:         logger,
-	})
+func run(logger *slog.Logger, listen, debugAddr string, opts service.Options) error {
+	opts.Trace = obs.New("minesweeperd")
+	opts.Logger = logger
+	engine := service.NewEngine(opts)
 	defer engine.Close()
 
 	srv := &http.Server{
@@ -103,9 +119,10 @@ func run(logger *slog.Logger, listen, debugAddr string, workers, queue int, time
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	logger.Info("listening", "addr", listen, "workers", workers,
-		"timeout", timeout, "certify", certify, "blame", blame,
-		"profile_origins", profOrig)
+	logger.Info("listening", "addr", listen, "workers", opts.Workers,
+		"timeout", opts.Timeout, "certify", opts.Certify, "blame", opts.Blame,
+		"profile_origins", opts.ProfileOrigins, "max_jobs", opts.MaxJobs,
+		"progress_every", opts.ProgressEvery)
 
 	if debugAddr != "" {
 		dbg := &http.Server{
@@ -157,17 +174,24 @@ var reqSeq atomic.Int64
 
 // NewLoggingHandler wraps a handler with one structured access-log line
 // per request, tagged with a unique request id that is also echoed in
-// the X-Request-ID response header so clients can quote it.
+// the X-Request-ID response header so clients can quote it. Handlers
+// enrich their own line through service.AddLogExtra — the verify
+// endpoint adds the verdict and its encode/simplify/solve phase split,
+// the telemetry endpoints the job id they served — so one grep over the
+// access log reconstructs what each request cost and answered.
 func NewLoggingHandler(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := fmt.Sprintf("req-%06d", reqSeq.Add(1))
 		w.Header().Set("X-Request-ID", id)
+		ctx, extras := service.WithLogExtras(r.Context())
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		logger.Info("request", "id", id, "method", r.Method, "path", r.URL.Path,
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		args := []any{"id", id, "method", r.Method, "path", r.URL.Path,
 			"status", rec.status,
-			"ms", float64(time.Since(start).Microseconds())/1000)
+			"ms", float64(time.Since(start).Microseconds()) / 1000}
+		args = append(args, extras.Pairs()...)
+		logger.Info("request", args...)
 	})
 }
 
@@ -179,4 +203,12 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so SSE streaming works through
+// the logging middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }

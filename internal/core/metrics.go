@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/obs"
 	"repro/internal/sat"
 )
@@ -37,5 +39,11 @@ func RecordSolverMetrics(tr *obs.Trace, res *Result) {
 	if n > 0 {
 		tr.SetHist("solver.lbd", bounds, counts, sum, n)
 	}
+	// Per-phase latency distributions, so the Prometheus surface carries
+	// p50/p90/p99 of solve and end-to-end check time (the quantile gauges
+	// the exporter derives from these buckets).
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	tr.ObserveBounds("latency.solve_ms", ms(res.SolveElapsed), obs.LatencyMsBounds)
+	tr.ObserveBounds("latency.check_ms", ms(res.Elapsed), obs.LatencyMsBounds)
 	tr.SampleMem()
 }

@@ -123,6 +123,17 @@ func (s *Span) Name() string {
 	return s.name
 }
 
+// StartTime returns when the span started (zero time for nil), for
+// exporters that need absolute timestamps (the Chrome trace writer).
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start
+}
+
 // Duration returns the span's wall time: end−start once ended, time since
 // start while still open, 0 for nil.
 func (s *Span) Duration() time.Duration {
@@ -236,6 +247,14 @@ func (s *Span) Walk(fn func(sp *Span, depth int)) {
 // they suit small integer distributions such as learned-clause LBD.
 var DefaultHistBounds = []float64{1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30, 50}
 
+// LatencyMsBounds are upper bucket bounds for millisecond latency
+// distributions (job run time, solve time), spanning sub-millisecond
+// checks to the two-minute default job deadline. Used with ObserveBounds.
+var LatencyMsBounds = []float64{
+	0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 30000, 60000, 120000,
+}
+
 // Hist is a fixed-bucket histogram. Counts[i] counts observations
 // ≤ Bounds[i]; observations above the last bound land in the implicit
 // overflow bucket counted only by N and Sum.
@@ -333,6 +352,73 @@ func (t *Trace) Observe(name string, v float64) {
 	}
 	h.observe(v)
 	t.mu.Unlock()
+}
+
+// ObserveBounds records v into the named histogram, creating it with the
+// given upper bucket bounds on first use (later calls ignore bounds: a
+// histogram's buckets are fixed at birth). Use it for distributions the
+// DefaultHistBounds buckets cannot resolve, e.g. millisecond latencies
+// with LatencyMsBounds. Nil-safe.
+func (t *Trace) ObserveBounds(name string, v float64, bounds []float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	h, ok := t.hists[name]
+	if !ok {
+		h = &Hist{Bounds: append([]float64(nil), bounds...), Counts: make([]int64, len(bounds))}
+		t.hists[name] = h
+	}
+	h.observe(v)
+	t.mu.Unlock()
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the recorded
+// distribution by linear interpolation within the bucket holding the
+// target rank, the same estimate Prometheus's histogram_quantile
+// computes server-side. Observations beyond the last bound (the overflow
+// bucket) clamp to the last bound, and an empty histogram returns 0.
+func (h *Hist) Quantile(q float64) float64 {
+	if h == nil || h.N == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.N)
+	var cum int64
+	for i, b := range h.Bounds {
+		prev := float64(cum)
+		cum += h.Counts[i]
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			if h.Counts[i] == 0 {
+				return b
+			}
+			return lo + (b-lo)*(rank-prev)/float64(h.Counts[i])
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// HistSnapshot returns a copy of the named histogram and whether it
+// exists, for callers computing quantiles outside the exporter.
+func (t *Trace) HistSnapshot(name string) (Hist, bool) {
+	if t == nil {
+		return Hist{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.hists[name]
+	if !ok {
+		return Hist{}, false
+	}
+	return Hist{
+		Bounds: append([]float64(nil), h.Bounds...),
+		Counts: append([]int64(nil), h.Counts...),
+		Sum:    h.Sum,
+		N:      h.N,
+	}, true
 }
 
 // SetHist installs a precomputed histogram (e.g. the SAT solver's LBD
@@ -559,8 +645,19 @@ func (t *Trace) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "minesweeper_%s_bucket{le=\"+Inf\"} %d\n", n, h.N)
 		fmt.Fprintf(w, "minesweeper_%s_sum %g\n", n, h.Sum)
 		fmt.Fprintf(w, "minesweeper_%s_count %d\n", n, h.N)
+		if h.N > 0 {
+			fmt.Fprintf(w, "# TYPE minesweeper_%s_quantile gauge\n", n)
+			for _, q := range ExportQuantiles {
+				fmt.Fprintf(w, "minesweeper_%s_quantile{quantile=%q} %g\n", n, fmt.Sprintf("%g", q), h.Quantile(q))
+			}
+		}
 	}
 }
+
+// ExportQuantiles are the quantiles WritePrometheus precomputes per
+// histogram (as _quantile gauges next to the raw buckets), so dashboards
+// get p50/p90/p99 without server-side histogram_quantile.
+var ExportQuantiles = []float64{0.5, 0.9, 0.99}
 
 // promName sanitizes a metric name into the Prometheus charset.
 func promName(s string) string {

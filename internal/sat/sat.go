@@ -168,6 +168,10 @@ type Progress struct {
 	Vars         int
 	Clauses      int
 	LearntDB     int // learned clauses currently retained
+	// LBDAvg is the running mean LBD of all learned clauses (0 before the
+	// first conflict): a falling average means the search is finding
+	// shorter explanations, i.e. making progress.
+	LBDAvg float64
 }
 
 // Solver is a CDCL SAT solver. The zero value is not ready for use; call
@@ -916,7 +920,7 @@ func (s *Solver) Clauses() [][]Lit {
 
 // progress snapshots the search counters for the progress hook.
 func (s *Solver) progress() Progress {
-	return Progress{
+	p := Progress{
 		Conflicts:    s.Stats.Conflicts,
 		Decisions:    s.Stats.Decisions,
 		Propagations: s.Stats.Propagations,
@@ -927,6 +931,17 @@ func (s *Solver) progress() Progress {
 		Clauses:      s.NumClauses(),
 		LearntDB:     len(s.learnts),
 	}
+	// Bucket i of LBDHist counts clauses learned with LBD i+1 (the last
+	// bucket absorbs larger values, slightly underestimating their mass).
+	var sum, n int64
+	for i, c := range s.Stats.LBDHist {
+		sum += int64(i+1) * c
+		n += c
+	}
+	if n > 0 {
+		p.LBDAvg = float64(sum) / float64(n)
+	}
+	return p
 }
 
 // Simplify performs top-level simplification: it backtracks to level 0,

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -13,8 +14,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/stream"
 	"repro/internal/protograph"
 	"repro/internal/provenance"
+	"repro/internal/sat"
 	"repro/internal/smt"
 )
 
@@ -60,6 +63,20 @@ type Options struct {
 	// hot-constraint profile to every job, served at
 	// GET /v1/jobs/{id}/profile.
 	ProfileOrigins bool
+	// MaxJobs bounds the finished-job map (default 1024): once more
+	// jobs than this are retained, the oldest finished jobs — and their
+	// flight recorders — are evicted FIFO. Queued and running jobs are
+	// never evicted.
+	MaxJobs int
+	// EventBuffer is the per-job flight-recorder capacity in events
+	// (default stream.DefaultCapacity). The recorder keeps the last
+	// EventBuffer events of a job after it finishes, times out or is
+	// cancelled.
+	EventBuffer int
+	// ProgressEvery emits a solver.progress event on each job's flight
+	// recorder every N conflicts while the CDCL search runs (default
+	// 1000; <0 disables solver progress events).
+	ProgressEvery int64
 	// Trace receives the engine's counters and gauges; nil creates a
 	// private trace (exposed via Engine.Trace for /metrics).
 	Trace *obs.Trace
@@ -86,6 +103,13 @@ type netEntry struct {
 	cn    *core.CompiledNetwork
 	sess  *core.Session
 	alias *netEntry // canonical entry owning the shared session, if any
+
+	// curRec is the flight recorder of the job currently checking on
+	// this entry's session, read by the solver progress hook. Both the
+	// writes (in check) and the hook (which runs on the checking
+	// worker's goroutine inside Session.CheckContext) happen with
+	// ent.mu held, so a plain field suffices.
+	curRec *stream.Recorder
 }
 
 // Job is one queued verification request. Jobs are created by Submit and
@@ -101,12 +125,14 @@ type Job struct {
 	timeout time.Duration
 
 	done chan struct{}
+	rec  *stream.Recorder
 
 	mu       sync.Mutex
 	status   Status
 	verdict  *Verdict
 	err      error
 	profile  *provenance.Profile
+	trace    *obs.Trace
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -146,6 +172,27 @@ func (j *Job) Profile() *provenance.Profile {
 	return j.profile
 }
 
+// Recorder returns the job's flight recorder: the bounded ring of typed
+// telemetry events emitted over the job's life. It is live while the job
+// runs and retained — closed — after the job finishes, fails, times out
+// or is cancelled.
+func (j *Job) Recorder() *stream.Recorder { return j.rec }
+
+// Trace returns the job's span tree (the GET /v1/jobs/{id}/trace
+// source), or nil before the job's check starts and for cache-hit jobs,
+// which never touch the solver.
+func (j *Job) Trace() *obs.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+func (j *Job) setTrace(tr *obs.Trace) {
+	j.mu.Lock()
+	j.trace = tr
+	j.mu.Unlock()
+}
+
 // View is the JSON shape of a job for the HTTP API.
 type View struct {
 	ID       string   `json:"id"`
@@ -183,13 +230,16 @@ func (j *Job) View() View {
 // (network, property) jobs with per-network solver sessions and a
 // content-addressed verdict cache.
 type Engine struct {
-	tr       *obs.Trace
-	timeout  time.Duration
-	passes   string
-	certify  bool
-	blame    bool
-	profOrig bool
-	log      *slog.Logger
+	tr            *obs.Trace
+	timeout       time.Duration
+	passes        string
+	certify       bool
+	blame         bool
+	profOrig      bool
+	maxJobs       int
+	eventBuf      int
+	progressEvery int64
+	log           *slog.Logger
 
 	jobCh   chan *Job
 	wg      sync.WaitGroup
@@ -199,6 +249,7 @@ type Engine struct {
 	closed     bool
 	seq        int
 	jobs       map[string]*Job
+	finished   []string // finished job IDs, oldest first, for FIFO eviction
 	nets       map[string]*netEntry
 	byCompile  map[string]*netEntry
 	cache      map[string]*Verdict
@@ -219,19 +270,31 @@ func NewEngine(o Options) *Engine {
 	if o.Trace == nil {
 		o.Trace = obs.New("service")
 	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+	if o.EventBuffer <= 0 {
+		o.EventBuffer = stream.DefaultCapacity
+	}
+	if o.ProgressEvery == 0 {
+		o.ProgressEvery = 1000
+	}
 	e := &Engine{
-		tr:        o.Trace,
-		timeout:   o.Timeout,
-		passes:    o.Passes,
-		certify:   o.Certify,
-		blame:     o.Blame,
-		profOrig:  o.ProfileOrigins,
-		log:       o.Logger,
-		jobCh:     make(chan *Job, o.QueueDepth),
-		jobs:      map[string]*Job{},
-		nets:      map[string]*netEntry{},
-		byCompile: map[string]*netEntry{},
-		cache:     map[string]*Verdict{},
+		tr:            o.Trace,
+		timeout:       o.Timeout,
+		passes:        o.Passes,
+		certify:       o.Certify,
+		blame:         o.Blame,
+		profOrig:      o.ProfileOrigins,
+		maxJobs:       o.MaxJobs,
+		eventBuf:      o.EventBuffer,
+		progressEvery: o.ProgressEvery,
+		log:           o.Logger,
+		jobCh:         make(chan *Job, o.QueueDepth),
+		jobs:          map[string]*Job{},
+		nets:          map[string]*netEntry{},
+		byCompile:     map[string]*netEntry{},
+		cache:         map[string]*Verdict{},
 	}
 	e.wg.Add(o.Workers)
 	for i := 0; i < o.Workers; i++ {
@@ -303,6 +366,7 @@ func (e *Engine) Submit(req *Request) (*Job, error) {
 		key:     cacheKey(netKey, spec),
 		timeout: timeout,
 		done:    make(chan struct{}),
+		rec:     stream.NewRecorder(e.eventBuf),
 		status:  StatusQueued,
 		created: time.Now(),
 	}
@@ -320,6 +384,10 @@ func (e *Engine) Submit(req *Request) (*Job, error) {
 	select {
 	case e.jobCh <- j:
 		e.tr.Add("service.jobs_queued", 1)
+		e.tr.Gauge("service.queue_depth", float64(len(e.jobCh)))
+		j.rec.Emit(stream.EventJobSubmitted, map[string]any{
+			"job": j.ID, "check": spec.Check, "timeout_ms": timeout.Milliseconds(),
+		})
 		if e.log != nil {
 			e.log.Info("job submitted", "job", j.ID, "check", spec.Check)
 		}
@@ -354,6 +422,7 @@ func (e *Engine) Verify(ctx context.Context, req *Request) (*Verdict, error) {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for j := range e.jobCh {
+		e.tr.Gauge("service.queue_depth", float64(len(e.jobCh)))
 		e.runJob(j)
 	}
 }
@@ -361,6 +430,8 @@ func (e *Engine) worker() {
 func (e *Engine) finishJob(j *Job, v *Verdict, err error) {
 	j.mu.Lock()
 	j.finished = time.Now()
+	queued := j.started.Sub(j.created)
+	run := j.finished.Sub(j.started)
 	if err != nil {
 		j.status = StatusFailed
 		j.err = err
@@ -369,7 +440,27 @@ func (e *Engine) finishJob(j *Job, v *Verdict, err error) {
 		j.verdict = v
 	}
 	j.mu.Unlock()
+
+	// The terminal flight-recorder event, then seal the recorder so
+	// followers' live channels close; the ring itself is retained for
+	// replay until the job is evicted.
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		j.rec.Emit(stream.EventJobCancelled, map[string]any{"reason": "timeout"})
+	case errors.Is(err, context.Canceled):
+		j.rec.Emit(stream.EventJobCancelled, map[string]any{"reason": "cancelled"})
+	case err != nil:
+		j.rec.Emit(stream.EventJobFailed, map[string]any{"error": err.Error()})
+	default:
+		j.rec.Emit(stream.EventJobDone, map[string]any{
+			"verified": v.Verified, "cached": v.Cached, "elapsed_ms": v.ElapsedMs,
+		})
+	}
+	j.rec.Close()
+
 	close(j.done)
+	e.tr.ObserveBounds("service.job_queued_ms", durMs(queued), obs.LatencyMsBounds)
+	e.tr.ObserveBounds("service.job_run_ms", durMs(run), obs.LatencyMsBounds)
 	if err != nil {
 		e.tr.Add("service.jobs_failed", 1)
 		if e.log != nil {
@@ -379,10 +470,31 @@ func (e *Engine) finishJob(j *Job, v *Verdict, err error) {
 		e.tr.Add("service.jobs_done", 1)
 		if e.log != nil {
 			e.log.Info("job done", "job", j.ID, "check", j.Spec.Check,
-				"verified", v.Verified, "cached", v.Cached, "ms", v.ElapsedMs)
+				"verified", v.Verified, "cached", v.Cached, "ms", v.ElapsedMs,
+				"encode_ms", v.EncodeMs, "simplify_ms", v.SimplifyMs,
+				"solve_ms", v.SolveMs)
 		}
 	}
 	e.tr.Gauge("service.jobs_running", float64(e.running.Add(-1)))
+
+	e.mu.Lock()
+	e.finished = append(e.finished, j.ID)
+	e.evictLocked()
+	e.mu.Unlock()
+}
+
+// evictLocked drops the oldest finished jobs while the job map exceeds
+// MaxJobs. Only finished jobs are eligible, so a burst of queued work
+// may transiently hold the map above the bound. Called with e.mu held.
+func (e *Engine) evictLocked() {
+	for len(e.jobs) > e.maxJobs && len(e.finished) > 0 {
+		id := e.finished[0]
+		e.finished = e.finished[1:]
+		if _, ok := e.jobs[id]; ok {
+			delete(e.jobs, id)
+			e.tr.Add("service.jobs_evicted", 1)
+		}
+	}
 }
 
 func (e *Engine) runJob(j *Job) {
@@ -391,6 +503,7 @@ func (e *Engine) runJob(j *Job) {
 	j.started = time.Now()
 	j.mu.Unlock()
 	e.tr.Gauge("service.jobs_running", float64(e.running.Add(1)))
+	j.rec.Emit(stream.EventJobStarted, nil)
 
 	// Content-addressed fast path: an identical (network, property,
 	// environment-bound) query was already answered.
@@ -399,10 +512,12 @@ func (e *Engine) runJob(j *Job) {
 	e.mu.Unlock()
 	if hit != nil {
 		e.tr.Add("service.cache_hits", 1)
+		j.rec.Emit(stream.EventCacheHit, map[string]any{"key": j.key})
 		e.finishJob(j, hit.cachedCopy(j.ID), nil)
 		return
 	}
 	e.tr.Add("service.cache_misses", 1)
+	j.rec.Emit(stream.EventCacheMiss, map[string]any{"key": j.key})
 
 	ctx, cancel := context.WithTimeout(context.Background(), j.timeout)
 	defer cancel()
@@ -435,8 +550,9 @@ func (e *Engine) netEntryFor(key string) *netEntry {
 
 // build parses, graphs, encodes and opens the solver session for a
 // network. Called with ent.mu held, once per network; failures are
-// cached as permanent.
-func (e *Engine) build(ent *netEntry, configs map[string]string) error {
+// cached as permanent. sp parents the encode/compile/session spans, so
+// the building job's trace carries the network's one-time setup cost.
+func (e *Engine) build(ent *netEntry, configs map[string]string, sp *obs.Span) error {
 	names := make([]string, 0, len(configs))
 	for n := range configs {
 		names = append(names, n)
@@ -459,6 +575,7 @@ func (e *Engine) build(ent *netEntry, configs map[string]string) error {
 	opts.Certify = e.certify
 	opts.Blame = e.blame
 	opts.ProfileOrigins = e.profOrig
+	opts.Span = sp
 	m, err := core.Encode(g, opts)
 	if err != nil {
 		return fmt.Errorf("service: encode: %w", err)
@@ -473,6 +590,22 @@ func (e *Engine) build(ent *netEntry, configs map[string]string) error {
 		ent.g, ent.m = nil, nil
 		e.tr.Add("service.compile_reuse", 1)
 		return nil
+	}
+	if e.progressEvery > 0 {
+		// The hook is installed once per session and routes through the
+		// entry's current-recorder field, so every job checking on this
+		// session streams its own solver.progress events.
+		m.ProgressEvery = e.progressEvery
+		m.OnProgress = func(p sat.Progress) {
+			ent.curRec.Emit(stream.EventSolverProgress, map[string]any{
+				"conflicts":    p.Conflicts,
+				"decisions":    p.Decisions,
+				"propagations": p.Propagations,
+				"restarts":     p.Restarts,
+				"learned":      p.Learned,
+				"lbd_avg":      p.LBDAvg,
+			})
+		}
 	}
 	ent.sess = m.NewSession()
 	e.tr.Add("service.session_builds", 1)
@@ -492,15 +625,27 @@ func (e *Engine) registerCompile(hash string, ent *netEntry) *netEntry {
 	return nil
 }
 
-// check answers one cache-miss job on its network's session.
+// check answers one cache-miss job on its network's session. It records
+// the job's flight-recorder events — coarse phases and solver progress
+// live, the fine-grained span tree backfilled once the check returns —
+// and keeps the per-job span tree reachable via Job.Trace.
 func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
+	jtr := obs.New("job:" + j.ID)
+	j.setTrace(jtr)
+	defer jtr.Root().End()
+
 	ent := e.netEntryFor(j.netKey)
 	ent.mu.Lock()
 	if !ent.built {
 		ent.built = true
-		ent.err = e.build(ent, j.configs)
+		j.rec.Emit(stream.EventPhaseStart, map[string]any{"phase": "build"})
+		ent.err = e.build(ent, j.configs, jtr.Root())
+		j.rec.Emit(stream.EventPhaseEnd, map[string]any{
+			"phase": "build", "ok": ent.err == nil,
+		})
 	} else if ent.err == nil {
 		e.tr.Add("service.session_reuse", 1)
+		j.rec.Emit(stream.EventSessionReuse, nil)
 	}
 	if err := ent.err; err != nil {
 		ent.mu.Unlock()
@@ -514,13 +659,25 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 		ent.mu.Unlock()
 		ent = canon
 		ent.mu.Lock()
+		j.rec.Emit(stream.EventCompileReuse, nil)
 	}
 	defer ent.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
+	// Route this session's telemetry to the current job: the progress
+	// hook reads curRec and CheckContext reads m.Obs at check time, and
+	// both the swap and the check run with ent.mu held.
+	ent.curRec = j.rec
+	ent.m.Obs = jtr.Root()
+	defer func() { ent.curRec = nil }()
+
+	j.rec.Emit(stream.EventPhaseStart, map[string]any{"phase": "property"})
 	p, err := buildProperty(ent.m, ent.g, j.Spec)
+	j.rec.Emit(stream.EventPhaseEnd, map[string]any{
+		"phase": "property", "ok": err == nil,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -530,10 +687,13 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 	} else {
 		assumptions = append(assumptions, ent.m.NoFailures())
 	}
+	j.rec.Emit(stream.EventPhaseStart, map[string]any{"phase": "solve"})
 	res, err := ent.sess.CheckContext(ctx, p, assumptions...)
 	if err != nil {
+		j.rec.Emit(stream.EventPhaseEnd, map[string]any{"phase": "solve", "ok": false})
 		return nil, err
 	}
+	j.rec.Emit(stream.EventPhaseEnd, map[string]any{"phase": "solve", "ok": true})
 	core.RecordSolverMetrics(e.tr, res)
 	e.tr.Add("service.session_checks", 1)
 	e.tr.Add("service.session_shared_blasts", int64(ent.sess.SharedBlasts())-e.sharedBlastsSeen(ent.cn.Hash, ent.sess.SharedBlasts()))
@@ -542,7 +702,70 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 		j.profile = res.OriginProfile
 		j.mu.Unlock()
 	}
-	return newVerdict(j.ID, j.Spec, res, ent.m), nil
+	v := newVerdict(j.ID, j.Spec, res, ent.m)
+	e.emitCheckEvents(j, res, v)
+	jtr.Root().End()
+	emitSpans(j.rec, jtr)
+	return v, nil
+}
+
+// emitCheckEvents backfills the post-solve milestones onto the flight
+// recorder: per-pass simplification stats, proof certification, blame
+// extraction and the verdict itself.
+func (e *Engine) emitCheckEvents(j *Job, res *core.Result, v *Verdict) {
+	for _, ps := range res.PassStats {
+		j.rec.Emit(stream.EventPass, map[string]any{
+			"pass":          ps.Pass,
+			"asserts_after": ps.AssertsAfter,
+			"terms_after":   ps.TermsAfter,
+			"ms":            durMs(ps.Elapsed),
+		})
+	}
+	if v.Proof != nil {
+		j.rec.Emit(stream.EventCertify, map[string]any{
+			"checked": v.Proof.Checked,
+			"steps":   v.Proof.Steps,
+			"lemmas":  v.Proof.Lemmas,
+			"ms":      v.Proof.CheckMs,
+		})
+	}
+	if len(v.Blame) > 0 {
+		j.rec.Emit(stream.EventBlame, map[string]any{
+			"origins": len(v.Blame),
+		})
+	}
+	data := map[string]any{
+		"verified":   v.Verified,
+		"elapsed_ms": v.ElapsedMs,
+		"solve_ms":   v.SolveMs,
+	}
+	if v.Solver != nil {
+		data["conflicts"] = v.Solver.Conflicts
+		data["decisions"] = v.Solver.Decisions
+	}
+	j.rec.Emit(stream.EventVerdict, data)
+}
+
+// emitSpans backfills the finished span tree as "span" events, oldest
+// first, so post-hoc consumers of the event stream see the same phase
+// breakdown the timeline and Chrome trace carry.
+func emitSpans(rec *stream.Recorder, tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	base := tr.Root().StartTime()
+	tr.Root().Walk(func(sp *obs.Span, depth int) {
+		data := map[string]any{
+			"name":     sp.Name(),
+			"depth":    depth,
+			"start_ms": durMs(sp.StartTime().Sub(base)),
+			"dur_ms":   durMs(sp.Duration()),
+		}
+		for _, a := range sp.Attrs() {
+			data[a.Key] = a.Value()
+		}
+		rec.Emit(stream.EventSpan, data)
+	})
 }
 
 // sharedBlastsSeen tracks the per-session shared-blast count already

@@ -10,14 +10,20 @@ import (
 
 // NewHandler exposes the engine over HTTP:
 //
-//	POST /v1/verify            JSON Request → Verdict (synchronous)
-//	GET  /v1/jobs              all job views, newest first
-//	GET  /v1/jobs/{id}         one job view
-//	GET  /v1/jobs/{id}/profile the job's hot-constraint origin profile
-//	                           (JSON rows; ?format=collapsed for the
-//	                           flamegraph collapsed-stack text)
-//	GET  /metrics              Prometheus text exposition of the engine trace
-//	GET  /healthz              liveness + job counters
+//	POST /v1/verify             JSON Request → Verdict (synchronous)
+//	GET  /v1/jobs               all job views, newest first
+//	GET  /v1/jobs/{id}          one job view
+//	GET  /v1/jobs/{id}/profile  the job's hot-constraint origin profile
+//	                            (JSON rows; ?format=collapsed for the
+//	                            flamegraph collapsed-stack text)
+//	GET  /v1/jobs/{id}/events   the job's flight recorder as SSE: buffered
+//	                            replay then live follow; resumes from
+//	                            Last-Event-ID or ?after=N
+//	GET  /v1/jobs/{id}/timeline the buffered flight-recorder events as JSON
+//	GET  /v1/jobs/{id}/trace    the job's span tree as Chrome trace_event
+//	                            JSON (Perfetto / chrome://tracing)
+//	GET  /metrics               Prometheus text exposition of the engine trace
+//	GET  /healthz               liveness + job counters
 //
 // The mux uses Go 1.22 method/wildcard patterns, so the same handler
 // serves the daemon and httptest.
@@ -36,6 +42,10 @@ func NewHandler(e *Engine) http.Handler {
 			writeError(w, statusFor(err), err.Error())
 			return
 		}
+		AddLogExtra(r.Context(), "job", v.JobID, "check", v.Check,
+			"verified", v.Verified, "cached", v.Cached,
+			"encode_ms", v.EncodeMs, "simplify_ms", v.SimplifyMs,
+			"solve_ms", v.SolveMs)
 		writeJSON(w, http.StatusOK, v)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -68,6 +78,9 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, p)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", handleJobEvents(e))
+	mux.HandleFunc("GET /v1/jobs/{id}/timeline", handleJobTimeline(e))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", handleJobTrace(e))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		e.Trace().WritePrometheus(w)

@@ -1,0 +1,208 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs/stream"
+)
+
+// sseKeepalive is how often the events endpoint emits a comment line to
+// hold idle proxied connections open while a job makes no progress.
+const sseKeepalive = 15 * time.Second
+
+// handleJobEvents serves GET /v1/jobs/{id}/events: the job's flight
+// recorder as a Server-Sent Events stream. The buffered timeline is
+// replayed first, then live events follow until the job reaches a
+// terminal state or the client disconnects. Reconnecting clients resume
+// with the standard Last-Event-ID header (or ?after=N), receiving only
+// events past that sequence number.
+func handleJobEvents(e *Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			writeError(w, http.StatusInternalServerError, "streaming unsupported")
+			return
+		}
+		var after uint64
+		if s := r.Header.Get("Last-Event-ID"); s != "" {
+			after, _ = strconv.ParseUint(s, 10, 64)
+		}
+		if s := r.URL.Query().Get("after"); s != "" {
+			after, _ = strconv.ParseUint(s, 10, 64)
+		}
+		AddLogExtra(r.Context(), "job", j.ID, "sse_after", after)
+
+		rec := j.Recorder()
+		replay, live, cancel := rec.Subscribe(after, 256)
+		defer cancel()
+
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		if dropped := rec.Dropped(); dropped > 0 {
+			fmt.Fprintf(w, ": ring dropped %d oldest events\n\n", dropped)
+		}
+		for _, ev := range replay {
+			writeSSE(w, ev)
+		}
+		flusher.Flush()
+
+		keepalive := time.NewTicker(sseKeepalive)
+		defer keepalive.Stop()
+		for {
+			select {
+			case ev, ok := <-live:
+				if !ok {
+					// Terminal state: the recorder closed. The timeline's
+					// last event already said why.
+					fmt.Fprint(w, ": stream closed\n\n")
+					flusher.Flush()
+					return
+				}
+				writeSSE(w, ev)
+				flusher.Flush()
+			case <-keepalive.C:
+				fmt.Fprint(w, ": keepalive\n\n")
+				flusher.Flush()
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+// writeSSE renders one event in SSE wire format: the sequence number as
+// the event id (for Last-Event-ID resume), the type as the event name,
+// and the JSON body as data.
+func writeSSE(w http.ResponseWriter, ev stream.Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+}
+
+// Timeline is the JSON document of GET /v1/jobs/{id}/timeline: the
+// job's buffered flight-recorder events plus enough metadata to judge
+// their completeness.
+type Timeline struct {
+	JobID  string `json:"job_id"`
+	Status Status `json:"status"`
+	// Closed is true once the timeline is final (the job reached a
+	// terminal state).
+	Closed bool `json:"closed"`
+	// Dropped counts events the bounded ring overwrote; when non-zero
+	// the timeline is missing its oldest entries.
+	Dropped uint64         `json:"dropped"`
+	Events  []stream.Event `json:"events"`
+}
+
+// handleJobTimeline serves GET /v1/jobs/{id}/timeline: the flight
+// recorder's buffered events as one JSON document. Works for running,
+// finished, failed, timed-out and cancelled jobs alike — the recorder
+// is retained after the terminal event.
+func handleJobTimeline(e *Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		rec := j.Recorder()
+		events := rec.Events()
+		if events == nil {
+			events = []stream.Event{}
+		}
+		AddLogExtra(r.Context(), "job", j.ID, "events", len(events))
+		writeJSON(w, http.StatusOK, Timeline{
+			JobID:   j.ID,
+			Status:  j.Status(),
+			Closed:  rec.Closed(),
+			Dropped: rec.Dropped(),
+			Events:  events,
+		})
+	}
+}
+
+// handleJobTrace serves GET /v1/jobs/{id}/trace: the job's span tree as
+// Chrome trace_event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Available once the job's check has started; cache
+// hits have no trace, the solver never ran for them.
+func handleJobTrace(e *Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		tr := j.Trace()
+		if tr == nil {
+			writeError(w, http.StatusNotFound,
+				"no trace for this job (not started yet, or a cache hit)")
+			return
+		}
+		AddLogExtra(r.Context(), "job", j.ID)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", j.ID+".trace.json"))
+		tr.WriteChrome(w)
+	}
+}
+
+// LogExtras accumulates key/value pairs a handler wants on its request
+// log line. The logging middleware seeds one into the request context;
+// handlers append via AddLogExtra; the middleware reads the pairs back
+// after the handler returns. Safe for concurrent use.
+type LogExtras struct {
+	mu sync.Mutex
+	kv []any
+}
+
+// Add appends slog-style key/value pairs.
+func (x *LogExtras) Add(args ...any) {
+	if x == nil {
+		return
+	}
+	x.mu.Lock()
+	x.kv = append(x.kv, args...)
+	x.mu.Unlock()
+}
+
+// Pairs returns the accumulated pairs.
+func (x *LogExtras) Pairs() []any {
+	if x == nil {
+		return nil
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]any(nil), x.kv...)
+}
+
+type logExtrasKey struct{}
+
+// WithLogExtras seeds a LogExtras collector into ctx (middleware side).
+func WithLogExtras(ctx context.Context) (context.Context, *LogExtras) {
+	x := &LogExtras{}
+	return context.WithValue(ctx, logExtrasKey{}, x), x
+}
+
+// AddLogExtra appends slog pairs to the request's log line, when a
+// logging middleware installed a collector; otherwise it is a no-op.
+func AddLogExtra(ctx context.Context, args ...any) {
+	if x, ok := ctx.Value(logExtrasKey{}).(*LogExtras); ok {
+		x.Add(args...)
+	}
+}
