@@ -11,6 +11,8 @@
 //	bench -experiment fig7       [-count 152] [-seed 1]
 //	bench -experiment fig8       [-pods 2,4,6] [-props all] [-json-out BENCH_fig8.json] [-certify]
 //	bench -experiment fig8       -profile-origins [-profile-out BENCH_origins.folded]
+//	bench -experiment fig8       -tiers graph,sat   (answer rows through the graph fast path)
+//	bench -experiment tiered     [-pods 2,4] [-json-out BENCH_tiered.json]
 //	bench -experiment ablation   [-pods 4]
 //	bench -experiment service    [-pods 2] [-json-out BENCH_service.json]
 //	bench -experiment fuzz       [-iters 2] [-seed 1]
@@ -25,6 +27,13 @@
 // The service experiment measures the batch engine's amortization: the
 // same ≥10-property suite on one fabric, verified once with a fresh
 // solver per property and once over a single incremental session.
+//
+// The tiered experiment answers every Figure 8 row twice — once on the
+// sound graph fast path (internal/tiered), once on the SAT pipeline —
+// reports the fast path's hit rate and per-row speedup, and exits
+// nonzero if any definitive graph verdict disagrees with the solver.
+// Plain fig8 runs stay untiered unless -tiers graph,sat is passed, so
+// the committed BENCH_fig8.json baseline keeps measuring the solver.
 //
 // With -certify, fig8 records a DRAT proof trace per query and replays it
 // through the independent checker; the proof_steps/proof_lemmas/
@@ -67,6 +76,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/sat"
+	"repro/internal/tiered"
 )
 
 func main() {
@@ -80,6 +90,7 @@ func main() {
 		traceJSON  = flag.String("trace-json", "", "write the fig8/ablation span tree as JSON to this file")
 		progress   = flag.String("progress", "", "print solver progress to stderr every N conflicts")
 		passesFlag = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all; ablation pins its own)")
+		tiersFlag  = flag.String("tiers", "", "fig8: verification tiers (graph,sat enables the fast path; default: untiered, measuring the solver)")
 		certify    = flag.Bool("certify", false, "fig8: record DRAT proofs and check verified verdicts, adding the proof columns")
 		iters      = flag.Int("iters", 2, "fuzz: iterations per scenario family")
 		profOrig   = flag.Bool("profile-origins", false, "fig8: run every query twice to measure origin-attribution overhead and collect the per-origin hot-constraint profile")
@@ -107,6 +118,10 @@ func main() {
 		return
 	}
 	if err := core.ValidatePasses(*passesFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+	if err := tiered.ValidateTiers(*tiersFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(2)
 	}
@@ -158,7 +173,13 @@ func main() {
 	case "fig7":
 		err = runFig7(*count, *seed)
 	case "fig8":
-		err = runFig8(parseInts(*podsFlag), parseProps(*propsFlag), *jsonOut, tr, every, *passesFlag, *certify, *profOrig, *profOut)
+		err = runFig8(parseInts(*podsFlag), parseProps(*propsFlag), *jsonOut, tr, every, *passesFlag, *tiersFlag, *certify, *profOrig, *profOut)
+	case "tiered":
+		out := *jsonOut
+		if out == "BENCH_fig8.json" {
+			out = "BENCH_tiered.json"
+		}
+		err = runTiered(parseInts(*podsFlag), parseProps(*propsFlag), out, *passesFlag)
 	case "ablation":
 		ks := parseInts(*podsFlag)
 		if len(ks) == 0 {
@@ -178,7 +199,7 @@ func main() {
 	case "fuzz":
 		err = runFuzz(*iters, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|ablation|service|fuzz")
+		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|tiered|ablation|service|fuzz")
 		os.Exit(2)
 	}
 	if err == nil && tr != nil {
@@ -321,13 +342,19 @@ type fig8JSON struct {
 	// and its overhead relative to the plain solve, in percent.
 	TrackedSolveMs    float64 `json:"tracked_solve_ms,omitempty"`
 	OriginOverheadPct float64 `json:"origin_overhead_pct,omitempty"`
+	// Tier names which verification tier answered the row: "sat" (the
+	// solver — always the case without -tiers) or "graph" (the sound
+	// fast path decided it and no SAT model was built). FastPathMs is
+	// the graph attempt's cost, present only on tiered runs.
+	Tier       string  `json:"tier,omitempty"`
+	FastPathMs float64 `json:"fastpath_ms,omitempty"`
 }
 
 // runFig8 reproduces Figure 8: verification time per property per fabric
 // size.
-func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every int64, passes string, certify, profOrig bool, profOut string) error {
+func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every int64, passes, tiers string, certify, profOrig bool, profOut string) error {
 	fmt.Println("# Figure 8: verification time (ms) per property and fabric size")
-	fmt.Println("pods\trouters\tproperty\tms\tencode_ms\tsimplify_ms\tsolve_ms\tverified\tsat_vars\tsat_clauses\tconflicts\tproof_steps\tproof_lemmas\tproof_check_ms")
+	fmt.Println("pods\trouters\tproperty\ttier\tms\tencode_ms\tsimplify_ms\tsolve_ms\tfastpath_ms\tverified\tsat_vars\tsat_clauses\tconflicts\tproof_steps\tproof_lemmas\tproof_check_ms")
 	var art []fig8JSON
 	var profiles []*provenance.Profile
 	var baseSolve, trackedSolve time.Duration
@@ -337,6 +364,7 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 			return err
 		}
 		f.Passes = passes
+		f.Tiers = tiers
 		f.Certify = certify
 		var podSp *obs.Span
 		if tr != nil {
@@ -355,9 +383,17 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 			toMs := func(d interface{ Microseconds() int64 }) float64 {
 				return float64(d.Microseconds()) / 1000
 			}
-			fmt.Printf("%d\t%d\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%v\t%d\t%d\t%d\t%d\t%d\t%.1f\n",
-				row.Pods, row.Routers, row.Property,
+			// Untiered runs never consult the fast path, but the solver
+			// still answered the row — name the tier explicitly so the
+			// artifact is self-describing either way.
+			tier := row.Tier
+			if tier == "" {
+				tier = tiered.TierSAT
+			}
+			fmt.Printf("%d\t%d\t%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%v\t%d\t%d\t%d\t%d\t%d\t%.1f\n",
+				row.Pods, row.Routers, row.Property, tier,
 				toMs(row.Elapsed), toMs(row.Encode), toMs(row.Simplify), toMs(row.Solve),
+				toMs(row.FastPath),
 				row.Verified, row.SATVars, row.SATClauses, row.Conflicts,
 				row.ProofSteps, row.ProofLemmas, toMs(row.ProofCheck))
 			jrow := fig8JSON{
@@ -368,6 +404,7 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 				SATClauses: row.SATClauses, Conflicts: row.Conflicts,
 				ProofSteps: row.ProofSteps, ProofLemmas: row.ProofLemmas,
 				ProofCheckMs: toMs(row.ProofCheck),
+				Tier:         tier, FastPathMs: toMs(row.FastPath),
 			}
 			if profOrig && prop != harness.Fig8LocalConsist {
 				// Rerun with attribution on: the delta on solve time is the
@@ -418,6 +455,112 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 			}
 			fmt.Fprintf(os.Stderr, "bench: wrote %s (%d origins)\n", profOut, len(merged.Rows))
 		}
+	}
+	if jsonOut == "" {
+		return nil
+	}
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d rows)\n", jsonOut, len(art))
+	return nil
+}
+
+// tieredJSON is one row of the BENCH_tiered.json artifact: the graph
+// fast path and the SAT pipeline answering the same Figure 8 query.
+type tieredJSON struct {
+	Pods     int    `json:"pods"`
+	Routers  int    `json:"routers"`
+	Property string `json:"property"`
+	// Tier is "graph" when the fast path decided the row, "sat" when it
+	// returned residue and the solver answered.
+	Tier     string  `json:"tier"`
+	Reason   string  `json:"reason,omitempty"`
+	GraphMs  float64 `json:"graph_ms"`
+	SatMs    float64 `json:"sat_ms"`
+	Speedup  float64 `json:"speedup,omitempty"`
+	Verified bool    `json:"verified"`
+	Agree    bool    `json:"agree"`
+}
+
+// runTiered answers every Figure 8 row twice — once on the sound graph
+// fast path, once on the untiered SAT pipeline — and reports hit rate,
+// per-row speedup, and verdict agreement. Any definitive graph verdict
+// that disagrees with the solver is a soundness bug: the sweep fails.
+func runTiered(pods []int, props []string, jsonOut, passes string) error {
+	fmt.Println("# tiered sweep: graph fast path vs SAT pipeline per Figure 8 row")
+	fmt.Println("pods\trouters\tproperty\ttier\treason\tgraph_ms\tsat_ms\tspeedup\tverified\tagree")
+	var art []tieredJSON
+	hits, covered := 0, 0
+	var graphTotal, satTotal float64
+	for _, k := range pods {
+		f, err := harness.BuildFabric(k)
+		if err != nil {
+			return err
+		}
+		f.Passes = passes
+		// f.Tiers stays empty: RunFig8Property below measures the pure
+		// SAT pipeline, the fast path is timed separately here.
+		for _, prop := range props {
+			goal, ok := harness.Fig8Goal(f, prop)
+			if !ok {
+				// No graph-tier translation for this property class
+				// (local-consistency); skip rather than report a row
+				// the fast path never sees.
+				continue
+			}
+			start := time.Now()
+			out := f.Analysis().Decide(goal)
+			graphMs := float64(time.Since(start).Microseconds()) / 1000
+			satRow, err := harness.RunFig8Property(f, prop)
+			if err != nil {
+				return err
+			}
+			satMs := float64(satRow.Elapsed.Microseconds()) / 1000
+			jrow := tieredJSON{
+				Pods: satRow.Pods, Routers: satRow.Routers, Property: prop,
+				Tier: tiered.TierSAT, Reason: out.Reason,
+				GraphMs: graphMs, SatMs: satMs,
+				Verified: satRow.Verified, Agree: true,
+			}
+			covered++
+			if out.Decided {
+				hits++
+				jrow.Tier = tiered.TierGraph
+				jrow.Agree = out.Verified == satRow.Verified
+				if graphMs > 0 {
+					jrow.Speedup = satMs / graphMs
+				}
+				graphTotal += graphMs
+				satTotal += satMs
+			}
+			fmt.Printf("%d\t%d\t%s\t%s\t%s\t%.2f\t%.1f\t%.1f\t%v\t%v\n",
+				jrow.Pods, jrow.Routers, jrow.Property, jrow.Tier, jrow.Reason,
+				jrow.GraphMs, jrow.SatMs, jrow.Speedup, jrow.Verified, jrow.Agree)
+			if !jrow.Agree {
+				return fmt.Errorf("tier disagreement on pods=%d %s: graph says verified=%v, sat says verified=%v",
+					k, prop, out.Verified, satRow.Verified)
+			}
+			art = append(art, jrow)
+		}
+	}
+	if covered > 0 {
+		fmt.Printf("# fast-path hit rate: %d/%d rows (%.0f%%)\n",
+			hits, covered, 100*float64(hits)/float64(covered))
+	}
+	if hits > 0 && graphTotal > 0 {
+		fmt.Printf("# aggregate speedup on hit rows: %.0fx (%.2fms graph vs %.1fms sat)\n",
+			satTotal/graphTotal, graphTotal, satTotal)
 	}
 	if jsonOut == "" {
 		return nil

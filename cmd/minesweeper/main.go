@@ -46,6 +46,16 @@
 //	                  constraints fixing the counterexample's forwarding
 //	                  decisions. Implies proof logging (-certify's machinery)
 //	                  on verified verdicts.
+//
+// Tiers:
+//
+//	-tiers graph,sat  (default) tries the sound graph fast path before
+//	                  building the SAT model: goals the conservative
+//	                  over-/under-approximations can answer definitively
+//	                  skip encoding and solving entirely, everything else
+//	                  falls through to the solver unchanged. -tiers none
+//	                  (or sat) disables the fast path. The verdict reports
+//	                  which tier answered ("tier" in -json output).
 package main
 
 import (
@@ -67,6 +77,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/sat"
 	"repro/internal/smt"
+	"repro/internal/tiered"
 )
 
 // cliOpts carries the parsed command line through run.
@@ -77,6 +88,7 @@ type cliOpts struct {
 	blame                              bool
 	traceJSON, traceChrome, promOut    string
 	passes                             string
+	tiers                              string
 	progressEvery                      int64
 }
 
@@ -98,6 +110,7 @@ func main() {
 	flag.StringVar(&o.traceChrome, "trace-chrome", "", "write the span tree as Chrome trace_event JSON to this file (open in Perfetto or chrome://tracing)")
 	flag.StringVar(&o.promOut, "prom", "", "write the metrics in Prometheus text format to this file")
 	flag.StringVar(&o.passes, "passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
+	flag.StringVar(&o.tiers, "tiers", "", "verification tiers: graph,sat (default; sound graph fast path, residue to the solver), or sat/none to disable the fast path")
 	flag.BoolVar(&o.certify, "certify", false, "record a DRAT proof trace and check verified verdicts with the independent checker")
 	flag.BoolVar(&o.blame, "blame", false, "report the configuration origins the verdict depends on (UNSAT core origins, or the counterexample's forwarding origins)")
 	flag.Int64Var(&o.progressEvery, "progress", 0, "print solver progress to stderr every N conflicts")
@@ -145,6 +158,10 @@ func run(o cliOpts) error {
 	if err := core.ValidatePasses(o.passes); err != nil {
 		return err
 	}
+	if err := tiered.ValidateTiers(o.tiers); err != nil {
+		return err
+	}
+	opts.Tiers = o.tiers
 	opts.Certify = o.certify
 	opts.Blame = o.blame
 	opts.Span = tr.Root()
@@ -205,6 +222,31 @@ func run(o cliOpts) error {
 		}
 		report(o.check, res, nil, o.verbose)
 		return finish(tr, o)
+	}
+
+	// Graph fast path: goals the tier can answer definitively never build
+	// the SAT model at all; residue falls through to the solver below.
+	var fastElapsed time.Duration
+	var fastTried bool
+	if tiered.Enabled(o.tiers) {
+		if goal, ok := tierGoal(o); ok {
+			fastTried = true
+			sp = tr.Root().Start("fastpath")
+			a := tiered.NewAnalysis(g)
+			start := time.Now()
+			out := a.Decide(goal)
+			fastElapsed = time.Since(start)
+			sp.SetStr("reason", out.Reason)
+			sp.End()
+			if out.Decided {
+				res := tiered.Synthesize(out, fastElapsed, o.blame)
+				if o.jsonOut {
+					return emitJSONResult(o, res, nil, tr)
+				}
+				report(o.check, res, nil, o.verbose)
+				return finish(tr, o)
+			}
+		}
 	}
 
 	m, err := core.Encode(g, opts)
@@ -296,6 +338,10 @@ func run(o cliOpts) error {
 	if err != nil {
 		return err
 	}
+	if fastTried {
+		res.Tier = tiered.TierSAT
+		res.FastPathElapsed = fastElapsed
+	}
 	core.RecordSolverMetrics(tr, res)
 	if o.jsonOut {
 		return emitJSONResult(o, res, m, tr)
@@ -316,6 +362,43 @@ func run(o cliOpts) error {
 		}
 	}
 	return finish(tr, o)
+}
+
+// tierGoal translates the CLI flags into the graph tier's goal
+// vocabulary. ok=false — missing or unparsable parameters, or a check the
+// tier does not model — sends the query straight to the SAT path, whose
+// own validation reports the proper usage error.
+func tierGoal(o cliOpts) (tiered.Goal, bool) {
+	g := tiered.Goal{
+		Check:       o.check,
+		Src:         o.src,
+		Via:         o.via,
+		Hops:        o.hops,
+		MaxLen:      o.maxLen,
+		MaxFailures: o.maxFailures,
+	}
+	switch o.check {
+	case "reachability", "isolation", "bounded-length":
+		if o.src == "" || o.subnet == "" {
+			return tiered.Goal{}, false
+		}
+	case "waypoint":
+		if o.src == "" || o.via == "" || o.subnet == "" {
+			return tiered.Goal{}, false
+		}
+	case "mgmt-reachability", "blackholes", "multipath-consistency", "loops", "no-leak":
+	default:
+		return tiered.Goal{}, false
+	}
+	if o.subnet != "" {
+		sub, err := network.ParsePrefix(o.subnet)
+		if err != nil {
+			return tiered.Goal{}, false
+		}
+		g.Subnet = sub
+		g.HasSubnet = true
+	}
+	return g, true
 }
 
 // finish closes the root span and writes the requested exports.
@@ -367,8 +450,12 @@ func finish(tr *obs.Trace, o cliOpts) error {
 // jsonReport is the -json verdict object: everything the text output
 // says, as one machine-readable value on stdout.
 type jsonReport struct {
-	Check          string     `json:"check"`
-	Verified       bool       `json:"verified"`
+	Check    string `json:"check"`
+	Verified bool   `json:"verified"`
+	// Tier names the verification tier that answered: "graph" for the
+	// fast path, "sat" for solver fall-through, absent with -tiers none.
+	Tier           string     `json:"tier,omitempty"`
+	FastPathMs     float64    `json:"fastpath_ms,omitempty"`
 	ElapsedMs      float64    `json:"elapsed_ms"`
 	EncodeMs       float64    `json:"encode_ms,omitempty"`
 	SimplifyMs     float64    `json:"simplify_ms,omitempty"`
@@ -434,6 +521,8 @@ func emitJSONResult(o cliOpts, res *core.Result, m *core.Model, tr *obs.Trace) e
 	rep := jsonReport{
 		Check:      o.check,
 		Verified:   res.Verified,
+		Tier:       res.Tier,
+		FastPathMs: durMs(res.FastPathElapsed),
 		ElapsedMs:  durMs(res.Elapsed),
 		EncodeMs:   durMs(res.EncodeElapsed),
 		SimplifyMs: durMs(res.SimplifyElapsed),
@@ -449,6 +538,10 @@ func emitJSONResult(o cliOpts, res *core.Result, m *core.Model, tr *obs.Trace) e
 			Learned:      res.Stats.Learned,
 			Restarts:     res.Stats.Restarts,
 		},
+	}
+	if res.Tier == tiered.TierGraph {
+		// The solver never ran: drop the all-zero CDCL stats block.
+		rep.Solver = nil
 	}
 	if cert := res.Certificate; cert != nil {
 		rep.Proof = &jsonProof{
@@ -513,6 +606,12 @@ func emitJSON(rep jsonReport) error {
 
 func report(check string, res *core.Result, m *core.Model, verbose bool) {
 	fmt.Println(properties.Describe(check, res))
+	switch res.Tier {
+	case tiered.TierGraph:
+		fmt.Printf("tier: graph fast path (%.2fms, no SAT model built)\n", durMs(res.FastPathElapsed))
+	case tiered.TierSAT:
+		fmt.Printf("tier: sat (fast-path residue after %.2fms)\n", durMs(res.FastPathElapsed))
+	}
 	if cert := res.Certificate; cert != nil {
 		fmt.Printf("proof: checked (%d steps, %d lemmas, %d deletions, %.1fms check)\n",
 			cert.Steps, cert.Lemmas, cert.Deletions, durMs(cert.CheckElapsed))

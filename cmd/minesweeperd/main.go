@@ -62,6 +62,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/tiered"
 )
 
 func main() {
@@ -72,6 +73,7 @@ func main() {
 		queue     = flag.Int("queue", 64, "maximum queued jobs before 429s")
 		timeout   = flag.Duration("timeout", 120*time.Second, "default per-job deadline")
 		passes    = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
+		tiers     = flag.String("tiers", "", "verification tiers: graph,sat (default; sound graph fast path, residue to the solver), or sat/none to disable the fast path")
 		certify   = flag.Bool("certify", false, "record DRAT proof traces and check verified verdicts with the independent checker")
 		blame     = flag.Bool("blame", false, "report the configuration origins each verdict depends on (implies proof logging)")
 		profOrig  = flag.Bool("profile-origins", false, "keep per-origin solver counters and serve each job's hot-constraint profile")
@@ -84,12 +86,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "minesweeperd:", err)
 		os.Exit(2)
 	}
+	if err := tiered.ValidateTiers(*tiers); err != nil {
+		fmt.Fprintln(os.Stderr, "minesweeperd:", err)
+		os.Exit(2)
+	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	opts := service.Options{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		Timeout:        *timeout,
 		Passes:         *passes,
+		Tiers:          *tiers,
 		Certify:        *certify,
 		Blame:          *blame,
 		ProfileOrigins: *profOrig,
@@ -120,7 +127,8 @@ func run(logger *slog.Logger, listen, debugAddr string, opts service.Options) er
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("listening", "addr", listen, "workers", opts.Workers,
-		"timeout", opts.Timeout, "certify", opts.Certify, "blame", opts.Blame,
+		"timeout", opts.Timeout, "tiers", tiersLabel(opts.Tiers),
+		"certify", opts.Certify, "blame", opts.Blame,
 		"profile_origins", opts.ProfileOrigins, "max_jobs", opts.MaxJobs,
 		"progress_every", opts.ProgressEvery)
 
@@ -154,6 +162,15 @@ func run(logger *slog.Logger, listen, debugAddr string, opts service.Options) er
 		return err
 	}
 	return nil
+}
+
+// tiersLabel names the effective tier configuration for the startup log
+// line (the empty flag value means the default, graph,sat).
+func tiersLabel(s string) string {
+	if tiered.Enabled(s) {
+		return "graph,sat"
+	}
+	return "sat"
 }
 
 // newDebugMux serves net/http/pprof on an explicit mux (rather than the

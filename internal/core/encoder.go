@@ -68,6 +68,15 @@ type Options struct {
 	// inherits it as Model.Obs). A nil span disables tracing at zero
 	// cost.
 	Span *obs.Span
+
+	// Tiers selects the verification tiers attempted by callers that
+	// orchestrate the graph fast path (internal/tiered) in front of the
+	// solver: "graph,sat" (default when empty), "graph", "sat" or
+	// "none". The encoder itself ignores the field — the tier runs at
+	// the property boundary, where goals are still structured — but it
+	// lives here so every entry point (service, CLI, harness) threads
+	// one configuration object.
+	Tiers string
 }
 
 // DefaultOptions enables all optimizations.

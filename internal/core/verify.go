@@ -78,6 +78,16 @@ type Result struct {
 	// work (conflicts, propagations, learned clauses, LBD mass)
 	// attributed per config origin, hottest first.
 	OriginProfile *provenance.Profile
+
+	// Tier records which verification tier produced the verdict when a
+	// tiered orchestrator (internal/tiered) ran the query: "graph" for
+	// the fast path, "sat" for solver fall-through, "" when no tiering
+	// was in play (today's plain Check calls).
+	Tier string
+	// FastPathElapsed is the graph tier's classification time — the cost
+	// of the fast-path verdict, or the overhead added before falling
+	// through to the solver.
+	FastPathElapsed time.Duration
 }
 
 // Certificate summarizes a checked UNSAT proof.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/properties"
 	"repro/internal/service"
 	"repro/internal/smt"
+	"repro/internal/tiered"
 )
 
 // The regression corpus under testdata/regressions holds minimized fuzz
@@ -275,7 +276,9 @@ func (cs *CorpusScenario) Verify(rng *rand.Rand, simIters int) error {
 	}
 
 	// Path 3: the service engine (its own property builder and session).
-	eng := service.NewEngine(service.Options{Workers: 1, Certify: true})
+	// Tiers off so this path pins the solver; the graph fast path is
+	// replayed separately below.
+	eng := service.NewEngine(service.Options{Workers: 1, Certify: true, Tiers: "none"})
 	defer eng.Close()
 	for i, ck := range cs.Checks {
 		v, err := eng.Verify(context.Background(), &service.Request{
@@ -297,10 +300,51 @@ func (cs *CorpusScenario) Verify(rng *rand.Rand, simIters int) error {
 		}
 	}
 
+	// Path 4: the graph fast path. It may return residue on any check,
+	// but every verdict it claims to decide must reproduce the pinned
+	// SAT verdict — the corpus doubles as the tier's soundness suite.
+	a := tiered.NewAnalysis(cs.Net.Graph)
+	for i, ck := range cs.Checks {
+		goal, ok := GoalFor(ck)
+		if !ok {
+			continue
+		}
+		out := a.Decide(goal)
+		if out.Decided && out.Verified != ck.Expect {
+			return fmt.Errorf("%s: graph-tier check %d (%s src=%s subnet=%s): decided verified=%v (reason %s), want %v",
+				cs.Path, i, ck.Check, ck.Src, ck.Subnet, out.Verified, out.Reason, ck.Expect)
+		}
+	}
+
 	if cs.SimSafe && simIters > 0 {
 		if err := cs.DiffVsSim(rng, simIters); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// GoalFor translates a corpus check into the graph tier's goal
+// vocabulary; ok=false when the check class has no tier translation.
+func GoalFor(ck CorpusCheck) (tiered.Goal, bool) {
+	switch ck.Check {
+	case "reachability", "isolation", "mgmt-reachability", "blackholes",
+		"multipath-consistency", "loops", "bounded-length", "waypoint", "no-leak":
+	default:
+		return tiered.Goal{}, false
+	}
+	g := tiered.Goal{Check: ck.Check, Src: ck.Src, Via: ck.Via,
+		Hops: ck.Hops, MaxFailures: ck.MaxFailures}
+	if g.Check == "bounded-length" && g.Hops == 0 {
+		g.Hops = service.DefaultHops
+	}
+	if ck.Subnet != "" {
+		sub, err := network.ParsePrefix(ck.Subnet)
+		if err != nil {
+			return tiered.Goal{}, false
+		}
+		g.Subnet = sub
+		g.HasSubnet = true
+	}
+	return g, true
 }

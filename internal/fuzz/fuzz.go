@@ -1,7 +1,7 @@
 // Package fuzz is the cross-layer differential fuzzing subsystem: it
 // derives small random networks from fuzz seeds (canonical fixtures from
 // internal/testnets plus generated topologies from internal/netgen) and
-// checks every verdict with three independent oracle families:
+// checks every verdict with four independent oracle families:
 //
 //  1. differential — the symbolic encoder pinned to a concrete
 //     environment must agree with internal/simulator's stable state,
@@ -13,7 +13,11 @@
 //  3. certification — every encode runs with Options.Certify, so any
 //     UNSAT verdict reached along the way carries a DRAT trace validated
 //     by the independent checker in internal/sat/drat; a rejected
-//     certificate surfaces as a check error.
+//     certificate surfaces as a check error;
+//  4. tiered parity — the sound graph fast path (internal/tiered)
+//     answers the same checks independently of the solver, and every
+//     verdict it claims to decide must match the SAT verdict
+//     (Scenario.TierParity).
 //
 // The same oracles back the native Go fuzz targets in this package, the
 // checked-in regression corpus under testdata/regressions, and cmd/bench's

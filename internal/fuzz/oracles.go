@@ -10,6 +10,8 @@ import (
 	"repro/internal/network"
 	"repro/internal/properties"
 	"repro/internal/service"
+	"repro/internal/smt"
+	"repro/internal/tiered"
 )
 
 // certifyOptions is the option set every fuzz encode uses: the chosen
@@ -178,7 +180,10 @@ func (s *Scenario) PathParity(rng *rand.Rand) error {
 		}
 	}
 
-	eng := service.NewEngine(service.Options{Workers: 1, Certify: true})
+	// Tiers off: this oracle compares the three SAT execution paths, so
+	// the engine must actually run the solver (the graph fast path is
+	// covered by TierParity and carries no DRAT certificate).
+	eng := service.NewEngine(service.Options{Workers: 1, Certify: true, Tiers: "none"})
 	defer eng.Close()
 	v, err := eng.Verify(context.Background(), &service.Request{
 		Configs: s.configs(),
@@ -295,9 +300,72 @@ func (s *Scenario) rename(src string) (*Scenario, string, error) {
 	return renamed, nn, nil
 }
 
+// TierParity is the tiered-verification oracle: the sound graph fast
+// path (internal/tiered) and the SAT pipeline answer the same checks
+// independently. The fast path may always return residue, but any check
+// it claims to decide must carry the solver's verdict — a definitive
+// disagreement is a soundness bug in the graph tier.
+func (s *Scenario) TierParity(rng *rand.Rand) error {
+	a := tiered.NewAnalysis(s.Net.Graph)
+	m, err := s.Encode("")
+	if err != nil {
+		return err
+	}
+	q := s.pickQuery(rng)
+	satVerdict := func(check string) (bool, error) {
+		var prop *smt.Term
+		assum := m.NoFailures()
+		switch check {
+		case "reachability":
+			prop = properties.Reachable(m, q.src, q.sub)
+			if q.maxFail > 0 {
+				assum = m.AtMostFailures(q.maxFail)
+			}
+		case "loops":
+			prop = properties.NoForwardingLoops(m, nil)
+		case "blackholes":
+			prop = properties.NoBlackholes(m)
+		case "multipath-consistency":
+			prop = properties.MultipathConsistent(m)
+		case "mgmt-reachability":
+			prop = properties.ManagementReachable(m)
+		default:
+			return false, fmt.Errorf("no SAT form for check %q", check)
+		}
+		res, err := m.Check(prop, assum)
+		if err != nil {
+			return false, err
+		}
+		return res.Verified, nil
+	}
+	goals := []tiered.Goal{
+		{Check: "reachability", Src: q.src, Subnet: q.sub, HasSubnet: true, MaxFailures: q.maxFail},
+		{Check: "loops"},
+		{Check: "blackholes"},
+		{Check: "multipath-consistency"},
+		{Check: "mgmt-reachability"},
+	}
+	for _, goal := range goals {
+		out := a.Decide(goal)
+		if !out.Decided {
+			continue
+		}
+		want, err := satVerdict(goal.Check)
+		if err != nil {
+			return fmt.Errorf("fuzz: %s: %s: sat check: %w", s.Name, goal.Check, err)
+		}
+		if out.Verified != want {
+			return fmt.Errorf("fuzz: %s: tier disagreement on %s (src=%s dst=%v maxFail=%d): graph=%v (reason %s) sat=%v",
+				s.Name, goal.Check, q.src, q.sub, q.maxFail, out.Verified, out.Reason, want)
+		}
+	}
+	return nil
+}
+
 // CheckAll runs every oracle valid for the scenario: the differential
-// oracle (SimSafe scenarios only) plus the three metamorphic oracles.
-// Certification runs implicitly in all of them.
+// oracle (SimSafe scenarios only) plus the three metamorphic oracles and
+// the tiered-verification parity oracle. Certification runs implicitly
+// in the SAT-based ones.
 func (s *Scenario) CheckAll(rng *rand.Rand, simIters int) error {
 	if s.SimSafe {
 		if err := s.DiffVsSim(rng, simIters); err != nil {
@@ -310,5 +378,8 @@ func (s *Scenario) CheckAll(rng *rand.Rand, simIters int) error {
 	if err := s.PathParity(rng); err != nil {
 		return err
 	}
-	return s.RenamingParity(rng)
+	if err := s.RenamingParity(rng); err != nil {
+		return err
+	}
+	return s.TierParity(rng)
 }

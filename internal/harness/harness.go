@@ -18,6 +18,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/sat"
 	"repro/internal/smt"
+	"repro/internal/tiered"
 	"repro/internal/topogen"
 )
 
@@ -244,17 +245,24 @@ func AllFig8Props() []string {
 type Fig8Row struct {
 	Pods, Routers int
 	Property      string
-	Elapsed       time.Duration
-	Encode        time.Duration
-	Simplify      time.Duration
-	Solve         time.Duration
-	Verified      bool
-	SATVars       int
-	SATClauses    int
-	Conflicts     int64
-	ProofSteps    int
-	ProofLemmas   int
-	ProofCheck    time.Duration
+	// Tier names the verification tier that answered the row: "graph"
+	// for the fast path, "sat" for the solver (including fast-path
+	// residue), "" when the fabric ran untiered.
+	Tier string
+	// FastPath is the graph tier's classification time (the whole row
+	// cost on a hit, overhead on residue; zero untiered).
+	FastPath    time.Duration
+	Elapsed     time.Duration
+	Encode      time.Duration
+	Simplify    time.Duration
+	Solve       time.Duration
+	Verified    bool
+	SATVars     int
+	SATClauses  int
+	Conflicts   int64
+	ProofSteps  int
+	ProofLemmas int
+	ProofCheck  time.Duration
 	// Profile is the per-origin hot-constraint profile, populated only
 	// when the fabric runs with ProfileOrigins.
 	Profile *provenance.Profile
@@ -272,6 +280,17 @@ type Fabric struct {
 	// every encode that does not already pin Options.Passes (the cmd
 	// -passes flag lands here).
 	Passes string
+
+	// Tiers enables the graph fast path for Fig8 rows when
+	// tiered.Enabled(Tiers) holds (the cmd -tiers flag lands here; the
+	// zero value here means OFF so existing callers measure the solver
+	// unchanged — pass "graph,sat" to opt in).
+	Tiers string
+
+	// analysis is the lazily built fast-path analysis shared by every
+	// row of a tiered run. Not synchronized: a Fabric is driven by one
+	// goroutine at a time.
+	analysis *tiered.Analysis
 
 	// Certify turns on DRAT proof recording for every encode: verified
 	// verdicts carry an independently checked certificate and the Fig8Row
@@ -306,6 +325,57 @@ func (f *Fabric) encode(opts core.Options) (*core.Model, error) {
 	m.ProgressEvery = f.ProgressEvery
 	m.OnProgress = f.OnProgress
 	return m, nil
+}
+
+// tiersOn reports whether Fig8 rows should attempt the graph fast path.
+// Unlike the CLI flags — where empty means the default, tiers on — the
+// empty Fabric field keeps existing benchmark callers untiered.
+func (f *Fabric) tiersOn() bool { return f.Tiers != "" && tiered.Enabled(f.Tiers) }
+
+// Analysis returns the fabric's fast-path analysis, building it on first
+// use (cached: one analysis serves every row and sweep on the fabric).
+func (f *Fabric) Analysis() *tiered.Analysis {
+	if f.analysis == nil {
+		f.analysis = tiered.NewAnalysis(f.G)
+	}
+	return f.analysis
+}
+
+// Fig8Goal translates a Figure 8 property into the graph tier's goal
+// vocabulary (ok=false for local-consistency, which the tier does not
+// model). Shared by RunFig8Property and the tiered-sweep experiment so
+// both answer exactly the query the SAT row answers.
+func Fig8Goal(f *Fabric, prop string) (tiered.Goal, bool) {
+	k := f.FT.K
+	dst := topogen.ToRSubnet(0, 0)
+	destToR := topogen.ToRName(0, 0)
+	farToR := topogen.ToRName(k-1, 0)
+	var others []string
+	for _, t := range f.FT.AllToRs() {
+		if t != destToR {
+			others = append(others, t)
+		}
+	}
+	goal := tiered.Goal{Subnet: dst, HasSubnet: true}
+	switch prop {
+	case Fig8NoBlackholes:
+		return tiered.Goal{Check: "blackholes"}, true
+	case Fig8Multipath:
+		return tiered.Goal{Check: "multipath-consistency"}, true
+	case Fig8ReachSingle:
+		goal.Check, goal.Src = "reachability", farToR
+	case Fig8ReachAll:
+		goal.Check, goal.Srcs = "reachability-all", others
+	case Fig8BoundedSingle:
+		goal.Check, goal.Src, goal.Hops = "bounded-length", farToR, 4
+	case Fig8BoundedAll:
+		goal.Check, goal.Srcs, goal.Hops = "bounded-length-all", others, 4
+	case Fig8EqualLengthPod:
+		goal.Check, goal.Srcs = "equal-lengths", f.FT.ToRs[k-1]
+	default:
+		return tiered.Goal{}, false
+	}
+	return goal, true
 }
 
 // BuildFabric generates a k-pod fabric.
@@ -360,6 +430,25 @@ func RunFig8Property(f *Fabric, prop string) (*Fig8Row, error) {
 		}
 		row.Elapsed = time.Since(start)
 		return row, nil
+	}
+
+	// Graph fast path: a decided goal costs one analysis pass instead of
+	// an encode + solve; residue rows pay the classification as overhead
+	// and fall through to the solver unchanged.
+	if f.tiersOn() {
+		if goal, ok := Fig8Goal(f, prop); ok {
+			a := f.Analysis()
+			start := time.Now()
+			out := a.Decide(goal)
+			row.FastPath = time.Since(start)
+			if out.Decided {
+				row.Tier = tiered.TierGraph
+				row.Elapsed = row.FastPath
+				row.Verified = out.Verified
+				return row, nil
+			}
+			row.Tier = tiered.TierSAT
+		}
 	}
 
 	m, err := f.encode(core.DefaultOptions())

@@ -58,6 +58,48 @@ func TestFig8SmallFabric(t *testing.T) {
 	}
 }
 
+func TestFig8TieredParity(t *testing.T) {
+	// Two fabrics over the same pod count: one untiered (pure SAT), one
+	// with the graph fast path on. Every row the fast path decides must
+	// carry the SAT verdict, and on this fabric it must decide at least
+	// the reachability and bounded-length families (5 of 8 rows) — a
+	// hit-rate floor so the fast path cannot silently regress to
+	// all-residue.
+	sat, err := BuildFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := BuildFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast.Tiers = "graph,sat"
+	hits := 0
+	for _, prop := range AllFig8Props() {
+		satRow, err := RunFig8Property(sat, prop)
+		if err != nil {
+			t.Fatalf("%s: %v", prop, err)
+		}
+		fastRow, err := RunFig8Property(fast, prop)
+		if err != nil {
+			t.Fatalf("%s tiered: %v", prop, err)
+		}
+		if fastRow.Verified != satRow.Verified {
+			t.Errorf("%s: tiered verdict %v, sat verdict %v (tier %s)",
+				prop, fastRow.Verified, satRow.Verified, fastRow.Tier)
+		}
+		if fastRow.Tier == "graph" {
+			hits++
+			if fastRow.Elapsed != fastRow.FastPath {
+				t.Errorf("%s: graph-tier row elapsed %v != fast-path %v", prop, fastRow.Elapsed, fastRow.FastPath)
+			}
+		}
+	}
+	if hits < 5 {
+		t.Errorf("fast path decided %d of %d fig8 rows, want >= 5", hits, len(AllFig8Props()))
+	}
+}
+
 func TestAblationMonotone(t *testing.T) {
 	f, err := BuildFabric(2)
 	if err != nil {

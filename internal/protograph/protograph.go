@@ -105,6 +105,16 @@ func Build(topo *network.Topology, configs map[string]*config.Router) (*Graph, e
 			g.Instances = append(g.Instances, Instance{Router: n, Proto: p})
 		}
 	}
+	// Deterministic decomposition: order instances by router name with the
+	// protocol as tiebreaker, so downstream analyses (and anything hashing
+	// the decomposition) never depend on per-router iteration order.
+	sort.SliceStable(g.Instances, func(i, j int) bool {
+		a, b := g.Instances[i], g.Instances[j]
+		if a.Router.Name != b.Router.Name {
+			return a.Router.Name < b.Router.Name
+		}
+		return a.Proto < b.Proto
+	})
 
 	// OSPF and RIP adjacencies.
 	for _, l := range topo.Links {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/sat"
 	"repro/internal/smt"
+	"repro/internal/tiered"
 )
 
 // Status is a job's lifecycle state.
@@ -49,6 +50,11 @@ type Options struct {
 	// network (core.Options.Passes syntax); empty keeps the default
 	// pipeline.
 	Passes string
+	// Tiers selects the verification tiers (tiered.ValidateTiers syntax):
+	// by default ("" or "graph,sat") every job first tries the sound
+	// graph fast path and only residue reaches the solver; "sat"/"none"
+	// disables the fast path, reproducing the untiered engine exactly.
+	Tiers string
 	// Certify records a DRAT proof trace for every network's solver
 	// session and validates it with the in-process checker whenever a
 	// job's verdict is "verified"; checked certificates are reported in
@@ -103,6 +109,13 @@ type netEntry struct {
 	cn    *core.CompiledNetwork
 	sess  *core.Session
 	alias *netEntry // canonical entry owning the shared session, if any
+
+	// tiered is the graph fast-path analysis, built from this entry's own
+	// protocol graph (nil when the engine runs untiered). It survives
+	// aliasing: compile-hash equality guarantees an identical constraint
+	// system but not identical router names, so fast-path attempts always
+	// use the entry's own analysis, before any alias hop.
+	tiered *tiered.Analysis
 
 	// curRec is the flight recorder of the job currently checking on
 	// this entry's session, read by the solver progress hook. Both the
@@ -233,6 +246,7 @@ type Engine struct {
 	tr            *obs.Trace
 	timeout       time.Duration
 	passes        string
+	tiers         string
 	certify       bool
 	blame         bool
 	profOrig      bool
@@ -283,6 +297,7 @@ func NewEngine(o Options) *Engine {
 		tr:            o.Trace,
 		timeout:       o.Timeout,
 		passes:        o.Passes,
+		tiers:         o.Tiers,
 		certify:       o.Certify,
 		blame:         o.Blame,
 		profOrig:      o.ProfileOrigins,
@@ -570,6 +585,9 @@ func (e *Engine) build(ent *netEntry, configs map[string]string, sp *obs.Span) e
 	if err != nil {
 		return fmt.Errorf("service: graph: %w", err)
 	}
+	if tiered.Enabled(e.tiers) {
+		ent.tiered = tiered.NewAnalysis(g)
+	}
 	opts := core.DefaultOptions()
 	opts.Passes = e.passes
 	opts.Certify = e.certify
@@ -651,6 +669,44 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 		ent.mu.Unlock()
 		return nil, err
 	}
+
+	// A job whose deadline expired during the build must time out, not be
+	// rescued by the fast path.
+	if err := ctx.Err(); err != nil {
+		ent.mu.Unlock()
+		return nil, err
+	}
+
+	// Graph fast path: attempt the goal on this entry's own analysis
+	// before any alias hop (aliased entries share a solver session, not a
+	// topology). A definitive verdict never touches the model or session.
+	var fastElapsed time.Duration
+	var fastTried bool
+	if ent.tiered != nil {
+		if goal, ok := goalForSpec(j.Spec); ok {
+			fastTried = true
+			j.rec.Emit(stream.EventPhaseStart, map[string]any{"phase": "fastpath"})
+			start := time.Now()
+			out := ent.tiered.Decide(goal)
+			fastElapsed = time.Since(start)
+			j.rec.Emit(stream.EventPhaseEnd, map[string]any{
+				"phase": "fastpath", "ok": true,
+				"decided": out.Decided, "reason": out.Reason,
+			})
+			if out.Decided {
+				ent.mu.Unlock()
+				e.tr.Add("service.fastpath_hits", 1)
+				res := tiered.Synthesize(out, fastElapsed, e.blame)
+				v := newVerdict(j.ID, j.Spec, res, nil)
+				e.emitCheckEvents(j, res, v)
+				jtr.Root().End()
+				emitSpans(j.rec, jtr)
+				return v, nil
+			}
+			e.tr.Add("service.fastpath_residue", 1)
+		}
+	}
+
 	if canon := ent.alias; canon != nil {
 		// This config set compiled to the same system as an earlier
 		// network: hop to the canonical entry and use its session. The
@@ -702,6 +758,10 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 		j.profile = res.OriginProfile
 		j.mu.Unlock()
 	}
+	if fastTried {
+		res.Tier = tiered.TierSAT
+		res.FastPathElapsed = fastElapsed
+	}
 	v := newVerdict(j.ID, j.Spec, res, ent.m)
 	e.emitCheckEvents(j, res, v)
 	jtr.Root().End()
@@ -738,6 +798,10 @@ func (e *Engine) emitCheckEvents(j *Job, res *core.Result, v *Verdict) {
 		"verified":   v.Verified,
 		"elapsed_ms": v.ElapsedMs,
 		"solve_ms":   v.SolveMs,
+	}
+	if v.Tier != "" {
+		data["tier"] = v.Tier
+		data["fastpath_ms"] = v.FastPathMs
 	}
 	if v.Solver != nil {
 		data["conflicts"] = v.Solver.Conflicts

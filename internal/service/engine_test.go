@@ -35,6 +35,16 @@ func newTestEngine(t *testing.T, workers int) *Engine {
 	return e
 }
 
+// newSATTestEngine disables the graph fast path, for tests that pin the
+// solver pipeline's own behavior (session reuse, decoded counterexamples,
+// proof plumbing).
+func newSATTestEngine(t *testing.T, workers int) *Engine {
+	t.Helper()
+	e := NewEngine(Options{Workers: workers, Timeout: 60 * time.Second, Tiers: "none"})
+	t.Cleanup(e.Close)
+	return e
+}
+
 func TestEngineVerifiesAndCaches(t *testing.T) {
 	e := newTestEngine(t, 2)
 	req := &Request{
@@ -48,8 +58,11 @@ func TestEngineVerifiesAndCaches(t *testing.T) {
 	if !v.Verified || v.Cached {
 		t.Fatalf("first query: verified=%v cached=%v, want true/false", v.Verified, v.Cached)
 	}
-	if sum := v.EncodeMs + v.SimplifyMs + v.SolveMs + v.CertifyMs; v.ElapsedMs != sum {
+	if sum := v.FastPathMs + v.EncodeMs + v.SimplifyMs + v.SolveMs + v.CertifyMs; v.ElapsedMs != sum {
 		t.Fatalf("elapsed %v != phase sum %v", v.ElapsedMs, sum)
+	}
+	if v.Tier != "graph" {
+		t.Fatalf("chain reachability should hit the graph fast path, got tier %q", v.Tier)
 	}
 
 	// The identical query must come from the cache without solving.
@@ -73,7 +86,7 @@ func TestEngineVerifiesAndCaches(t *testing.T) {
 }
 
 func TestEngineSessionReuseAcrossProperties(t *testing.T) {
-	e := newTestEngine(t, 1)
+	e := newSATTestEngine(t, 1)
 	cfgs := chainConfigs(3)
 	specs := []Spec{
 		{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"},
@@ -105,7 +118,7 @@ func TestEngineSessionReuseAcrossProperties(t *testing.T) {
 }
 
 func TestEngineCompileAliasing(t *testing.T) {
-	e := newTestEngine(t, 1)
+	e := newSATTestEngine(t, 1)
 	spec := Spec{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"}
 	cfgs := chainConfigs(3)
 	v1, err := e.Verify(context.Background(), &Request{Configs: cfgs, Spec: spec})
@@ -146,7 +159,7 @@ func TestEngineCompileAliasing(t *testing.T) {
 }
 
 func TestEngineCounterexample(t *testing.T) {
-	e := newTestEngine(t, 1)
+	e := newSATTestEngine(t, 1)
 	// One hop is not enough to cross a 3-router chain: expect a violated
 	// property with a decoded counterexample.
 	v, err := e.Verify(context.Background(), &Request{

@@ -13,7 +13,15 @@ import (
 
 func newTestServer(t *testing.T) (*httptest.Server, *Engine) {
 	t.Helper()
-	e := NewEngine(Options{Workers: 2, Timeout: 60 * time.Second})
+	return newTestServerTiers(t, "")
+}
+
+// newTestServerTiers builds a daemon with an explicit -tiers value;
+// "none" pins the solver pipeline for tests that assert on its artifacts
+// (span slices, solve-latency histograms).
+func newTestServerTiers(t *testing.T, tiers string) (*httptest.Server, *Engine) {
+	t.Helper()
+	e := NewEngine(Options{Workers: 2, Timeout: 60 * time.Second, Tiers: tiers})
 	srv := httptest.NewServer(NewHandler(e))
 	t.Cleanup(func() {
 		srv.Close()
@@ -63,8 +71,11 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if v.Counterexample == nil || v.Counterexample.Packet.DstIP == "" {
 		t.Fatalf("verdict lacks a decoded counterexample: %+v", v)
 	}
-	if v.ElapsedMs != v.EncodeMs+v.SimplifyMs+v.SolveMs {
+	if v.ElapsedMs != v.FastPathMs+v.EncodeMs+v.SimplifyMs+v.SolveMs {
 		t.Fatalf("phase timings do not sum: %+v", v)
+	}
+	if v.Tier != "graph" {
+		t.Fatalf("hop-bound violation on a chain should be a fast-path verdict, got tier %q", v.Tier)
 	}
 
 	// Identical query → cache hit, same verdict, no solver run.
@@ -99,6 +110,16 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	}
 
+	// A failure-budget query is residue for the graph tier, so it reaches
+	// the solver and populates the solver-side metrics scraped below.
+	_, vr := postVerify(t, srv, &Request{
+		Configs: chainConfigs(3),
+		Spec:    Spec{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24", MaxFailures: 1},
+	})
+	if vr == nil || vr.Tier != "sat" {
+		t.Fatalf("failure-budget query should fall through to the solver: %+v", vr)
+	}
+
 	// /metrics is the shared obs Prometheus exposition, carrying both the
 	// service counters and the solver metrics recorded per check.
 	mr, err := http.Get(srv.URL + "/metrics")
@@ -115,6 +136,8 @@ func TestDaemonEndToEnd(t *testing.T) {
 		"minesweeper_service_jobs_done",
 		"minesweeper_service_cache_hits",
 		"minesweeper_service_session_shared_blasts",
+		"minesweeper_service_fastpath_hits",
+		"minesweeper_service_fastpath_residue",
 		"minesweeper_solver_conflicts",
 	} {
 		if !strings.Contains(text, want) {
@@ -173,7 +196,7 @@ func TestDaemonBadRequests(t *testing.T) {
 // non-empty blame set, its hot-constraint profile is served (JSON and
 // collapsed-stack), and jobs without a profile 404.
 func TestDaemonBlameAndProfile(t *testing.T) {
-	e := NewEngine(Options{Workers: 1, Timeout: 60 * time.Second, Blame: true, ProfileOrigins: true})
+	e := NewEngine(Options{Workers: 1, Timeout: 60 * time.Second, Blame: true, ProfileOrigins: true, Tiers: "none"})
 	srv := httptest.NewServer(NewHandler(e))
 	t.Cleanup(func() {
 		srv.Close()

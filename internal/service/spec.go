@@ -17,6 +17,7 @@ import (
 	"repro/internal/properties"
 	"repro/internal/protograph"
 	"repro/internal/smt"
+	"repro/internal/tiered"
 )
 
 // Default parameter values, shared with the minesweeper CLI flags.
@@ -163,6 +164,35 @@ func buildProperty(m *core.Model, g *protograph.Graph, s Spec) (*smt.Term, error
 		return properties.NoLeak(m, nil, s.MaxLen), nil
 	}
 	return nil, fmt.Errorf("service: unknown check %q", s.Check)
+}
+
+// goalForSpec translates a normalized spec into the graph tier's goal
+// vocabulary. The service's check names are already the tier's; ok=false
+// means the spec has no tier translation and goes straight to SAT.
+func goalForSpec(s Spec) (tiered.Goal, bool) {
+	switch s.Check {
+	case "reachability", "isolation", "mgmt-reachability", "blackholes",
+		"multipath-consistency", "loops", "bounded-length", "waypoint", "no-leak":
+	default:
+		return tiered.Goal{}, false
+	}
+	g := tiered.Goal{
+		Check:       s.Check,
+		Src:         s.Src,
+		Via:         s.Via,
+		Hops:        s.Hops,
+		MaxLen:      s.MaxLen,
+		MaxFailures: s.MaxFailures,
+	}
+	if s.Subnet != "" {
+		sub, err := network.ParsePrefix(s.Subnet)
+		if err != nil {
+			return tiered.Goal{}, false
+		}
+		g.Subnet = sub
+		g.HasSubnet = true
+	}
+	return g, true
 }
 
 // Request is one verification job: the network's configurations plus the

@@ -355,7 +355,7 @@ func TestTimelineOfTimedOutJob(t *testing.T) {
 // TestJobTraceEndpoint: a solved job serves its span tree as Chrome
 // trace_event JSON; a cache-hit job, which never ran, has none.
 func TestJobTraceEndpoint(t *testing.T) {
-	srv, _ := newTestServer(t)
+	srv, _ := newTestServerTiers(t, "none")
 	req := &Request{
 		Configs: chainConfigs(3),
 		Spec:    Spec{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"},
@@ -446,7 +446,7 @@ func TestEngineJobEviction(t *testing.T) {
 // TestServiceMetricsQuantiles: the daemon's /metrics carries the
 // latency histograms and their precomputed quantile gauges.
 func TestServiceMetricsQuantiles(t *testing.T) {
-	srv, _ := newTestServer(t)
+	srv, _ := newTestServerTiers(t, "none")
 	_, v := postVerify(t, srv, &Request{
 		Configs: chainConfigs(3),
 		Spec:    Spec{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"},

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/provenance"
+	"repro/internal/tiered"
 )
 
 // Verdict is the JSON answer to one verification job. It mirrors the
@@ -17,7 +18,14 @@ type Verdict struct {
 	Verified bool   `json:"verified"`
 	// Cached is true when the verdict was answered from the result
 	// cache without touching the solver.
-	Cached     bool    `json:"cached"`
+	Cached bool `json:"cached"`
+	// Tier names the verification tier that produced the verdict when
+	// the engine runs tiered: "graph" for the fast path, "sat" for
+	// solver fall-through; absent when tiering is disabled.
+	Tier string `json:"tier,omitempty"`
+	// FastPathMs is the graph tier's classification time (the whole
+	// verdict cost on a fast-path hit, pure overhead on fall-through).
+	FastPathMs float64 `json:"fastpath_ms,omitempty"`
 	ElapsedMs  float64 `json:"elapsed_ms"`
 	EncodeMs   float64 `json:"encode_ms"`
 	SimplifyMs float64 `json:"simplify_ms"`
@@ -106,9 +114,16 @@ func newVerdict(jobID string, spec Spec, res *core.Result, m *core.Model) *Verdi
 			Restarts:     res.Stats.Restarts,
 		},
 	}
+	v.Tier = res.Tier
+	v.FastPathMs = durMs(res.FastPathElapsed)
+	if res.Tier == tiered.TierGraph {
+		// The solver never ran: drop the all-zero CDCL stats block.
+		v.Solver = nil
+	}
 	// Summed after per-phase rounding so the JSON fields keep the exact
-	// identity elapsed = encode + simplify + solve + certify.
-	v.ElapsedMs = v.EncodeMs + v.SimplifyMs + v.SolveMs + v.CertifyMs
+	// identity elapsed = fastpath + encode + simplify + solve + certify
+	// (fastpath is zero unless the engine runs tiered).
+	v.ElapsedMs = v.FastPathMs + v.EncodeMs + v.SimplifyMs + v.SolveMs + v.CertifyMs
 	v.Blame = provenance.Strings(res.Blame)
 	if len(v.Blame) == 0 {
 		v.Blame = nil
@@ -152,7 +167,11 @@ func newVerdict(jobID string, spec Spec, res *core.Result, m *core.Model) *Verdi
 		jc.FailedLinks = append(jc.FailedLinks, id)
 	}
 	sort.Strings(jc.FailedLinks)
-	jc.Forwarding = m.DecodeForwarding(m.Main, cex.Assignment)
+	// Graph-tier counterexamples carry no SAT assignment (and no model may
+	// be in scope); forwarding decoding is solver-only detail.
+	if m != nil && cex.Assignment != nil {
+		jc.Forwarding = m.DecodeForwarding(m.Main, cex.Assignment)
+	}
 	v.Counterexample = jc
 	return v
 }

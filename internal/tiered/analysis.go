@@ -1,0 +1,492 @@
+package tiered
+
+import (
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/protograph"
+	"repro/internal/provenance"
+	"repro/internal/simulator"
+)
+
+// mayEdge is one edge of the over-approximate forwarding graph: router
+// `from` (the map key) could, for some destination in the edge's prefix
+// scope and some environment, forward traffic to router `to`.
+type mayEdge struct {
+	to string
+	// pfx scopes the edge to destinations it can carry (static routes);
+	// scoped=false means any destination (adjacencies, BGP sessions).
+	pfx    network.Prefix
+	scoped bool
+	origin provenance.Origin
+}
+
+// Analysis precomputes everything about one network that the tier reuses
+// across goals: the may-graph, the forwarding-equivalence-class boundary
+// prefixes, and the preconditions of the deterministic path. It is cheap
+// to build (linear in the configuration) and safe to cache alongside the
+// protocol graph; Decide is not safe for concurrent use (it shares a
+// simulator), callers serialize as they do for core sessions.
+type Analysis struct {
+	G   *protograph.Graph
+	sim *simulator.Simulator
+
+	// may is the over-approximate forwarding graph, keyed by router name.
+	may map[string][]mayEdge
+
+	// boundaries are all prefixes any destination-dependent test in the
+	// network can distinguish; destinations between consecutive boundary
+	// edges are forwarding-equivalent.
+	boundaries []network.Prefix
+
+	// detReason is non-empty when the deterministic path is unavailable
+	// for the whole network (named residue reason).
+	detReason string
+	// aclReason is non-empty when some data-plane ACL matches packet
+	// fields other than the destination address, making a single
+	// representative packet per FEC insufficient.
+	aclReason string
+}
+
+// NewAnalysis builds the tier's per-network state from the protocol
+// graph.
+func NewAnalysis(g *protograph.Graph) *Analysis {
+	a := &Analysis{G: g, sim: simulator.New(g), may: map[string][]mayEdge{}}
+	a.buildMayGraph()
+	a.collectBoundaries()
+	a.detReason = detPrecondition(g)
+	a.aclReason = aclPrecondition(g)
+	return a
+}
+
+// addMay inserts a directed may-edge, deduplicating unscoped duplicates.
+func (a *Analysis) addMay(from string, e mayEdge) {
+	for _, have := range a.may[from] {
+		if have.to == e.to && !have.scoped {
+			return // already unconditionally connected
+		}
+	}
+	a.may[from] = append(a.may[from], e)
+}
+
+// buildMayGraph collects every mechanism by which a router can come to
+// forward traffic to an internal neighbor, under any environment:
+//
+//   - IGP adjacencies (OSPF, RIP) carry routes, so traffic can flow both
+//     ways across them;
+//   - every internal BGP session, with or without a shared link: multihop
+//     iBGP next hops resolve recursively and the simulator/encoder fall
+//     back to a direct hop, so the session endpoints themselves are the
+//     conservative edge;
+//   - static routes resolved to a neighbor, scoped to the static's
+//     prefix.
+//
+// Redistribution adds no edges: a redistributed route forwards along the
+// source protocol's decision, which one of the mechanisms above already
+// covers.
+func (a *Analysis) buildMayGraph() {
+	adjOrigin := func(from, to, proto string) provenance.Origin {
+		return provenance.Origin{Router: from, Proto: proto, Kind: "adjacency", Name: to}
+	}
+	for _, adj := range a.G.OSPFAdjs {
+		an, bn := adj.Link.A.Name, adj.Link.B.Name
+		a.addMay(an, mayEdge{to: bn, origin: adjOrigin(an, bn, "ospf")})
+		a.addMay(bn, mayEdge{to: an, origin: adjOrigin(bn, an, "ospf")})
+	}
+	for _, adj := range a.G.RIPAdjs {
+		an, bn := adj.Link.A.Name, adj.Link.B.Name
+		a.addMay(an, mayEdge{to: bn, origin: adjOrigin(an, bn, "rip")})
+		a.addMay(bn, mayEdge{to: an, origin: adjOrigin(bn, an, "rip")})
+	}
+	for _, sess := range a.G.Sessions {
+		if sess.Kind == protograph.EBGPExternal {
+			continue // no internal edge; externals enter via imports, not hops
+		}
+		an, bn := sess.A.Name, sess.B.Name
+		a.addMay(an, mayEdge{to: bn, origin: provenance.Origin{Router: an, Proto: "bgp", Kind: "neighbor", Name: bn}})
+		a.addMay(bn, mayEdge{to: an, origin: provenance.Origin{Router: bn, Proto: "bgp", Kind: "neighbor", Name: an}})
+	}
+	for name, cfg := range a.G.Configs {
+		n := a.G.Topo.Node(name)
+		for _, st := range cfg.Statics {
+			if st.Drop {
+				continue
+			}
+			origin := provenance.Origin{Router: name, Proto: "static", Kind: "static", Name: st.Prefix.String()}
+			for _, l := range a.G.Topo.LinksOf(n) {
+				peer := l.Peer(n)
+				match := false
+				if st.Interface != "" {
+					match = l.IfaceOf(n) == st.Interface
+				} else {
+					match = l.AddrOf(peer) == st.NextHop
+				}
+				if match {
+					a.addMay(name, mayEdge{to: peer.Name, pfx: st.Prefix, scoped: true, origin: origin})
+				}
+			}
+		}
+	}
+	for _, edges := range a.may {
+		sort.SliceStable(edges, func(i, j int) bool { return edges[i].to < edges[j].to })
+	}
+}
+
+// collectBoundaries gathers every prefix a destination-dependent test in
+// the network can distinguish: interface subnets, static destinations,
+// BGP network statements and aggregates, prefix-list entries (hoisted
+// route-map tests are destination tests), and ACL destination prefixes.
+// Destinations falling strictly between boundary edges take identical
+// branches everywhere, so one representative per interval suffices.
+func (a *Analysis) collectBoundaries() {
+	seen := map[network.Prefix]bool{}
+	add := func(p network.Prefix) {
+		if !seen[p] {
+			seen[p] = true
+			a.boundaries = append(a.boundaries, p)
+		}
+	}
+	for _, cfg := range a.G.Configs {
+		for _, i := range cfg.Interfaces {
+			add(i.Prefix)
+		}
+		for _, st := range cfg.Statics {
+			add(st.Prefix)
+		}
+		if cfg.BGP != nil {
+			for _, p := range cfg.BGP.Networks {
+				add(p)
+			}
+			for _, agg := range cfg.BGP.Aggregates {
+				add(agg.Prefix)
+			}
+		}
+		for _, pl := range cfg.PrefixLists {
+			for _, e := range pl.Entries {
+				add(e.Prefix)
+			}
+		}
+		for _, acl := range cfg.ACLs {
+			for _, e := range acl.Entries {
+				if e.DstPrefix.Len > 0 {
+					add(e.DstPrefix)
+				}
+			}
+		}
+	}
+	sort.Slice(a.boundaries, func(i, j int) bool {
+		if a.boundaries[i].Addr != a.boundaries[j].Addr {
+			return a.boundaries[i].Addr < a.boundaries[j].Addr
+		}
+		return a.boundaries[i].Len < a.boundaries[j].Len
+	})
+}
+
+// repLimit bounds how many forwarding-equivalence classes the
+// deterministic path will simulate before declaring residue.
+const repLimit = 2048
+
+// reps returns one representative destination per forwarding-equivalence
+// class intersecting the region: the region's first address plus every
+// boundary-prefix edge that falls inside it.
+func (a *Analysis) reps(region network.Prefix) ([]network.IP, bool) {
+	lo, hi := uint64(region.First()), uint64(region.Last())
+	cuts := map[uint64]bool{lo: true}
+	for _, p := range a.boundaries {
+		f, l := uint64(p.First()), uint64(p.Last())
+		if f > lo && f <= hi {
+			cuts[f] = true
+		}
+		if l+1 > lo && l+1 <= hi {
+			cuts[l+1] = true
+		}
+		if len(cuts) > repLimit {
+			return nil, false
+		}
+	}
+	sorted := make([]uint64, 0, len(cuts))
+	for c := range cuts {
+		sorted = append(sorted, c)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]network.IP, len(sorted))
+	for i, c := range sorted {
+		out[i] = network.IP(uint32(c))
+	}
+	return out, true
+}
+
+// detPrecondition names the reason the deterministic path is unsound for
+// this network, or "" when its stable state is provably unique and
+// environment-independent above the external prefix-length bound:
+//
+//   - no redistribution of dynamic protocols (OSPF/RIP/BGP sources feed
+//     each other's metrics, breaking the layered shortest-path argument);
+//   - no iBGP (session liveness itself depends on the environment via
+//     next-hop reachability, and reflection breaks monotonicity);
+//   - internal eBGP sessions apply prefix-list-only policy: any clause
+//     that rewrites preference attributes (local-pref, metric, MED,
+//     prepend) or touches communities can create preference cycles with
+//     multiple stable states. External-session policy stays unrestricted —
+//     it only shapes routes the prefix-length bound already dominates.
+func detPrecondition(g *protograph.Graph) string {
+	for _, cfg := range g.Configs {
+		var redists []config.Redistribution
+		if cfg.OSPF != nil {
+			redists = append(redists, cfg.OSPF.Redistribute...)
+		}
+		if cfg.RIP != nil {
+			redists = append(redists, cfg.RIP.Redistribute...)
+		}
+		if cfg.BGP != nil {
+			redists = append(redists, cfg.BGP.Redistribute...)
+		}
+		for _, rd := range redists {
+			switch rd.From {
+			case config.OSPF, config.RIP, config.BGP:
+				return "dynamic-redistribution"
+			}
+		}
+	}
+	for _, sess := range g.Sessions {
+		switch sess.Kind {
+		case protograph.IBGP:
+			return "ibgp-session"
+		case protograph.EBGP:
+			for _, end := range []struct {
+				n   string
+				nbr *config.BGPNeighbor
+			}{{sess.A.Name, sess.NbrAtA}, {sess.B.Name, sess.NbrAtB}} {
+				cfg := g.Configs[end.n]
+				for _, mapName := range []string{end.nbr.InMap, end.nbr.OutMap} {
+					if mapName == "" {
+						continue
+					}
+					rm := cfg.RouteMaps[mapName]
+					if rm == nil {
+						continue
+					}
+					for _, cl := range rm.Clauses {
+						if cl.SetLocalPref != 0 || cl.HasSetMetric || cl.HasSetMED ||
+							cl.SetPrepend != 0 || cl.HasSetNextHop ||
+							len(cl.SetCommunity) > 0 || len(cl.DelCommunity) > 0 ||
+							cl.MatchCommunity != "" {
+							return "internal-session-policy"
+						}
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// aclPrecondition names the reason one representative packet per FEC is
+// insufficient, or "": every interface ACL must branch on the
+// destination address only (any source, any protocol, full port
+// ranges), so the zero-valued representative packet exercises the same
+// branches as every packet of its class.
+func aclPrecondition(g *protograph.Graph) string {
+	for _, cfg := range g.Configs {
+		for _, i := range cfg.Interfaces {
+			for _, name := range []string{i.InACL, i.OutACL} {
+				if name == "" {
+					continue
+				}
+				acl := cfg.ACLs[name]
+				if acl == nil {
+					continue
+				}
+				for _, e := range acl.Entries {
+					if e.SrcPrefix.Len > 0 || e.Protocol >= 0 ||
+						e.SrcPortLo != 0 || e.SrcPortHi != 65535 ||
+						e.DstPortLo != 0 || e.DstPortHi != 65535 {
+						return "acl-matches-non-destination-fields"
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// wholeSpace is the destination region of unrestricted properties.
+var wholeSpace = network.Prefix{}
+
+// --- may-graph queries -------------------------------------------------
+
+// delivers reports whether the router can deliver locally for some
+// destination in the region: a non-shutdown interface subnet overlaps it.
+func (a *Analysis) delivers(router string, region network.Prefix) bool {
+	cfg := a.G.Configs[router]
+	for _, i := range cfg.Interfaces {
+		if !i.Shutdown && overlapsRegion(i.Prefix, region) {
+			return true
+		}
+	}
+	return false
+}
+
+func overlapsRegion(p, region network.Prefix) bool {
+	return p.Overlaps(region)
+}
+
+// mayReach over-approximates data-plane reachability: can traffic from
+// src, for some destination in the region and some environment, arrive
+// at a router that delivers it locally? avoid (optional) removes a
+// router entirely, giving the over-approximation of reach-avoiding used
+// for waypoint proofs. The returned origins name the ACLs whose definite
+// blocks pruned the search — the provenance a verdict that relies on
+// unreachability rests on.
+func (a *Analysis) mayReach(src string, region network.Prefix, avoid string) (bool, []provenance.Origin) {
+	if src == avoid {
+		return false, nil
+	}
+	if a.G.Topo.Node(src) == nil {
+		return false, nil
+	}
+	var blockers []provenance.Origin
+	visited := map[string]bool{src: true}
+	queue := []string{src}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		if a.delivers(at, region) {
+			return true, nil
+		}
+		for _, e := range a.may[at] {
+			if visited[e.to] || e.to == avoid {
+				continue
+			}
+			if e.scoped && !overlapsRegion(e.pfx, region) {
+				continue
+			}
+			if blocked, origins := a.edgeBlocked(at, e.to, region); blocked {
+				blockers = append(blockers, origins...)
+				continue
+			}
+			visited[e.to] = true
+			queue = append(queue, e.to)
+		}
+	}
+	provenance.SortOrigins(blockers)
+	return false, provenance.DedupeOrigins(blockers)
+}
+
+// edgeBlocked reports whether the data-plane edge from→to is provably
+// closed for every packet destined into the region: the out-ACL on the
+// sending interface or the in-ACL on the receiving interface denies all
+// such packets. Mirrors the simulator's Walk: the ACL pair comes from
+// the first link between the routers; sessions without a physical link
+// ("teleport" hops) carry no ACLs and are never blocked.
+func (a *Analysis) edgeBlocked(from, to string, region network.Prefix) (bool, []provenance.Origin) {
+	link := a.G.Topo.FindLink(from, to)
+	if link == nil {
+		return false, nil
+	}
+	outIface := link.IfaceOf(a.G.Topo.Node(from))
+	inIface := link.IfaceOf(a.G.Topo.Node(to))
+	if name, blocked := ifaceACLBlocks(a.G.Configs[from], outIface, false, region); blocked {
+		return true, []provenance.Origin{{Router: from, Kind: "acl", Name: name}}
+	}
+	if name, blocked := ifaceACLBlocks(a.G.Configs[to], inIface, true, region); blocked {
+		return true, []provenance.Origin{{Router: to, Kind: "acl", Name: name}}
+	}
+	return false, nil
+}
+
+// ifaceACLBlocks resolves the interface's directional ACL and asks
+// whether it definitely denies every packet destined into the region.
+func ifaceACLBlocks(cfg *config.Router, ifaceName string, inbound bool, region network.Prefix) (string, bool) {
+	if ifaceName == "" {
+		return "", false
+	}
+	iface := cfg.Iface(ifaceName)
+	if iface == nil {
+		return "", false
+	}
+	name := iface.OutACL
+	if inbound {
+		name = iface.InACL
+	}
+	if name == "" {
+		return "", false
+	}
+	acl := cfg.ACLs[name]
+	if acl == nil {
+		return "", false
+	}
+	return name, aclDefinitelyDenies(acl, region)
+}
+
+// aclDefinitelyDenies is a conservative ordered scan: true only when no
+// packet with a destination in the region can be permitted. A permit
+// entry that could match some such packet defeats the block; a deny
+// entry that certainly matches all of them (any source, any protocol,
+// full ports, destination covering the region) establishes it; the
+// implicit tail denies whatever falls through.
+func aclDefinitelyDenies(acl *config.ACL, region network.Prefix) bool {
+	for _, e := range acl.Entries {
+		mayMatch := e.DstPrefix.Len == 0 || e.DstPrefix.Overlaps(region)
+		if e.Action == config.Permit {
+			if mayMatch {
+				return false
+			}
+			continue
+		}
+		coversAll := e.DstPrefix.Len == 0 || e.DstPrefix.Covers(region)
+		unconditional := e.SrcPrefix.Len == 0 && e.Protocol < 0 &&
+			e.SrcPortLo == 0 && e.SrcPortHi == 65535 &&
+			e.DstPortLo == 0 && e.DstPortHi == 65535
+		if coversAll && unconditional {
+			return true
+		}
+	}
+	return true // implicit deny
+}
+
+// loopCandidates mirrors properties.LoopCandidates: routers whose
+// configuration can create forwarding cycles (statics or
+// redistribution).
+func (a *Analysis) loopCandidates() []string {
+	var out []string
+	for _, n := range a.G.Topo.Nodes {
+		cfg := a.G.Configs[n.Name]
+		risky := len(cfg.Statics) > 0
+		if cfg.OSPF != nil && len(cfg.OSPF.Redistribute) > 0 {
+			risky = true
+		}
+		if cfg.RIP != nil && len(cfg.RIP.Redistribute) > 0 {
+			risky = true
+		}
+		if cfg.BGP != nil && len(cfg.BGP.Redistribute) > 0 {
+			risky = true
+		}
+		if risky {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// managementAddrs returns every management interface address with its
+// owning router, in deterministic order.
+func (a *Analysis) managementAddrs() []struct {
+	Router string
+	Addr   network.IP
+} {
+	var out []struct {
+		Router string
+		Addr   network.IP
+	}
+	for _, n := range a.G.Topo.Nodes {
+		for _, mi := range a.G.Configs[n.Name].ManagementInterfaces() {
+			out = append(out, struct {
+				Router string
+				Addr   network.IP
+			}{n.Name, mi.Addr})
+		}
+	}
+	return out
+}

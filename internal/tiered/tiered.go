@@ -1,0 +1,199 @@
+// Package tiered is a sound graph-analysis fast path in front of the SAT
+// pipeline. It extends the protocol-level decomposition of
+// internal/protograph into two conservative approximations of the
+// network's forwarding behavior:
+//
+//   - an over-approximation ("may-graph"): every router pair that could
+//     possibly exchange traffic for some destination under some
+//     environment — per-protocol adjacency closure, BGP session edges,
+//     static next hops — cut only by ACLs that provably discard every
+//     packet of the query's destination set; and
+//   - an under-approximation (the "deterministic path"): for networks
+//     whose routing is environment-independent up to prefix-length
+//     domination, the concrete simulator's unique stable state, evaluated
+//     once per forwarding-equivalence class of the destination set.
+//
+// A goal is answered definitively only when the relevant approximation is
+// sound for its property class (see DESIGN.md §14 for the per-class
+// argument); everything else is classified as residue and falls through
+// to the existing SAT path unchanged. Fast-path verdicts carry
+// provenance (Outcome.Blame) in the same vocabulary as the SAT path.
+package tiered
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/provenance"
+	"repro/internal/simulator"
+)
+
+// Tier labels for core.Result.Tier.
+const (
+	// TierGraph marks a verdict answered by the graph fast path.
+	TierGraph = "graph"
+	// TierSAT marks a verdict that fell through to the SAT pipeline.
+	TierSAT = "sat"
+)
+
+// ValidateTiers rejects malformed -tiers values. The accepted grammar
+// mirrors core.ValidatePasses: "" (default, graph tier on), "graph,sat",
+// "graph" (same: residue always falls through to SAT), "sat" or "none"
+// (fast path disabled, today's behavior exactly).
+func ValidateTiers(s string) error {
+	switch strings.TrimSpace(s) {
+	case "", "graph,sat", "graph", "sat", "none":
+		return nil
+	}
+	return fmt.Errorf("tiered: unknown -tiers value %q (want graph,sat | graph | sat | none)", s)
+}
+
+// Enabled reports whether the graph tier runs for the given -tiers value.
+func Enabled(s string) bool {
+	switch strings.TrimSpace(s) {
+	case "", "graph,sat", "graph":
+		return true
+	}
+	return false
+}
+
+// Goal names one property query in the tier's vocabulary. Callers at the
+// property boundary (service, CLI, harness, fuzz) translate their specs
+// into a Goal; the tier cannot interpret the SAT path's opaque property
+// terms, so the translation is where the two pipelines are kept aligned.
+type Goal struct {
+	// Check selects the property class: reachability, reachability-all,
+	// isolation, waypoint, bounded-length, bounded-length-all,
+	// equal-lengths, loops, blackholes, multipath-consistency,
+	// mgmt-reachability or no-leak.
+	Check string
+	// Src is the source router for per-source properties; Srcs the
+	// source set for the -all / equal-lengths forms.
+	Src  string
+	Srcs []string
+	// Via is the waypoint router.
+	Via string
+	// Subnet is the destination restriction (properties.DstIn); HasSubnet
+	// distinguishes the whole-space queries (loops, blackholes, ...).
+	Subnet    network.Prefix
+	HasSubnet bool
+	// Hops bounds path length for bounded-length.
+	Hops int
+	// MaxLen is the no-leak export-length bound.
+	MaxLen int
+	// MaxFailures is the environment's link-failure budget (0 = the
+	// NoFailures assumption). Definitive *verified* verdicts from the
+	// deterministic path require 0; over-approximation verdicts and
+	// falsifications are sound for any budget.
+	MaxFailures int
+}
+
+// sources returns the goal's source routers (single or multi form).
+func (g Goal) sources() []string {
+	if len(g.Srcs) > 0 {
+		return g.Srcs
+	}
+	if g.Src != "" {
+		return []string{g.Src}
+	}
+	return nil
+}
+
+// Outcome is the tier's answer for one goal. Decided=false is residue:
+// the analysis was not sound (or not precise enough) for this goal and
+// the SAT path must answer it.
+type Outcome struct {
+	// Decided is true when the tier returns a definitive verdict.
+	Decided bool
+	// Verified is the verdict when Decided.
+	Verified bool
+	// Reason names the decision rule (or, for residue, why the goal fell
+	// through) — surfaced in telemetry.
+	Reason string
+	// Blame lists the configuration origins the verdict depends on, in
+	// the same vocabulary as the SAT path's UNSAT-core / counterexample
+	// blame.
+	Blame []provenance.Origin
+	// Packet and Env witness a falsified verdict: a concrete stable
+	// state (the simulator's empty-environment fixpoint) in which the
+	// property fails. Both are nil on verified or residue outcomes.
+	Packet *config.Packet
+	Env    *simulator.Environment
+}
+
+func verified(reason string, blame []provenance.Origin) Outcome {
+	return Outcome{Decided: true, Verified: true, Reason: reason, Blame: blame}
+}
+
+func falsified(reason string, blame []provenance.Origin, pkt config.Packet, env *simulator.Environment) Outcome {
+	return Outcome{Decided: true, Verified: false, Reason: reason, Blame: blame, Packet: &pkt, Env: env}
+}
+
+func residue(reason string) Outcome { return Outcome{Reason: reason} }
+
+// Options configure the orchestrator.
+type Options struct {
+	// Tiers is the -tiers value (see ValidateTiers).
+	Tiers string
+	// Blame attaches Outcome.Blame to synthesized results, mirroring
+	// core.Options.Blame.
+	Blame bool
+}
+
+// Check attempts the goal on the graph tier and falls back to the SAT
+// path on residue. The fallback closure runs the existing pipeline
+// (core.Model.Check / Session.Check / CheckGoal) unchanged; Check stamps
+// Result.Tier and Result.FastPathElapsed either way. With the fast path
+// disabled (Enabled false) the fallback result is returned untouched —
+// byte-for-byte today's behavior.
+func Check(a *Analysis, opts Options, goal Goal, fallback func() (*core.Result, error)) (*core.Result, error) {
+	if a == nil || !Enabled(opts.Tiers) {
+		return fallback()
+	}
+	start := time.Now()
+	out := a.Decide(goal)
+	elapsed := time.Since(start)
+	if out.Decided {
+		return Synthesize(out, elapsed, opts.Blame), nil
+	}
+	res, err := fallback()
+	if err != nil {
+		return nil, err
+	}
+	res.Tier = TierSAT
+	res.FastPathElapsed = elapsed
+	return res, nil
+}
+
+// Synthesize renders a decided outcome as a core.Result so fast-path
+// verdicts flow through the same reporting paths (service verdicts, CLI
+// JSON, bench rows) as SAT verdicts. Falsified outcomes carry a
+// counterexample with a nil Assignment: the packet and environment are
+// concrete, but there is no SAT model to decode symbolic state from.
+func Synthesize(out Outcome, elapsed time.Duration, blame bool) *core.Result {
+	res := &core.Result{
+		Verified:        out.Verified,
+		Tier:            TierGraph,
+		FastPathElapsed: elapsed,
+		Elapsed:         elapsed,
+	}
+	if blame {
+		res.Blame = out.Blame
+	}
+	if !out.Verified {
+		env := out.Env
+		if env == nil {
+			env = simulator.NewEnvironment()
+		}
+		var pkt config.Packet
+		if out.Packet != nil {
+			pkt = *out.Packet
+		}
+		res.Counterexample = &core.Counterexample{Packet: pkt, Env: env}
+	}
+	return res
+}
