@@ -13,6 +13,7 @@
 //	bench -experiment fig8       -profile-origins [-profile-out BENCH_origins.folded]
 //	bench -experiment fig8       -tiers graph,sat   (answer rows through the graph fast path)
 //	bench -experiment tiered     [-pods 2,4] [-json-out BENCH_tiered.json]
+//	bench -experiment modular    [-pods 2,4,16,32] [-mono-max 4] [-workers N] [-json-out BENCH_modular.json]
 //	bench -experiment ablation   [-pods 4]
 //	bench -experiment service    [-pods 2] [-json-out BENCH_service.json]
 //	bench -experiment fuzz       [-iters 2] [-seed 1]
@@ -27,6 +28,14 @@
 // The service experiment measures the batch engine's amortization: the
 // same ≥10-property suite on one fabric, verified once with a fresh
 // solver per property and once over a single incremental session.
+//
+// The modular experiment runs the assume/guarantee pipeline
+// (internal/modular) on every Figure 8 property per fabric size: cut at
+// the eBGP interfaces, verify one representative per isomorphism class
+// of components, compose the blamed verdicts. Fabrics with pods <=
+// -mono-max are also answered monolithically and the verdicts must
+// agree (a disagreement exits nonzero); larger fabrics — where the
+// monolithic encoding is infeasible — report the modular side alone.
 //
 // The tiered experiment answers every Figure 8 row twice — once on the
 // sound graph fast path (internal/tiered), once on the SAT pipeline —
@@ -58,6 +67,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -72,6 +82,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fuzz"
 	"repro/internal/harness"
+	"repro/internal/modular"
 	"repro/internal/netgen"
 	"repro/internal/obs"
 	"repro/internal/provenance"
@@ -92,6 +103,8 @@ func main() {
 		passesFlag = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all; ablation pins its own)")
 		tiersFlag  = flag.String("tiers", "", "fig8: verification tiers (graph,sat enables the fast path; default: untiered, measuring the solver)")
 		certify    = flag.Bool("certify", false, "fig8: record DRAT proofs and check verified verdicts, adding the proof columns")
+		monoMax    = flag.Int("mono-max", 4, "modular: largest pod count also verified monolithically for the reference comparison")
+		workers    = flag.Int("workers", runtime.NumCPU(), "modular: component-class solver parallelism")
 		iters      = flag.Int("iters", 2, "fuzz: iterations per scenario family")
 		profOrig   = flag.Bool("profile-origins", false, "fig8: run every query twice to measure origin-attribution overhead and collect the per-origin hot-constraint profile")
 		profOut    = flag.String("profile-out", "BENCH_origins.folded", "collapsed-stack output path for -profile-origins ('' to skip)")
@@ -180,6 +193,12 @@ func main() {
 			out = "BENCH_tiered.json"
 		}
 		err = runTiered(parseInts(*podsFlag), parseProps(*propsFlag), out, *passesFlag)
+	case "modular":
+		out := *jsonOut
+		if out == "BENCH_fig8.json" {
+			out = "BENCH_modular.json"
+		}
+		err = runModular(parseInts(*podsFlag), parseProps(*propsFlag), out, *passesFlag, *monoMax, *workers)
 	case "ablation":
 		ks := parseInts(*podsFlag)
 		if len(ks) == 0 {
@@ -199,7 +218,7 @@ func main() {
 	case "fuzz":
 		err = runFuzz(*iters, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|tiered|ablation|service|fuzz")
+		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|tiered|modular|ablation|service|fuzz")
 		os.Exit(2)
 	}
 	if err == nil && tr != nil {
@@ -561,6 +580,161 @@ func runTiered(pods []int, props []string, jsonOut, passes string) error {
 	if hits > 0 && graphTotal > 0 {
 		fmt.Printf("# aggregate speedup on hit rows: %.0fx (%.2fms graph vs %.1fms sat)\n",
 			satTotal/graphTotal, graphTotal, satTotal)
+	}
+	if jsonOut == "" {
+		return nil
+	}
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d rows)\n", jsonOut, len(art))
+	return nil
+}
+
+// modularJSON is one row of the BENCH_modular.json artifact: the
+// assume/guarantee pipeline on one Figure 8 property, with the
+// monolithic reference columns filled only when pods <= -mono-max.
+type modularJSON struct {
+	Pods     int    `json:"pods"`
+	Routers  int    `json:"routers"`
+	Property string `json:"property"`
+	// Mode is "modular" when the composed verdict stands; anything else
+	// ("fallback" with the residue that forced it) means the row was
+	// answered monolithically and the comparison is void.
+	Mode       string  `json:"mode"`
+	Residue    string  `json:"residue,omitempty"`
+	Verified   bool    `json:"verified"`
+	ModularMs  float64 `json:"modular_ms"`
+	Components int     `json:"components"`
+	Classes    int     `json:"classes"`
+	AliasHits  int     `json:"alias_hits"`
+	Checks     int     `json:"checks"`
+	// PeakTerms / SATVars are per-component peaks — the modular answer
+	// to the monolithic model-size question.
+	PeakTerms int `json:"peak_terms"`
+	SATVars   int `json:"sat_vars"`
+	Blame     int `json:"blame"`
+	// Monolithic reference (mono_ran=false beyond -mono-max, where the
+	// whole-network encoding is off the table).
+	MonoRan     bool    `json:"mono_ran"`
+	MonoMs      float64 `json:"mono_ms,omitempty"`
+	MonoSATVars int     `json:"mono_sat_vars,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	Agree       bool    `json:"agree,omitempty"`
+}
+
+// runModular reproduces the modular-verification scaling comparison:
+// each Figure 8 property per fabric size through the assume/guarantee
+// pipeline, against the monolithic encoding wherever the latter is
+// still feasible (pods <= monoMax). Verdict parity on the shared rows
+// is enforced — any disagreement is a soundness bug and exits nonzero.
+func runModular(pods []int, props []string, jsonOut, passes string, monoMax, workers int) error {
+	toMs := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	fmt.Println("# modular assume/guarantee vs monolithic per Figure 8 row")
+	fmt.Println("pods\trouters\tproperty\tmode\tmodular_ms\tcomps\tclasses\talias\tchecks\tpeak_terms\tsat_vars\tblame\tmono_ms\tspeedup\tverified\tagree")
+	opts := modular.Options{Workers: workers, Core: core.DefaultOptions()}
+	opts.Core.Blame = true
+	if passes != "" {
+		opts.Core.Passes = passes
+	}
+	var art []modularJSON
+	ctx := context.Background()
+	for _, k := range pods {
+		f, err := harness.BuildFabric(k)
+		if err != nil {
+			return err
+		}
+		// Beyond -mono-max the whole-network encoding is off the table, so
+		// a surprise residue must surface as an undecided row rather than
+		// quietly starting an infeasible monolithic solve.
+		kOpts := opts
+		kOpts.NoFallback = k > monoMax
+		for _, prop := range props {
+			goal, ok := harness.Fig8ModularGoal(f, prop)
+			if !ok {
+				// local-consistency is a pairwise-equivalence sweep, not a
+				// goal the modular (or tiered) vocabulary models.
+				continue
+			}
+			start := time.Now()
+			v, err := modular.Verify(ctx, f.G, goal, kOpts)
+			if err != nil {
+				return fmt.Errorf("modular pods=%d %s: %w", k, prop, err)
+			}
+			row := modularJSON{
+				Pods: k, Routers: len(f.FT.Routers), Property: prop,
+				Mode: v.Mode, Residue: strings.Join(v.Residue, ","),
+				ModularMs: toMs(time.Since(start)),
+			}
+			if v.Result == nil {
+				// Residue under NoFallback: the row is undecided, not a
+				// verdict — label it so downstream tooling can't read
+				// verified=false as a falsification.
+				row.Mode = "fallback-skipped"
+			} else {
+				row.Verified = v.Result.Verified
+				row.SATVars = v.Result.SATVars
+				row.Blame = len(v.Result.Blame)
+			}
+			if v.Report != nil {
+				row.Components = v.Report.Components
+				row.Classes = v.Report.Classes
+				row.AliasHits = v.Report.AliasHits
+				row.Checks = v.Report.Checks
+				row.PeakTerms = v.Report.PeakTerms
+			}
+			monoCol, speedCol, agreeCol := "-", "-", "-"
+			if k <= monoMax {
+				start = time.Now()
+				mono, err := modular.CheckMonolithic(ctx, f.G, goal, opts.Core)
+				if err != nil {
+					return fmt.Errorf("monolithic pods=%d %s: %w", k, prop, err)
+				}
+				row.MonoRan = true
+				row.MonoMs = toMs(time.Since(start))
+				row.MonoSATVars = mono.SATVars
+				row.Agree = mono.Verified == row.Verified
+				if row.ModularMs > 0 {
+					row.Speedup = row.MonoMs / row.ModularMs
+				}
+				monoCol = fmt.Sprintf("%.1f", row.MonoMs)
+				speedCol = fmt.Sprintf("%.1fx", row.Speedup)
+				agreeCol = fmt.Sprintf("%v", row.Agree)
+			}
+			fmt.Printf("%d\t%d\t%s\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%v\t%s\n",
+				row.Pods, row.Routers, row.Property, row.Mode, row.ModularMs,
+				row.Components, row.Classes, row.AliasHits, row.Checks,
+				row.PeakTerms, row.SATVars, row.Blame, monoCol, speedCol,
+				row.Verified, agreeCol)
+			if row.MonoRan && !row.Agree {
+				return fmt.Errorf("modular disagreement on pods=%d %s: modular says verified=%v (mode %s), monolithic disagrees",
+					k, prop, row.Verified, row.Mode)
+			}
+			art = append(art, row)
+		}
+	}
+	var modTotal, monoTotal float64
+	shared := 0
+	for _, r := range art {
+		if r.MonoRan {
+			shared++
+			modTotal += r.ModularMs
+			monoTotal += r.MonoMs
+		}
+	}
+	if shared > 0 && modTotal > 0 {
+		fmt.Printf("# shared rows (pods<=%d): %d, aggregate speedup %.1fx (%.1fms modular vs %.1fms monolithic)\n",
+			monoMax, shared, monoTotal/modTotal, modTotal, monoTotal)
 	}
 	if jsonOut == "" {
 		return nil

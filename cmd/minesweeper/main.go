@@ -56,14 +56,26 @@
 //	                  falls through to the solver unchanged. -tiers none
 //	                  (or sat) disables the fast path. The verdict reports
 //	                  which tier answered ("tier" in -json output).
+//
+// Modular:
+//
+//	-modular          cuts multi-component networks at eBGP interfaces and
+//	                  verifies components in parallel against interface
+//	                  contracts, composing a blamed verdict without ever
+//	                  building the whole-network model. Anything outside
+//	                  the soundness envelope is residue that falls back to
+//	                  the monolithic pipeline; the verdict reports "mode"
+//	                  (modular / monolithic / fallback) and the residue.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -71,9 +83,11 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/modular"
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/properties"
+	"repro/internal/protograph"
 	"repro/internal/provenance"
 	"repro/internal/sat"
 	"repro/internal/smt"
@@ -85,7 +99,7 @@ type cliOpts struct {
 	dir, check, src, via, subnet, pair string
 	hops, maxLen, maxFailures          int
 	verbose, replay, jsonOut, certify  bool
-	blame                              bool
+	blame, modular                     bool
 	traceJSON, traceChrome, promOut    string
 	passes                             string
 	tiers                              string
@@ -113,6 +127,7 @@ func main() {
 	flag.StringVar(&o.tiers, "tiers", "", "verification tiers: graph,sat (default; sound graph fast path, residue to the solver), or sat/none to disable the fast path")
 	flag.BoolVar(&o.certify, "certify", false, "record a DRAT proof trace and check verified verdicts with the independent checker")
 	flag.BoolVar(&o.blame, "blame", false, "report the configuration origins the verdict depends on (UNSAT core origins, or the counterexample's forwarding origins)")
+	flag.BoolVar(&o.modular, "modular", false, "verify multi-component networks by assume/guarantee composition (cut at eBGP interfaces, parallel per-component checks; residue falls back to the monolithic pipeline)")
 	flag.Int64Var(&o.progressEvery, "progress", 0, "print solver progress to stderr every N conflicts")
 	flag.Parse()
 	if o.dir == "" || o.check == "" {
@@ -218,9 +233,9 @@ func run(o cliOpts) error {
 		}
 		core.RecordSolverMetrics(tr, res)
 		if o.jsonOut {
-			return emitJSONResult(o, res, pr.A, tr)
+			return emitJSONResult(o, res, pr.A, tr, modResult{})
 		}
-		report(o.check, res, nil, o.verbose)
+		report(o.check, res, nil, o.verbose, modResult{})
 		return finish(tr, o)
 	}
 
@@ -241,11 +256,30 @@ func run(o cliOpts) error {
 			if out.Decided {
 				res := tiered.Synthesize(out, fastElapsed, o.blame)
 				if o.jsonOut {
-					return emitJSONResult(o, res, nil, tr)
+					return emitJSONResult(o, res, nil, tr, modResult{})
 				}
-				report(o.check, res, nil, o.verbose)
+				report(o.check, res, nil, o.verbose, modResult{})
 				return finish(tr, o)
 			}
+		}
+	}
+
+	// Modular assume/guarantee path: compose per-component verdicts when
+	// the network and goal are inside the soundness envelope; any residue
+	// falls through to the monolithic encode below with the residue
+	// reported on the verdict.
+	var modRes modResult
+	if o.modular {
+		res, err := tryModular(o, g, opts, tr, &modRes)
+		if err != nil {
+			return err
+		}
+		if res != nil {
+			if o.jsonOut {
+				return emitJSONResult(o, res, nil, tr, modRes)
+			}
+			report(o.check, res, nil, o.verbose, modRes)
+			return finish(tr, o)
 		}
 	}
 
@@ -344,9 +378,9 @@ func run(o cliOpts) error {
 	}
 	core.RecordSolverMetrics(tr, res)
 	if o.jsonOut {
-		return emitJSONResult(o, res, m, tr)
+		return emitJSONResult(o, res, m, tr, modRes)
 	}
-	report(o.check, res, m, o.verbose)
+	report(o.check, res, m, o.verbose, modRes)
 	if o.replay && res.Counterexample != nil {
 		diffs, err := m.ReplayAgrees(res.Counterexample)
 		if err != nil {
@@ -362,6 +396,54 @@ func run(o cliOpts) error {
 		}
 	}
 	return finish(tr, o)
+}
+
+// modResult carries the modular outcome into the final report: how the
+// verdict was produced and, for fallbacks, the residue that forced the
+// monolithic pipeline.
+type modResult struct {
+	mode     string
+	residue  []string
+	violated string
+	report   *modular.Report
+}
+
+// tryModular attempts the assume/guarantee composition. A non-nil result
+// is the composed verdict and the caller reports it without ever
+// building the monolithic model; nil means fall through (out.mode and
+// out.residue record why).
+func tryModular(o cliOpts, g *protograph.Graph, opts core.Options, tr *obs.Trace, out *modResult) (*core.Result, error) {
+	goal, ok := tierGoal(o)
+	if !ok {
+		out.mode = modular.ModeMonolithic
+		return nil, nil
+	}
+	cut := modular.Partition(g)
+	if !cut.MultiComponent() {
+		out.mode = modular.ModeMonolithic
+		return nil, nil
+	}
+	mopts := modular.Options{Core: opts, Workers: runtime.NumCPU()}
+	// Component checks run concurrently and the span tree is
+	// single-writer: the modular span below prices the whole run.
+	mopts.Core.Span = nil
+	plan := modular.NewPlan(g, cut, goal)
+	sp := tr.Root().Start("modular")
+	sp.SetInt("components", int64(len(plan.Comps)))
+	rep, err := modular.Run(context.Background(), g, plan, mopts)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.Residue) > 0 {
+		out.mode = modular.ModeFallback
+		out.residue = rep.Residue
+		out.violated = rep.Violated
+		return nil, nil
+	}
+	out.mode = modular.ModeModular
+	out.report = rep
+	return rep.Result, nil
 }
 
 // tierGoal translates the CLI flags into the graph tier's goal
@@ -454,8 +536,20 @@ type jsonReport struct {
 	Verified bool   `json:"verified"`
 	// Tier names the verification tier that answered: "graph" for the
 	// fast path, "sat" for solver fall-through, absent with -tiers none.
-	Tier           string     `json:"tier,omitempty"`
-	FastPathMs     float64    `json:"fastpath_ms,omitempty"`
+	Tier       string  `json:"tier,omitempty"`
+	FastPathMs float64 `json:"fastpath_ms,omitempty"`
+	// Mode (with -modular) names how the verdict was produced: "modular"
+	// (composed from component checks), "monolithic" (single component or
+	// out-of-vocabulary goal) or "fallback" (modular residue, listed).
+	Mode             string   `json:"mode,omitempty"`
+	Components       int      `json:"components,omitempty"`
+	ComponentClasses int      `json:"component_classes,omitempty"`
+	AliasHits        int      `json:"alias_hits,omitempty"`
+	ComponentChecks  int      `json:"component_checks,omitempty"`
+	PeakTerms        int      `json:"peak_terms,omitempty"`
+	ModularResidue   []string `json:"modular_residue,omitempty"`
+	ViolatedContract string   `json:"violated_contract,omitempty"`
+
 	ElapsedMs      float64    `json:"elapsed_ms"`
 	EncodeMs       float64    `json:"encode_ms,omitempty"`
 	SimplifyMs     float64    `json:"simplify_ms,omitempty"`
@@ -517,7 +611,7 @@ type jsonCex struct {
 func durMs(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // emitJSONResult renders a solver-backed result as the -json object.
-func emitJSONResult(o cliOpts, res *core.Result, m *core.Model, tr *obs.Trace) error {
+func emitJSONResult(o cliOpts, res *core.Result, m *core.Model, tr *obs.Trace, mod modResult) error {
 	rep := jsonReport{
 		Check:      o.check,
 		Verified:   res.Verified,
@@ -542,6 +636,21 @@ func emitJSONResult(o cliOpts, res *core.Result, m *core.Model, tr *obs.Trace) e
 	if res.Tier == tiered.TierGraph {
 		// The solver never ran: drop the all-zero CDCL stats block.
 		rep.Solver = nil
+	}
+	if mod.mode != "" {
+		rep.Mode = mod.mode
+		rep.ModularResidue = mod.residue
+		rep.ViolatedContract = mod.violated
+		if r := mod.report; r != nil {
+			rep.Components = r.Components
+			rep.ComponentClasses = r.Classes
+			rep.AliasHits = r.AliasHits
+			rep.ComponentChecks = r.Checks
+			rep.PeakTerms = r.PeakTerms
+			// The composed verdict never ran one whole-network solve; the
+			// per-phase and CDCL numbers would misattribute component work.
+			rep.Solver = nil
+		}
 	}
 	if cert := res.Certificate; cert != nil {
 		rep.Proof = &jsonProof{
@@ -604,13 +713,26 @@ func emitJSON(rep jsonReport) error {
 	return enc.Encode(rep)
 }
 
-func report(check string, res *core.Result, m *core.Model, verbose bool) {
+func report(check string, res *core.Result, m *core.Model, verbose bool, mod modResult) {
 	fmt.Println(properties.Describe(check, res))
 	switch res.Tier {
 	case tiered.TierGraph:
 		fmt.Printf("tier: graph fast path (%.2fms, no SAT model built)\n", durMs(res.FastPathElapsed))
 	case tiered.TierSAT:
 		fmt.Printf("tier: sat (fast-path residue after %.2fms)\n", durMs(res.FastPathElapsed))
+	}
+	switch mod.mode {
+	case modular.ModeModular:
+		r := mod.report
+		fmt.Printf("mode: modular (%d components in %d classes, %d alias hits, %d checks, peak %d terms, %.1fms; no whole-network model built)\n",
+			r.Components, r.Classes, r.AliasHits, r.Checks, r.PeakTerms, durMs(r.Elapsed))
+	case modular.ModeFallback:
+		fmt.Printf("mode: fallback to monolithic (modular residue: %s)\n", strings.Join(mod.residue, ", "))
+		if mod.violated != "" {
+			fmt.Printf("violated contract: %s\n", mod.violated)
+		}
+	case modular.ModeMonolithic:
+		fmt.Println("mode: monolithic (single component or goal outside the modular vocabulary)")
 	}
 	if cert := res.Certificate; cert != nil {
 		fmt.Printf("proof: checked (%d steps, %d lemmas, %d deletions, %.1fms check)\n",

@@ -74,6 +74,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 120*time.Second, "default per-job deadline")
 		passes    = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
 		tiers     = flag.String("tiers", "", "verification tiers: graph,sat (default; sound graph fast path, residue to the solver), or sat/none to disable the fast path")
+		mod       = flag.Bool("modular", false, "verify multi-component networks by assume/guarantee composition (cut at eBGP interfaces, per-component checks on the worker pool; residue falls back to the monolithic pipeline)")
 		certify   = flag.Bool("certify", false, "record DRAT proof traces and check verified verdicts with the independent checker")
 		blame     = flag.Bool("blame", false, "report the configuration origins each verdict depends on (implies proof logging)")
 		profOrig  = flag.Bool("profile-origins", false, "keep per-origin solver counters and serve each job's hot-constraint profile")
@@ -97,6 +98,7 @@ func main() {
 		Timeout:        *timeout,
 		Passes:         *passes,
 		Tiers:          *tiers,
+		Modular:        *mod,
 		Certify:        *certify,
 		Blame:          *blame,
 		ProfileOrigins: *profOrig,

@@ -276,9 +276,10 @@ func (cs *CorpusScenario) Verify(rng *rand.Rand, simIters int) error {
 	}
 
 	// Path 3: the service engine (its own property builder and session).
-	// Tiers off so this path pins the solver; the graph fast path is
-	// replayed separately below.
-	eng := service.NewEngine(service.Options{Workers: 1, Certify: true, Tiers: "none"})
+	// Tiers and modular composition off so this path pins the solver on
+	// the whole network; the graph fast path is replayed separately below
+	// and the assume/guarantee pipeline has its own parity sweep.
+	eng := service.NewEngine(service.Options{Workers: 1, Certify: true, Tiers: "none", Modular: false})
 	defer eng.Close()
 	for i, ck := range cs.Checks {
 		v, err := eng.Verify(context.Background(), &service.Request{

@@ -17,7 +17,11 @@
 //  4. tiered parity — the sound graph fast path (internal/tiered)
 //     answers the same checks independently of the solver, and every
 //     verdict it claims to decide must match the SAT verdict
-//     (Scenario.TierParity).
+//     (Scenario.TierParity);
+//  5. modular parity — the assume/guarantee composition
+//     (internal/modular) answers the same subnet-scoped goals, and every
+//     composed verdict must match the monolithic pipeline's
+//     (Scenario.ModularParity).
 //
 // The same oracles back the native Go fuzz targets in this package, the
 // checked-in regression corpus under testdata/regressions, and cmd/bench's
@@ -35,6 +39,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/simulator"
 	"repro/internal/testnets"
+	"repro/internal/topogen"
 )
 
 // Scenario is one fuzzable network: raw configuration texts (always
@@ -170,6 +175,19 @@ var pool = []family{
 	}},
 	{"multihop-ibgp", func(rng *rand.Rand) (*Scenario, error) {
 		return printed("multihop-ibgp", false, testnets.MultihopIBGP())
+	}},
+	{"ebgp-fabric", func(rng *rand.Rand) (*Scenario, error) {
+		// A small all-eBGP fat-tree: every router is its own AS, so the
+		// modular pipeline partitions it into singleton components and the
+		// ModularParity oracle exercises contract discharge and
+		// composition (not just the single-component fallback). Excluded
+		// from the simulator oracle: ECMP fabrics resolve multipath
+		// tie-breaks the concrete simulator walks in one fixed order.
+		ft, err := topogen.Generate(2)
+		if err != nil {
+			return nil, err
+		}
+		return fromRouters("ebgp-fabric-2", false, ft.Routers)
 	}},
 	{"netgen", func(rng *rand.Rand) (*Scenario, error) {
 		p := netgen.Params{

@@ -95,6 +95,25 @@ func FuzzPassesParity(f *testing.F) {
 	})
 }
 
+// FuzzModularParity is the compositional fuzz target: on every scenario
+// the assume/guarantee pipeline either composes a verdict that must
+// match the monolithic pipeline's, or names residue and defers to it.
+func FuzzModularParity(f *testing.F) {
+	for fam := 0; fam < Families(); fam++ {
+		f.Add([]byte{byte(fam)})
+		f.Add([]byte{byte(fam), 0x4d, 0x0d})
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, rng, err := FromSeed(data)
+		if err != nil {
+			t.Skipf("scenario build: %v", err)
+		}
+		if err := s.ModularParity(rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // cnfFromBytes decodes fuzz input into a small CNF: the first byte picks
 // the variable count, then every 3 bytes form one ternary clause.
 func cnfFromBytes(data []byte) (nv int, clauses [][]int) {

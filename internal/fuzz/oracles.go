@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/modular"
 	"repro/internal/network"
 	"repro/internal/properties"
 	"repro/internal/service"
@@ -180,10 +181,11 @@ func (s *Scenario) PathParity(rng *rand.Rand) error {
 		}
 	}
 
-	// Tiers off: this oracle compares the three SAT execution paths, so
-	// the engine must actually run the solver (the graph fast path is
-	// covered by TierParity and carries no DRAT certificate).
-	eng := service.NewEngine(service.Options{Workers: 1, Certify: true, Tiers: "none"})
+	// Tiers and modular composition off: this oracle compares the three
+	// SAT execution paths, so the engine must actually run the solver on
+	// the whole network (the graph fast path is covered by TierParity,
+	// the assume/guarantee pipeline by ModularParity).
+	eng := service.NewEngine(service.Options{Workers: 1, Certify: true, Tiers: "none", Modular: false})
 	defer eng.Close()
 	v, err := eng.Verify(context.Background(), &service.Request{
 		Configs: s.configs(),
@@ -362,10 +364,49 @@ func (s *Scenario) TierParity(rng *rand.Rand) error {
 	return nil
 }
 
+// ModularParity is the assume/guarantee oracle: modular.Verify answers
+// the same subnet-scoped goals the monolithic pipeline answers, and the
+// verdicts must agree. Single-component scenarios pin the trivial
+// monolithic route; multi-component ones (all-eBGP fabrics and
+// triangles) exercise partitioning, contract derivation, stratified
+// discharge and composition end to end. When the composed verdict
+// stands it is cross-checked against a fresh monolithic run — any
+// disagreement is a soundness bug in the composition (the pipeline is
+// designed to fall back on residue, never to guess).
+func (s *Scenario) ModularParity(rng *rand.Rand) error {
+	q := s.pickQuery(rng)
+	goals := []tiered.Goal{
+		{Check: "reachability", Src: q.src, Subnet: q.sub, HasSubnet: true},
+		{Check: "blackholes", Subnet: q.sub, HasSubnet: true},
+		{Check: "multipath-consistency", Subnet: q.sub, HasSubnet: true},
+	}
+	opts := modular.Options{Core: certifyOptions(""), Workers: 2}
+	for _, goal := range goals {
+		v, err := modular.Verify(context.Background(), s.Net.Graph, goal, opts)
+		if err != nil {
+			return fmt.Errorf("fuzz: %s: modular %s: %w", s.Name, goal.Check, err)
+		}
+		if v.Mode != modular.ModeModular {
+			// Residue or a single component: the verdict IS the monolithic
+			// pipeline's, nothing independent to compare.
+			continue
+		}
+		mono, err := modular.CheckMonolithic(context.Background(), s.Net.Graph, goal, opts.Core)
+		if err != nil {
+			return fmt.Errorf("fuzz: %s: monolithic %s: %w", s.Name, goal.Check, err)
+		}
+		if v.Result.Verified != mono.Verified {
+			return fmt.Errorf("fuzz: %s: modular disagreement on %s (src=%s dst=%v): composed=%v monolithic=%v",
+				s.Name, goal.Check, q.src, q.sub, v.Result.Verified, mono.Verified)
+		}
+	}
+	return nil
+}
+
 // CheckAll runs every oracle valid for the scenario: the differential
-// oracle (SimSafe scenarios only) plus the three metamorphic oracles and
-// the tiered-verification parity oracle. Certification runs implicitly
-// in the SAT-based ones.
+// oracle (SimSafe scenarios only) plus the three metamorphic oracles,
+// the tiered-verification parity oracle and the modular assume/guarantee
+// parity oracle. Certification runs implicitly in the SAT-based ones.
 func (s *Scenario) CheckAll(rng *rand.Rand, simIters int) error {
 	if s.SimSafe {
 		if err := s.DiffVsSim(rng, simIters); err != nil {
@@ -381,5 +422,8 @@ func (s *Scenario) CheckAll(rng *rand.Rand, simIters int) error {
 	if err := s.RenamingParity(rng); err != nil {
 		return err
 	}
-	return s.TierParity(rng)
+	if err := s.TierParity(rng); err != nil {
+		return err
+	}
+	return s.ModularParity(rng)
 }

@@ -378,6 +378,25 @@ func Fig8Goal(f *Fabric, prop string) (tiered.Goal, bool) {
 	return goal, true
 }
 
+// Fig8ModularGoal is Fig8Goal with the whole-network properties
+// (no-blackholes, multipath-consistency) scoped to the destination
+// subnet. The modular composition always works per destination prefix
+// — its contracts describe announcements for one prefix — and the
+// monolithic reference adds the matching DstIn assumption, so both
+// sides of a modular-vs-monolithic comparison answer the same
+// subnet-scoped question.
+func Fig8ModularGoal(f *Fabric, prop string) (tiered.Goal, bool) {
+	goal, ok := Fig8Goal(f, prop)
+	if !ok {
+		return goal, false
+	}
+	if !goal.HasSubnet {
+		goal.Subnet = topogen.ToRSubnet(0, 0)
+		goal.HasSubnet = true
+	}
+	return goal, true
+}
+
 // BuildFabric generates a k-pod fabric.
 func BuildFabric(k int) (*Fabric, error) {
 	ft, err := topogen.Generate(k)

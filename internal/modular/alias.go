@@ -1,0 +1,306 @@
+package modular
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/protograph"
+	"repro/internal/provenance"
+	"repro/internal/tiered"
+)
+
+// canon builds the canonical serialization of one component. Router
+// names become r<i> tokens (by sorted-name index), ASNs s<i> tokens and
+// IP/prefix constants v<i> tokens, all assigned at first use, so two
+// components that differ only in names and addressing serialize — and
+// hash — identically. Neighbor descriptions are excluded (free-form
+// text, never semantic). The value pool's pairwise order/containment
+// relations are appended at the end: the encoder's terms mention the
+// concrete constants only through such comparisons (against each other
+// and against the goal destination), so components whose relation
+// matrices agree produce isomorphic SMT systems and share one verdict.
+type canon struct {
+	w       io.Writer
+	routers map[string]int
+	names   []string // sorted member routers, index = token
+	vals    []network.Prefix
+	valIdx  map[network.Prefix]int
+	asns    map[uint32]int
+}
+
+func newCanon(w io.Writer, routers []string) *canon {
+	c := &canon{w: w, routers: map[string]int{}, names: routers,
+		valIdx: map[network.Prefix]int{}, asns: map[uint32]int{}}
+	for i, r := range routers {
+		c.routers[r] = i
+	}
+	return c
+}
+
+func (c *canon) emit(format string, args ...any) { fmt.Fprintf(c.w, format+"\n", args...) }
+
+func (c *canon) r(name string) string {
+	i, ok := c.routers[name]
+	if !ok {
+		// Names outside the component must never reach the key; make the
+		// leak visible in the hash rather than silently aliasing.
+		return "r?" + name
+	}
+	return fmt.Sprintf("r%d", i)
+}
+
+func (c *canon) v(p network.Prefix) string {
+	i, ok := c.valIdx[p]
+	if !ok {
+		i = len(c.vals)
+		c.valIdx[p] = i
+		c.vals = append(c.vals, p)
+	}
+	return fmt.Sprintf("v%d", i)
+}
+
+func (c *canon) ip(a network.IP) string { return c.v(network.Prefix{Addr: a, Len: 32}) }
+
+func (c *canon) s(asn uint32) string {
+	i, ok := c.asns[asn]
+	if !ok {
+		i = len(c.asns)
+		c.asns[asn] = i
+	}
+	return fmt.Sprintf("s%d", i)
+}
+
+func (c *canon) router(cfg *config.Router) {
+	c.emit("router %s", c.r(cfg.Name))
+	for _, i := range cfg.Interfaces {
+		c.emit("iface %s addr=%s pfx=%s cost=%d in=%s out=%s mgmt=%v down=%v",
+			i.Name, c.ip(i.Addr), c.v(i.Prefix), i.OSPFCost, i.InACL, i.OutACL, i.Management, i.Shutdown)
+	}
+	if o := cfg.OSPF; o != nil {
+		c.emit("ospf pid=%d ad=%d mp=%d", o.ProcessID, o.AdminDistance, o.MaxPaths)
+		for _, n := range o.Networks {
+			c.emit("ospf net %s", c.v(n))
+		}
+		c.redist("ospf", o.Redistribute)
+	}
+	if r := cfg.RIP; r != nil {
+		c.emit("rip ad=%d", r.AdminDistance)
+		for _, n := range r.Networks {
+			c.emit("rip net %s", c.v(n))
+		}
+		c.redist("rip", r.Redistribute)
+	}
+	if b := cfg.BGP; b != nil {
+		c.emit("bgp asn=%s rid=%s ad=%d mp=%d med=%v", c.s(b.ASN), c.ip(b.RouterID),
+			b.AdminDistance, b.MaxPaths, b.AlwaysCompareMED)
+		for _, n := range b.Networks {
+			c.emit("bgp net %s", c.v(n))
+		}
+		for _, n := range b.Neighbors {
+			c.emit("nbr addr=%s as=%s in=%s out=%s rrc=%v",
+				c.ip(n.Addr), c.s(n.RemoteAS), n.InMap, n.OutMap, n.RouteReflectorClient)
+		}
+		c.redist("bgp", b.Redistribute)
+		for _, a := range b.Aggregates {
+			c.emit("agg %s summary=%v", c.v(a.Prefix), a.SummaryOnly)
+		}
+	}
+	for _, st := range cfg.Statics {
+		c.emit("static %s nh=%s if=%s ad=%d drop=%v",
+			c.v(st.Prefix), c.ip(st.NextHop), st.Interface, st.AdminDistance, st.Drop)
+	}
+	for _, name := range sortedKeys(cfg.PrefixLists) {
+		c.emit("plist %s", name)
+		for _, e := range cfg.PrefixLists[name].Entries {
+			c.emit("ple seq=%d act=%v %s ge=%d le=%d", e.Seq, e.Action, c.v(e.Prefix), e.Ge, e.Le)
+		}
+	}
+	for _, name := range sortedKeys(cfg.RouteMaps) {
+		c.emit("rmap %s", name)
+		for _, cl := range cfg.RouteMaps[name].Clauses {
+			c.emit("cl seq=%d act=%v mpl=%s mc=%s lp=%d met=%d/%v med=%d/%v setc=%s delc=%s nh=%s/%v pre=%d",
+				cl.Seq, cl.Action, cl.MatchPrefixList, cl.MatchCommunity,
+				cl.SetLocalPref, cl.SetMetric, cl.HasSetMetric, cl.SetMED, cl.HasSetMED,
+				strings.Join(cl.SetCommunity, ","), strings.Join(cl.DelCommunity, ","),
+				c.ip(cl.SetNextHop), cl.HasSetNextHop, cl.SetPrepend)
+		}
+	}
+	for _, name := range sortedKeys(cfg.ACLs) {
+		c.emit("acl %s", name)
+		for _, e := range cfg.ACLs[name].Entries {
+			c.emit("ae act=%v src=%s dst=%s proto=%d sp=%d-%d dp=%d-%d",
+				e.Action, c.v(e.SrcPrefix), c.v(e.DstPrefix), e.Protocol,
+				e.SrcPortLo, e.SrcPortHi, e.DstPortLo, e.DstPortHi)
+		}
+	}
+	for _, name := range sortedKeys(cfg.CommunityLists) {
+		c.emit("clist %s %s", name, strings.Join(cfg.CommunityLists[name].Values, ","))
+	}
+}
+
+func (c *canon) redist(proto string, rs []config.Redistribution) {
+	for _, r := range rs {
+		c.emit("%s redist from=%v metric=%d map=%s", proto, r.From, r.Metric, r.RouteMap)
+	}
+}
+
+// relations appends the value pool's pairwise comparison matrix: address
+// order, prefix lengths and interval containment. Aligned prefix
+// intervals are equal, disjoint or nested, so this matrix (with the
+// lengths) fixes the truth of every address comparison the encoder can
+// pose over the pool — including against the symbolic destination, whose
+// range is the goal subnet, itself a pool member.
+func (c *canon) relations() {
+	for i, p := range c.vals {
+		c.emit("val %d len=%d", i, p.Len)
+	}
+	for i := 0; i < len(c.vals); i++ {
+		for j := i + 1; j < len(c.vals); j++ {
+			a, b := c.vals[i], c.vals[j]
+			cmp := 0
+			if a.Addr < b.Addr {
+				cmp = -1
+			} else if a.Addr > b.Addr {
+				cmp = 1
+			}
+			c.emit("rel %d %d cmp=%d ab=%v ba=%v", i, j, cmp, a.Covers(b), b.Covers(a))
+		}
+	}
+}
+
+// classKey computes the isomorphism-class key for a component plan and
+// records the component's value pool on the plan (the pool drives the
+// blame-renaming bijection between a class representative and its other
+// members). Equal keys guarantee the canonical serializations are equal,
+// and those are written in sorted-router order — so index-aligned zip of
+// the sorted router lists is a config isomorphism between members.
+func classKey(g *protograph.Graph, cp *CompPlan, goal tiered.Goal) string {
+	h := sha256.New()
+	c := newCanon(h, cp.Comp.Routers)
+	if goal.HasSubnet {
+		c.emit("subnet %s", c.v(goal.Subnet))
+	}
+	for _, name := range cp.Comp.Routers {
+		c.router(g.Configs[name])
+	}
+	for _, name := range cp.Comp.Routers {
+		n := g.Topo.Node(name)
+		for _, l := range g.Topo.LinksOf(n) {
+			peer := l.Peer(n)
+			if _, in := c.routers[peer.Name]; in {
+				if name < peer.Name {
+					c.emit("link %s %s %s %s sub=%s a=%s b=%s", c.r(name), l.IfaceOf(n),
+						c.r(peer.Name), l.IfaceOf(peer), c.v(l.Subnet), c.ip(l.AddrOf(n)), c.ip(l.AddrOf(peer)))
+				}
+			} else {
+				c.emit("cutlink %s %s sub=%s a=%s b=%s", c.r(name), l.IfaceOf(n),
+					c.v(l.Subnet), c.ip(l.AddrOf(n)), c.ip(l.AddrOf(peer)))
+			}
+		}
+		for _, e := range g.Topo.ExternalsOf(n) {
+			c.emit("ext %s %s peer=%s self=%s as=%s", c.r(name), e.Iface, c.ip(e.PeerAddr), c.ip(e.RouterAddr), c.s(e.ASN))
+		}
+	}
+	for _, con := range cp.Imports {
+		c.emit("import %s peer=%s valid=%v metric=%d pfx=%s",
+			c.r(con.Session.To), c.ip(con.Session.FromAddr), con.Valid, con.Metric, c.v(con.Prefix))
+	}
+	for _, con := range cp.Exports {
+		c.emit("export %s peer=%s valid=%v metric=%d pfx=%s",
+			c.r(con.Session.From), c.ip(con.Session.ToAddr), con.Valid, con.Metric, c.v(con.Prefix))
+	}
+	c.emit("goal check=%s hops=%d maxlen=%d maxfail=%d hassubnet=%v",
+		goal.Check, goal.Hops, goal.MaxLen, goal.MaxFailures, goal.HasSubnet)
+	for _, s := range cp.Srcs {
+		c.emit("src %s", c.r(s))
+	}
+	c.relations()
+	cp.Vals = c.vals
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// renameOrigins rewrites a class representative's blame origins into a
+// member component's namespace: router names map index-for-index across
+// the sorted router lists, and address/prefix literals map through the
+// index-aligned value pools (equal keys force equal pool shapes). Name
+// fields are rewritten token-wise so composite names like "a>b" or
+// "tor-0-0-ext1" carry over.
+func renameOrigins(origins []provenance.Origin, rep, member *CompPlan) []provenance.Origin {
+	if rep == member {
+		return origins
+	}
+	subst := map[string]string{}
+	for i, r := range rep.Comp.Routers {
+		subst[r] = member.Comp.Routers[i]
+	}
+	for i, v := range rep.Vals {
+		if i >= len(member.Vals) {
+			break
+		}
+		mv := member.Vals[i]
+		if v.Len == 32 {
+			subst[v.Addr.String()] = mv.Addr.String()
+		}
+		subst[v.String()] = mv.String()
+	}
+	out := make([]provenance.Origin, len(origins))
+	for i, o := range origins {
+		o.Router = renameToken(o.Router, subst)
+		o.Name = renameString(o.Name, subst)
+		out[i] = o
+	}
+	return out
+}
+
+func renameToken(tok string, subst map[string]string) string {
+	if to, ok := subst[tok]; ok {
+		return to
+	}
+	return tok
+}
+
+// renameString substitutes whole separator-delimited segments, plus the
+// "<router>-ext<N>" external-name shape whose router part is a prefix of
+// the segment rather than the whole of it.
+func renameString(s string, subst map[string]string) string {
+	if s == "" {
+		return s
+	}
+	isSep := func(r byte) bool {
+		switch r {
+		case '|', '>', ':', ',', ' ', '(', ')', '[', ']':
+			return true
+		}
+		return false
+	}
+	var b strings.Builder
+	start := 0
+	flush := func(end int) {
+		seg := s[start:end]
+		if to, ok := subst[seg]; ok {
+			b.WriteString(to)
+			return
+		}
+		if i := strings.LastIndex(seg, "-ext"); i > 0 {
+			if to, ok := subst[seg[:i]]; ok {
+				b.WriteString(to + seg[i:])
+				return
+			}
+		}
+		b.WriteString(seg)
+	}
+	for i := 0; i < len(s); i++ {
+		if isSep(s[i]) {
+			flush(i)
+			b.WriteByte(s[i])
+			start = i + 1
+		}
+	}
+	flush(len(s))
+	return b.String()
+}

@@ -1,0 +1,188 @@
+package modular
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/protograph"
+)
+
+// Contract is the typed route-set for one direction of a cut session: if
+// Valid, From guarantees that anything it announces to To for the goal
+// destination carries Prefix with an AS-path length of at least Metric,
+// and To may assume the same; if !Valid, From guarantees silence. The
+// exact announcement (Prefix at exactly Metric, or nothing) is the
+// guarantee each component discharges; the lower bound is the invariant
+// every component may assume for free (see DESIGN.md §15).
+type Contract struct {
+	Session *Session
+	Valid   bool
+	Prefix  network.Prefix
+	Metric  int
+}
+
+// Contracts carries the full contract assignment for a cut and one goal
+// destination, plus the shortest-path structure it was derived from.
+type Contracts struct {
+	BySession   map[string]*Contract
+	Prefix      network.Prefix // the originated prefix covering the goal subnet
+	Dist        map[string]int // BGP-hop distance from the originators; absent = unreachable
+	Originators []string       // sorted
+	Residue     []string       // sorted
+}
+
+// maxMetric is the largest AS-path length the encoder treats as a live
+// route (its validity cap); contracts past it are dead announcements.
+const maxMetric = 255
+
+// DeriveContracts computes the assume/guarantee route-sets for a cut and
+// a goal subnet. The originators are the routers that both own and
+// BGP-originate a prefix covering the subnet; every other router's best
+// announcement for that prefix travels some BGP session path from an
+// originator, gaining one metric per eBGP hop, so the 0/1-BFS distance
+// (eBGP hops cost 1, iBGP hops cost 0) is the least metric any valid cut
+// announcement can carry. A cut session whose sender cannot reach an
+// originator — or only past the metric cap — gets an invalid (silence)
+// contract.
+func DeriveContracts(g *protograph.Graph, cut *Cut, subnet network.Prefix) *Contracts {
+	con := &Contracts{BySession: map[string]*Contract{}, Dist: map[string]int{}}
+	residue := map[string]bool{}
+
+	prefixes := map[network.Prefix][]string{}
+	for _, n := range g.Topo.Nodes {
+		cfg := g.Configs[n.Name]
+		if cfg.BGP == nil {
+			continue
+		}
+		for _, p := range cfg.BGP.Networks {
+			if p.Overlaps(subnet) && ownsPrefix(g, cfg, p) {
+				prefixes[p] = append(prefixes[p], n.Name)
+			}
+		}
+	}
+	var pkeys []network.Prefix
+	for p := range prefixes {
+		pkeys = append(pkeys, p)
+	}
+	sort.Slice(pkeys, func(i, j int) bool {
+		if pkeys[i].Addr != pkeys[j].Addr {
+			return pkeys[i].Addr < pkeys[j].Addr
+		}
+		return pkeys[i].Len < pkeys[j].Len
+	})
+	switch len(pkeys) {
+	case 0:
+		// No internal BGP origin for the destination: nothing can cross
+		// a cut for this goal, so every contract is silence. That is
+		// sound — any valid cut announcement would need a support chain
+		// ending at an origination, and there is none.
+	case 1:
+		con.Prefix = pkeys[0]
+		con.Originators = append(con.Originators, prefixes[pkeys[0]]...)
+		sort.Strings(con.Originators)
+		if !con.Prefix.Covers(subnet) {
+			// Part of the subnet lies outside the announced prefix;
+			// announcements for that slice of destinations are not in
+			// the contract vocabulary.
+			residue["origin-partial-cover"] = true
+		}
+	default:
+		// Competing originated prefixes select by longest match per
+		// destination; a single (prefix, metric) contract cannot say
+		// which wins where.
+		residue["ambiguous-origin"] = true
+	}
+
+	if len(con.Originators) > 0 && len(residue) == 0 {
+		bfs01(g, con.Originators, con.Dist)
+	}
+
+	for _, s := range cut.Sessions {
+		c := &Contract{Session: s, Prefix: con.Prefix}
+		if d, ok := con.Dist[s.From]; ok && d+1 <= maxMetric {
+			c.Valid = true
+			c.Metric = d + 1
+		}
+		con.BySession[s.ID] = c
+	}
+
+	for r := range residue {
+		con.Residue = append(con.Residue, r)
+	}
+	sort.Strings(con.Residue)
+	return con
+}
+
+// ownsPrefix mirrors the encoder's origination rule: a router originates
+// a BGP network statement only when some non-shutdown interface or some
+// static route carries exactly that prefix.
+func ownsPrefix(g *protograph.Graph, cfg *config.Router, p network.Prefix) bool {
+	for _, ifc := range cfg.Interfaces {
+		if !ifc.Shutdown && ifc.Prefix == p {
+			return true
+		}
+	}
+	for _, st := range cfg.Statics {
+		if st.Prefix == p {
+			return true
+		}
+	}
+	return false
+}
+
+// bfs01 fills dist with 0/1-BFS distances from the sources over the BGP
+// session graph: iBGP sessions relay without an AS hop (weight 0), eBGP
+// sessions cost one (weight 1). Both directions of every internal
+// session count — contract metrics must lower-bound announcements along
+// any session path, including ones that double back inside a component.
+func bfs01(g *protograph.Graph, sources []string, dist map[string]int) {
+	type edge struct {
+		to string
+		w  int
+	}
+	adj := map[string][]edge{}
+	for _, s := range g.Sessions {
+		w := 1
+		switch s.Kind {
+		case protograph.IBGP:
+			w = 0
+		case protograph.EBGP:
+			w = 1
+		default: // external sessions do not connect internal routers
+			continue
+		}
+		adj[s.A.Name] = append(adj[s.A.Name], edge{s.B.Name, w})
+		adj[s.B.Name] = append(adj[s.B.Name], edge{s.A.Name, w})
+	}
+	deque := make([]string, 0, len(sources))
+	for _, src := range sources {
+		dist[src] = 0
+		deque = append(deque, src)
+	}
+	for len(deque) > 0 {
+		u := deque[0]
+		deque = deque[1:]
+		du := dist[u]
+		for _, e := range adj[u] {
+			nd := du + e.w
+			if old, ok := dist[e.to]; !ok || nd < old {
+				dist[e.to] = nd
+				if e.w == 0 {
+					deque = append([]string{e.to}, deque...)
+				} else {
+					deque = append(deque, e.to)
+				}
+			}
+		}
+	}
+}
+
+// String renders a contract for diagnostics and violated-contract names.
+func (c *Contract) String() string {
+	if !c.Valid {
+		return fmt.Sprintf("%s: silence", c.Session.ID)
+	}
+	return fmt.Sprintf("%s: %v metric %d", c.Session.ID, c.Prefix, c.Metric)
+}

@@ -1,0 +1,179 @@
+package modular
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/properties"
+	"repro/internal/protograph"
+	"repro/internal/smt"
+	"repro/internal/tiered"
+)
+
+// Mode labels how a Verdict was produced.
+const (
+	// ModeModular means the composed component verdict stands.
+	ModeModular = "modular"
+	// ModeMonolithic means the network was a single component, so the
+	// "modular" run is the monolithic encoding by definition.
+	ModeMonolithic = "monolithic"
+	// ModeFallback means residue forced the monolithic pipeline.
+	ModeFallback = "fallback"
+)
+
+// Verdict is the outcome of a modular verification: the final Result
+// plus how it was obtained.
+type Verdict struct {
+	Result *core.Result
+	Mode   string
+	// Residue explains a fallback (static rule names, "discharge:<id>",
+	// ...); empty for ModeModular.
+	Residue []string
+	// Violated names the violated contract when a discharge failed.
+	Violated string
+	// Report carries the component-level details of a modular run (nil
+	// for single-component networks).
+	Report *Report
+	Cut    *Cut
+}
+
+// Verify answers a goal modularly when the network and goal are inside
+// the soundness envelope, and monolithically otherwise. The verdict is
+// always sound: modular composition only ever claims "verified" (with
+// blamed stanzas from the component UNSAT cores); every falsification
+// and every residue is decided by the unchanged monolithic pipeline.
+func Verify(ctx context.Context, g *protograph.Graph, goal tiered.Goal, opts Options) (*Verdict, error) {
+	cut := Partition(g)
+	if !cut.MultiComponent() {
+		res, err := CheckMonolithic(ctx, g, goal, opts.Core)
+		if err != nil {
+			return nil, err
+		}
+		return &Verdict{Result: res, Mode: ModeMonolithic,
+			Residue: []string{"single-component"}, Cut: cut}, nil
+	}
+	plan := NewPlan(g, cut, goal)
+	rep, err := Run(ctx, g, plan, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Timeout / cancellation composes to timeout, never to a
+			// verdict from partial components.
+			return nil, err
+		}
+		return fallback(ctx, g, goal, opts, cut, rep,
+			[]string{"error: " + err.Error()}, "")
+	}
+	if len(rep.Residue) > 0 {
+		return fallback(ctx, g, goal, opts, cut, rep, rep.Residue, rep.Violated)
+	}
+	return &Verdict{Result: rep.Result, Mode: ModeModular, Report: rep, Cut: cut}, nil
+}
+
+// fallback decides a residue row monolithically — or, under
+// Options.NoFallback, reports the residue with a nil Result so the
+// caller decides what an undecided row means.
+func fallback(ctx context.Context, g *protograph.Graph, goal tiered.Goal, opts Options,
+	cut *Cut, rep *Report, residue []string, violated string) (*Verdict, error) {
+	v := &Verdict{Mode: ModeFallback, Residue: residue, Violated: violated,
+		Report: rep, Cut: cut}
+	if opts.NoFallback {
+		return v, nil
+	}
+	res, err := CheckMonolithic(ctx, g, goal, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	v.Result = res
+	return v, nil
+}
+
+// CheckMonolithic runs a goal through the unchanged single-model
+// pipeline: encode the whole network, build the goal's property term and
+// check it under the failure-budget assumption.
+func CheckMonolithic(ctx context.Context, g *protograph.Graph, goal tiered.Goal, opts core.Options) (*core.Result, error) {
+	m, err := core.Encode(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	cn := m.Compile()
+	prop, err := GoalProperty(m, goal)
+	if err != nil {
+		return nil, err
+	}
+	return m.CheckGoal(ctx, cn, prop, goalAssumptions(m, goal)...)
+}
+
+// goalAssumptions returns the monolithic check's assumption set: the
+// failure budget, plus the destination restriction when the goal has
+// one. Source-property terms already embed their subnet guard (the extra
+// assumption is then redundant); for the whole-network properties
+// (blackholes, multipath-consistency, ...) the assumption is what gives
+// a subnet-scoped goal its meaning — matching the modular composition,
+// which always works per destination prefix.
+func goalAssumptions(m *core.Model, goal tiered.Goal) []*smt.Term {
+	out := []*smt.Term{failureAssumption(m, goal)}
+	if goal.HasSubnet {
+		out = append(out, properties.DstIn(m, goal.Subnet))
+	}
+	return out
+}
+
+func failureAssumption(m *core.Model, goal tiered.Goal) *smt.Term {
+	if goal.MaxFailures > 0 {
+		return m.AtMostFailures(goal.MaxFailures)
+	}
+	return m.NoFailures()
+}
+
+// GoalProperty builds the property term for a tiered.Goal on a model,
+// covering the full goal vocabulary (the modular composition itself only
+// handles a subset; the rest reaches this through the fallback).
+func GoalProperty(m *core.Model, goal tiered.Goal) (*smt.Term, error) {
+	srcs := goalSources(goal)
+	needSrc := func() error {
+		if goal.Src == "" {
+			return fmt.Errorf("modular: check %q requires a source", goal.Check)
+		}
+		return nil
+	}
+	switch goal.Check {
+	case "reachability":
+		if err := needSrc(); err != nil {
+			return nil, err
+		}
+		return properties.Reachable(m, goal.Src, goal.Subnet), nil
+	case "reachability-all":
+		return properties.ReachableAll(m, srcs, goal.Subnet), nil
+	case "isolation":
+		if err := needSrc(); err != nil {
+			return nil, err
+		}
+		return properties.Isolated(m, goal.Src, goal.Subnet), nil
+	case "mgmt-reachability":
+		return properties.ManagementReachable(m), nil
+	case "blackholes":
+		return properties.NoBlackholes(m), nil
+	case "multipath-consistency":
+		return properties.MultipathConsistent(m), nil
+	case "loops":
+		return properties.NoForwardingLoops(m, nil), nil
+	case "bounded-length":
+		if err := needSrc(); err != nil {
+			return nil, err
+		}
+		return properties.BoundedLength(m, goal.Src, goal.Subnet, goal.Hops), nil
+	case "bounded-length-all":
+		return properties.BoundedLengthAll(m, srcs, goal.Subnet, goal.Hops), nil
+	case "equal-lengths":
+		return properties.EqualLengths(m, srcs, goal.Subnet), nil
+	case "waypoint":
+		if err := needSrc(); err != nil {
+			return nil, err
+		}
+		return properties.Waypointed(m, goal.Src, goal.Via, goal.Subnet), nil
+	case "no-leak":
+		return properties.NoLeak(m, nil, goal.MaxLen), nil
+	}
+	return nil, fmt.Errorf("modular: unsupported check %q", goal.Check)
+}

@@ -1,0 +1,36 @@
+package netgen
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/topogen"
+)
+
+// FatTree generates the k-pod data-center fabric as an operational
+// Network: every switch its own AS, all-eBGP, ECMP maximum-paths 4 —
+// the population the modular assume/guarantee pipeline is built to
+// scale on (k=16 is 320 routers, k=32 is 1280, k=64 is 5120). The
+// construction delegates to internal/topogen and is fully deterministic:
+// the same k always produces byte-identical configurations, so modular
+// partition hashes and contract IDs are stable across runs.
+func FatTree(k int) (*Network, error) {
+	ft, err := topogen.Generate(k)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Name:    fmt.Sprintf("fattree-%d", k),
+		Routers: ft.Routers,
+		Cores:   append([]string(nil), ft.Cores...),
+		Lines:   config.TotalLines(ft.Routers),
+	}
+	for p := range ft.ToRs {
+		n.Access = append(n.Access, ft.ToRs[p]...)
+		n.Borders = append(n.Borders, ft.Aggs[p]...)
+	}
+	n.Roles = map[string][]string{
+		"tor": n.Access, "agg": n.Borders, "core": n.Cores,
+	}
+	return n, nil
+}

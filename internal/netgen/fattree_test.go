@@ -1,0 +1,45 @@
+package netgen
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestFatTreeDeterministic pins byte-identical regeneration: modular
+// partition hashes and contract IDs are derived from these
+// configurations, so any nondeterminism here (map iteration leaking
+// into emission order, unstable addressing) would break verdict caching
+// and the isomorphism aliasing across runs.
+func TestFatTreeDeterministic(t *testing.T) {
+	a, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Routers) != len(b.Routers) || len(a.Routers) != 20 {
+		t.Fatalf("routers = %d / %d, want 20", len(a.Routers), len(b.Routers))
+	}
+	for i := range a.Routers {
+		at, bt := config.Print(a.Routers[i]), config.Print(b.Routers[i])
+		if at != bt {
+			t.Fatalf("router %d (%s) regenerated differently:\n%s\nvs\n%s",
+				i, a.Routers[i].Name, at, bt)
+		}
+	}
+	if got, want := len(a.Access), 8; got != want {
+		t.Fatalf("tors = %d, want %d", got, want)
+	}
+	if got, want := len(a.Borders), 8; got != want {
+		t.Fatalf("aggs = %d, want %d", got, want)
+	}
+	if got, want := len(a.Cores), 4; got != want {
+		t.Fatalf("cores = %d, want %d", got, want)
+	}
+	if a.Lines == 0 {
+		t.Fatal("config line count not recorded")
+	}
+}

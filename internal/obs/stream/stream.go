@@ -56,6 +56,14 @@ const (
 	EventCertify        = "certify.done"
 	EventBlame          = "blame.done"
 	EventVerdict        = "verdict"
+
+	// Modular verification (internal/modular) progress: the plan's
+	// component/class counts, one event per solved class, and the
+	// residue/compose outcome. Emitted verbatim from the modular runner.
+	EventModularPlan    = "modular.plan"
+	EventModularClass   = "modular.class"
+	EventModularResidue = "modular.residue"
+	EventModularCompose = "modular.compose"
 )
 
 // Event is one timestamped entry of a job's flight recorder. Seq numbers

@@ -13,6 +13,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/modular"
 	"repro/internal/obs"
 	"repro/internal/obs/stream"
 	"repro/internal/protograph"
@@ -55,6 +56,14 @@ type Options struct {
 	// graph fast path and only residue reaches the solver; "sat"/"none"
 	// disables the fast path, reproducing the untiered engine exactly.
 	Tiers string
+	// Modular verifies multi-component networks with the assume/guarantee
+	// pipeline (internal/modular) when the spec's goal is in its
+	// vocabulary: cut at the eBGP interfaces, verify one representative
+	// per isomorphism class of components — scheduled on this engine's
+	// own worker pool — and compose the blamed verdicts. Residue of any
+	// kind falls back to the monolithic session; the monolithic encode is
+	// skipped entirely when the composed verdict stands.
+	Modular bool
 	// Certify records a DRAT proof trace for every network's solver
 	// session and validates it with the in-process checker whenever a
 	// job's verdict is "verified"; checked certificates are reported in
@@ -103,12 +112,21 @@ type Options struct {
 type netEntry struct {
 	mu    sync.Mutex
 	built bool
-	err   error // permanent build failure, replayed to later jobs
-	g     *protograph.Graph
-	m     *core.Model
-	cn    *core.CompiledNetwork
-	sess  *core.Session
-	alias *netEntry // canonical entry owning the shared session, if any
+	// modelBuilt is set once the monolithic model/session exists. With
+	// Options.Modular the model is built lazily — only when a job actually
+	// falls through to the monolithic pipeline — so networks answered
+	// entirely by composition never pay the whole-network encode.
+	modelBuilt bool
+	err        error // permanent build failure, replayed to later jobs
+	g          *protograph.Graph
+	m          *core.Model
+	cn         *core.CompiledNetwork
+	sess       *core.Session
+	alias      *netEntry // canonical entry owning the shared session, if any
+
+	// cuts caches the modular partition (independent of any goal); built
+	// on first modular attempt.
+	cut *modular.Cut
 
 	// tiered is the graph fast-path analysis, built from this entry's own
 	// protocol graph (nil when the engine runs untiered). It survives
@@ -247,6 +265,7 @@ type Engine struct {
 	timeout       time.Duration
 	passes        string
 	tiers         string
+	modular       bool
 	certify       bool
 	blame         bool
 	profOrig      bool
@@ -255,7 +274,13 @@ type Engine struct {
 	progressEvery int64
 	log           *slog.Logger
 
-	jobCh   chan *Job
+	jobCh chan *Job
+	// helpCh hands component-check closures to idle workers: sends are
+	// non-blocking (an idle worker must be receiving right now), so a
+	// modular job fans its classes out across the pool when it can and
+	// runs them inline when it cannot — never deadlocking, even with one
+	// worker.
+	helpCh  chan func()
 	wg      sync.WaitGroup
 	running atomic.Int64
 
@@ -298,6 +323,7 @@ func NewEngine(o Options) *Engine {
 		timeout:       o.Timeout,
 		passes:        o.Passes,
 		tiers:         o.Tiers,
+		modular:       o.Modular,
 		certify:       o.Certify,
 		blame:         o.Blame,
 		profOrig:      o.ProfileOrigins,
@@ -306,6 +332,7 @@ func NewEngine(o Options) *Engine {
 		progressEvery: o.ProgressEvery,
 		log:           o.Logger,
 		jobCh:         make(chan *Job, o.QueueDepth),
+		helpCh:        make(chan func()),
 		jobs:          map[string]*Job{},
 		nets:          map[string]*netEntry{},
 		byCompile:     map[string]*netEntry{},
@@ -436,10 +463,38 @@ func (e *Engine) Verify(ctx context.Context, req *Request) (*Verdict, error) {
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	for j := range e.jobCh {
-		e.tr.Gauge("service.queue_depth", float64(len(e.jobCh)))
-		e.runJob(j)
+	for {
+		select {
+		case j, ok := <-e.jobCh:
+			if !ok {
+				return
+			}
+			e.tr.Gauge("service.queue_depth", float64(len(e.jobCh)))
+			e.runJob(j)
+		case t := <-e.helpCh:
+			t()
+		}
 	}
+}
+
+// schedule runs component-check tasks through the worker pool: each task
+// is offered to an idle worker with a non-blocking send and run inline
+// on the scheduling job's own worker otherwise. The scheduling worker
+// never blocks on a queue, so modular fan-out is deadlock-free at any
+// worker count (with one worker everything simply runs inline).
+func (e *Engine) schedule(tasks []func()) {
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		t := t
+		wg.Add(1)
+		wrapped := func() { defer wg.Done(); t() }
+		select {
+		case e.helpCh <- wrapped:
+		default:
+			wrapped()
+		}
+	}
+	wg.Wait()
 }
 
 func (e *Engine) finishJob(j *Job, v *Verdict, err error) {
@@ -563,10 +618,12 @@ func (e *Engine) netEntryFor(key string) *netEntry {
 	return ent
 }
 
-// build parses, graphs, encodes and opens the solver session for a
-// network. Called with ent.mu held, once per network; failures are
-// cached as permanent. sp parents the encode/compile/session spans, so
-// the building job's trace carries the network's one-time setup cost.
+// build parses and graphs a network, then — unless the engine runs
+// modular, where the whole-network model may never be needed — encodes
+// it and opens the solver session. Called with ent.mu held, once per
+// network; failures are cached as permanent. sp parents the
+// encode/compile/session spans, so the building job's trace carries the
+// network's one-time setup cost.
 func (e *Engine) build(ent *netEntry, configs map[string]string, sp *obs.Span) error {
 	names := make([]string, 0, len(configs))
 	for n := range configs {
@@ -588,24 +645,46 @@ func (e *Engine) build(ent *netEntry, configs map[string]string, sp *obs.Span) e
 	if tiered.Enabled(e.tiers) {
 		ent.tiered = tiered.NewAnalysis(g)
 	}
+	ent.g = g
+	if e.modular {
+		return nil
+	}
+	return e.buildModel(ent, sp)
+}
+
+// coreOptions is the encoder/solver configuration shared by the
+// monolithic model and every modular component compile.
+func (e *Engine) coreOptions(sp *obs.Span) core.Options {
 	opts := core.DefaultOptions()
 	opts.Passes = e.passes
 	opts.Certify = e.certify
 	opts.Blame = e.blame
 	opts.ProfileOrigins = e.profOrig
 	opts.Span = sp
-	m, err := core.Encode(g, opts)
+	return opts
+}
+
+// buildModel encodes the whole network and opens its solver session.
+// Called with ent.mu held, at most once per network: the attempt is
+// recorded up front so a failure is permanent and a success is never
+// re-registered (re-compiling would alias the entry to itself).
+func (e *Engine) buildModel(ent *netEntry, sp *obs.Span) error {
+	ent.modelBuilt = true
+	opts := e.coreOptions(sp)
+	m, err := core.Encode(ent.g, opts)
 	if err != nil {
 		return fmt.Errorf("service: encode: %w", err)
 	}
 	cn := m.Compile()
 	e.tr.Add("service.compiles", 1)
-	ent.g, ent.m, ent.cn = g, m, cn
+	ent.m, ent.cn = m, cn
 	if canon := e.registerCompile(cn.Hash, ent); canon != nil {
 		// Another config set compiled to an identical constraint system:
-		// alias to it and share its session instead of blasting again.
+		// alias to it and share its session instead of blasting again. The
+		// protocol graph stays: the modular pipeline and the fast path work
+		// on the entry's own topology, never the alias's.
 		ent.alias = canon
-		ent.g, ent.m = nil, nil
+		ent.m = nil
 		e.tr.Add("service.compile_reuse", 1)
 		return nil
 	}
@@ -707,6 +786,41 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 		}
 	}
 
+	// Modular assume/guarantee path: a multi-component network whose goal
+	// is in the modular vocabulary is verified per component-class on this
+	// engine's own worker pool. When the composed verdict stands the
+	// monolithic model is never built; any residue falls through to the
+	// unchanged session pipeline below.
+	var modularResidue []string
+	var violatedContract string
+	if e.modular {
+		v, residue, violated, err := e.tryModular(ctx, j, ent, jtr)
+		if err != nil {
+			ent.mu.Unlock()
+			return nil, err
+		}
+		if v != nil {
+			ent.mu.Unlock()
+			return v, nil
+		}
+		modularResidue, violatedContract = residue, violated
+	}
+
+	// The monolithic model is built lazily under Options.Modular; make
+	// sure it exists before the session check. Failures are permanent,
+	// like graph-build failures.
+	if !ent.modelBuilt {
+		j.rec.Emit(stream.EventPhaseStart, map[string]any{"phase": "build-model"})
+		ent.err = e.buildModel(ent, jtr.Root())
+		j.rec.Emit(stream.EventPhaseEnd, map[string]any{
+			"phase": "build-model", "ok": ent.err == nil,
+		})
+		if err := ent.err; err != nil {
+			ent.mu.Unlock()
+			return nil, err
+		}
+	}
+
 	if canon := ent.alias; canon != nil {
 		// This config set compiled to the same system as an earlier
 		// network: hop to the canonical entry and use its session. The
@@ -763,10 +877,83 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 		res.FastPathElapsed = fastElapsed
 	}
 	v := newVerdict(j.ID, j.Spec, res, ent.m)
+	if e.modular {
+		// Name how the whole-network pipeline ended up answering: a goal
+		// outside the modular vocabulary or a single-component network is
+		// plain monolithic; anything else is a fallback forced by residue.
+		v.Mode = modular.ModeFallback
+		v.ModularResidue = modularResidue
+		v.ViolatedContract = violatedContract
+		if len(modularResidue) == 1 &&
+			(modularResidue[0] == "spec-check" || modularResidue[0] == "single-component") {
+			v.Mode = modular.ModeMonolithic
+			v.ModularResidue = nil
+		}
+	}
 	e.emitCheckEvents(j, res, v)
 	jtr.Root().End()
 	emitSpans(j.rec, jtr)
 	return v, nil
+}
+
+// tryModular attempts the assume/guarantee pipeline for a job. Called
+// with ent.mu held. Returns a non-nil verdict when the composed result
+// stands; otherwise the residue (and violated contract, if a discharge
+// failed) explaining why the job falls through to the monolithic
+// pipeline. A context error is returned as-is: a timed-out component
+// check times the job out, it never degrades into a partial verdict.
+func (e *Engine) tryModular(ctx context.Context, j *Job, ent *netEntry, jtr *obs.Trace) (*Verdict, []string, string, error) {
+	goal, ok := goalForSpec(j.Spec)
+	if !ok {
+		return nil, []string{"spec-check"}, "", nil
+	}
+	if ent.cut == nil {
+		ent.cut = modular.Partition(ent.g)
+	}
+	if !ent.cut.MultiComponent() {
+		return nil, []string{"single-component"}, "", nil
+	}
+	e.tr.Add("service.modular_runs", 1)
+	opts := modular.Options{
+		// Component compiles run concurrently on the worker pool, and the
+		// job's span tree is single-writer — so the core options carry no
+		// span; the flight recorder (synchronized) gets the progress.
+		Core:     e.coreOptions(nil),
+		Schedule: e.schedule,
+		OnEvent: func(ev string, fields map[string]any) {
+			j.rec.Emit(ev, fields)
+		},
+	}
+	plan := modular.NewPlan(ent.g, ent.cut, goal)
+	sp := jtr.Root().Start("modular")
+	rep, err := modular.Run(ctx, ent.g, plan, opts)
+	sp.End()
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, nil, "", err
+		}
+		// A component-level runtime error is residue, not a job failure:
+		// the monolithic pipeline still owns the answer.
+		e.tr.Add("service.modular_residue", 1)
+		j.rec.Emit(stream.EventModularResidue, map[string]any{"error": err.Error()})
+		return nil, []string{"error: " + err.Error()}, "", nil
+	}
+	e.tr.Add("service.component_checks", int64(rep.Checks))
+	e.tr.Add("service.component_alias_hits", int64(rep.AliasHits))
+	if len(rep.Residue) > 0 {
+		e.tr.Add("service.modular_residue", 1)
+		return nil, rep.Residue, rep.Violated, nil
+	}
+	e.tr.Add("service.modular_verdicts", 1)
+	v := newVerdict(j.ID, j.Spec, rep.Result, nil)
+	v.Mode = modular.ModeModular
+	v.Components = rep.Components
+	v.ComponentClasses = rep.Classes
+	v.AliasHits = rep.AliasHits
+	e.emitCheckEvents(j, rep.Result, v)
+	jtr.Root().End()
+	emitSpans(j.rec, jtr)
+	return v, nil, "", nil
 }
 
 // emitCheckEvents backfills the post-solve milestones onto the flight

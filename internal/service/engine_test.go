@@ -7,7 +7,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/config"
+	"repro/internal/modular"
+	"repro/internal/obs/stream"
 	"repro/internal/testnets"
+	"repro/internal/topogen"
 )
 
 func chainConfigs(n int) map[string]string {
@@ -314,5 +318,192 @@ func TestEngineCacheKeySensitivity(t *testing.T) {
 	b.Hops = DefaultHops
 	if cacheKey(net, a) != cacheKey(net, b) {
 		t.Fatal("default hops must normalize into the cache key")
+	}
+}
+
+// fabricConfigs renders the k-pod all-eBGP fat-tree as a service config
+// set; every router is its own AS, so the modular pipeline cuts it into
+// singleton components.
+func fabricConfigs(t *testing.T, k int) map[string]string {
+	t.Helper()
+	ft, err := topogen.Generate(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make(map[string]string, len(ft.Routers))
+	for _, r := range ft.Routers {
+		cfgs[r.Name+".cfg"] = config.Print(r)
+	}
+	return cfgs
+}
+
+func newModularTestEngine(t *testing.T, workers int) *Engine {
+	t.Helper()
+	e := NewEngine(Options{
+		Workers: workers, Timeout: 60 * time.Second,
+		Modular: true, Tiers: "none", Blame: true,
+	})
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestEngineModularVerdict pins the full fan-out path: a multi-component
+// fabric verified by assume/guarantee composition on the engine's own
+// worker pool, with isomorphic pods answered by the alias cache rather
+// than fresh solver runs.
+func TestEngineModularVerdict(t *testing.T) {
+	e := newModularTestEngine(t, 4)
+	req := &Request{
+		Configs: fabricConfigs(t, 4),
+		Spec:    Spec{Check: "reachability", Src: "tor-1-0", Subnet: "10.0.0.0/24"},
+	}
+	v, err := e.Verify(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Verified {
+		t.Fatalf("fabric reachability should verify, got %+v", v)
+	}
+	if v.Mode != modular.ModeModular {
+		t.Fatalf("mode = %q, want %q (residue %v)", v.Mode, modular.ModeModular, v.ModularResidue)
+	}
+	if v.Components != 20 {
+		t.Fatalf("components = %d, want 20 (k=4 fat-tree)", v.Components)
+	}
+	if v.ComponentClasses == 0 || v.ComponentClasses >= v.Components {
+		t.Fatalf("component classes = %d, want isomorphism collapse below %d", v.ComponentClasses, v.Components)
+	}
+	if v.AliasHits != v.Components-v.ComponentClasses {
+		t.Fatalf("alias hits = %d, want components-classes = %d", v.AliasHits, v.Components-v.ComponentClasses)
+	}
+	if len(v.Blame) == 0 {
+		t.Fatal("composed verdict must carry stanza-level blame")
+	}
+	if got := e.Trace().Counter("service.modular_verdicts"); got != 1 {
+		t.Fatalf("modular_verdicts = %d, want 1", got)
+	}
+	if got := e.Trace().Counter("service.component_alias_hits"); got != int64(v.AliasHits) {
+		t.Fatalf("component_alias_hits counter = %d, want %d", got, v.AliasHits)
+	}
+	if got := e.Trace().Counter("service.component_checks"); got == 0 {
+		t.Fatal("component_checks counter not incremented")
+	}
+
+	// The composed verdict is cached like any other: the repeat query
+	// must not re-run any component check.
+	checks := e.Trace().Counter("service.component_checks")
+	v2, err := e.Verify(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Cached || v2.Mode != modular.ModeModular {
+		t.Fatalf("repeat query: cached=%v mode=%q", v2.Cached, v2.Mode)
+	}
+	if got := e.Trace().Counter("service.component_checks"); got != checks {
+		t.Fatalf("cache hit re-ran component checks: %d → %d", checks, got)
+	}
+}
+
+// TestEngineModularTimeout pins that a budget expiring mid-composition
+// times the job out — it never degrades into a partial or wrong verdict
+// — and that the worker pool stays healthy afterwards.
+func TestEngineModularTimeout(t *testing.T) {
+	e := newModularTestEngine(t, 2)
+	j, err := e.Submit(&Request{
+		Configs:   fabricConfigs(t, 4),
+		Spec:      Spec{Check: "blackholes", Subnet: "10.0.0.0/24"},
+		TimeoutMs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if jerr := j.Err(); jerr != nil {
+		if jerr != context.DeadlineExceeded {
+			t.Fatalf("timed-out modular job: %v, want DeadlineExceeded", jerr)
+		}
+		if j.Verdict() != nil {
+			t.Fatalf("timed-out job must carry no verdict, got %+v", j.Verdict())
+		}
+		// The flight recorder names the cancellation, and no verdict event
+		// was ever emitted for the job.
+		var cancelled bool
+		for _, ev := range j.Recorder().Events() {
+			switch ev.Type {
+			case stream.EventJobCancelled:
+				cancelled = true
+			case stream.EventJobDone:
+				t.Fatal("cancelled job emitted a done event")
+			}
+		}
+		if !cancelled {
+			t.Fatal("timed-out job never emitted job.cancelled")
+		}
+	} else if v := j.Verdict(); v == nil || !v.Verified {
+		// Timing-dependent: a fast machine may finish inside 1ms, but
+		// then the verdict must be the correct one.
+		t.Fatalf("fast finish must still be the true verdict, got %+v", v)
+	}
+
+	// The pool and the cached partition survive the timeout.
+	v, err := e.Verify(context.Background(), &Request{
+		Configs: fabricConfigs(t, 4),
+		Spec:    Spec{Check: "blackholes", Subnet: "10.0.0.0/24"},
+	})
+	if err != nil {
+		t.Fatalf("engine unusable after modular timeout: %v", err)
+	}
+	if !v.Verified || v.Mode != modular.ModeModular {
+		t.Fatalf("post-timeout verdict: verified=%v mode=%q (residue %v)", v.Verified, v.Mode, v.ModularResidue)
+	}
+}
+
+// TestEngineModularFallback pins the two ways the monolithic pipeline
+// answers under Options.Modular: a single-component network is plain
+// monolithic (no residue recorded), and an in-vocabulary goal the plan
+// cannot compose falls back with the residue named on the verdict.
+func TestEngineModularFallback(t *testing.T) {
+	e := newModularTestEngine(t, 2)
+
+	// The OSPF chain is one IGP component: no cut, no residue, plain
+	// monolithic verdict.
+	v, err := e.Verify(context.Background(), &Request{
+		Configs: chainConfigs(3),
+		Spec:    Spec{Check: "reachability", Src: "R1", Subnet: "10.100.3.0/24"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Verified || v.Mode != modular.ModeMonolithic {
+		t.Fatalf("chain: verified=%v mode=%q residue=%v, want monolithic with no residue",
+			v.Verified, v.Mode, v.ModularResidue)
+	}
+	if len(v.ModularResidue) != 0 {
+		t.Fatalf("single-component residue must not surface, got %v", v.ModularResidue)
+	}
+
+	// Failure bounds are outside the compositional fragment: the fabric
+	// falls back to the monolithic pipeline and the verdict names why.
+	v, err = e.Verify(context.Background(), &Request{
+		Configs: fabricConfigs(t, 2),
+		Spec:    Spec{Check: "reachability", Src: "tor-1-0", Subnet: "10.0.0.0/24", MaxFailures: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Mode != modular.ModeFallback {
+		t.Fatalf("maxfail fabric: mode=%q, want %q", v.Mode, modular.ModeFallback)
+	}
+	found := false
+	for _, r := range v.ModularResidue {
+		if r == "goal-max-failures" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fallback residue = %v, want goal-max-failures", v.ModularResidue)
+	}
+	if got := e.Trace().Counter("service.modular_residue"); got == 0 {
+		t.Fatal("modular_residue counter not incremented")
 	}
 }

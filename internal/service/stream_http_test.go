@@ -308,12 +308,14 @@ func TestSSEConcurrentSubscribers(t *testing.T) {
 // job killed by its deadline still serves a non-empty timeline whose
 // final event is the cancellation, and the timeline is marked closed.
 func TestTimelineOfTimedOutJob(t *testing.T) {
-	srv, e := newTestServer(t)
-	// 1ms is far below the network's build time, so the deadline fires
-	// while the job is still encoding.
+	// The graph fast path can answer a short chain in under a
+	// millisecond on a warm machine, beating the deadline; pin the
+	// solver pipeline and use a chain long enough that encoding alone
+	// dwarfs the deadline, so the cancellation always fires mid-job.
+	srv, e := newTestServerTiers(t, "none")
 	j, err := e.Submit(&Request{
-		Configs:   chainConfigs(8),
-		Spec:      Spec{Check: "reachability", Src: "R1", Subnet: "10.100.8.0/24"},
+		Configs:   chainConfigs(64),
+		Spec:      Spec{Check: "reachability", Src: "R1", Subnet: "10.100.64.0/24"},
 		TimeoutMs: 1,
 	})
 	if err != nil {

@@ -34,6 +34,19 @@ type Verdict struct {
 	SATVars    int     `json:"sat_vars,omitempty"`
 	SATClauses int     `json:"sat_clauses,omitempty"`
 
+	// Modular composition detail (engine Options.Modular). Mode is
+	// "modular" when the composed component verdict stands, "monolithic"
+	// when the goal or network is outside the modular vocabulary, and
+	// "fallback" when residue forced the whole-network pipeline (the
+	// residue names why; ViolatedContract names the interface contract a
+	// failed discharge blamed, when there is one).
+	Mode             string   `json:"mode,omitempty"`
+	Components       int      `json:"components,omitempty"`
+	ComponentClasses int      `json:"component_classes,omitempty"`
+	AliasHits        int      `json:"alias_hits,omitempty"`
+	ModularResidue   []string `json:"modular_residue,omitempty"`
+	ViolatedContract string   `json:"violated_contract,omitempty"`
+
 	// Blame is the configuration origins the verdict depends on, as
 	// "router/proto/kind name" strings (engine Options.Blame): for a
 	// verified job the origins in the UNSAT core, for a falsified job the

@@ -28,6 +28,9 @@ type FatTree struct {
 	Cores []string
 }
 
+// backboneASN is the AS of the external backbone behind every core.
+const backboneASN = 65000
+
 // ToRSubnet returns the /24 advertised by ToR t of pod p.
 func ToRSubnet(p, t int) network.Prefix {
 	return network.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", p, t))
@@ -142,8 +145,18 @@ func Generate(k int) (*FatTree, error) {
 	b := &builder{cfgs: map[string]*routerDraft{}}
 	ft := &FatTree{K: k}
 
+	// Internal ASNs count up from the private range; the backbone AS
+	// (65000) is skipped so no fabric router ever collides with it — a
+	// collision would make cores see two neighbors in one AS, activating
+	// MED comparison the fabric never asked for.
 	asn := uint32(64512)
-	nextASN := func() uint32 { asn++; return asn }
+	nextASN := func() uint32 {
+		asn++
+		if asn == backboneASN {
+			asn++
+		}
+		return asn
+	}
 
 	// Cores.
 	cores := make([]*routerDraft, half*half)
@@ -181,7 +194,7 @@ func Generate(k int) (*FatTree, error) {
 	}
 	// External backbone behind every core.
 	for c, core := range cores {
-		b.external(core, BackboneName(c), 65000, true)
+		b.external(core, BackboneName(c), backboneASN, true)
 	}
 
 	// Render and parse.

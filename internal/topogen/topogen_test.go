@@ -149,3 +149,32 @@ func TestGeneratedConfigsRoundTrip(t *testing.T) {
 		t.Fatalf("suspicious config size %d", lines)
 	}
 }
+
+// TestASNsAvoidBackbone pins the fabric ASN allocator away from the
+// backbone AS: at 1280 routers the sequential counter walks straight
+// through 65000, and a fabric router in the backbone's AS makes every
+// adjacent core see two neighbors in one AS — silently activating MED
+// comparison (and the modular pipeline's "med" residue) fabric-wide.
+func TestASNsAvoidBackbone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=32 generation is a few seconds")
+	}
+	ft, err := Generate(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]string{}
+	for _, r := range ft.Routers {
+		if r.BGP == nil {
+			t.Fatalf("%s: no BGP stanza", r.Name)
+		}
+		asn := r.BGP.ASN
+		if asn == backboneASN {
+			t.Fatalf("%s allocated the backbone AS %d", r.Name, backboneASN)
+		}
+		if prev, dup := seen[asn]; dup {
+			t.Fatalf("AS %d allocated twice: %s and %s", asn, prev, r.Name)
+		}
+		seen[asn] = r.Name
+	}
+}
