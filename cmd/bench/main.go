@@ -16,6 +16,7 @@
 //	bench -experiment modular    [-pods 2,4,16,32] [-mono-max 4] [-workers N] [-json-out BENCH_modular.json]
 //	bench -experiment ablation   [-pods 4]
 //	bench -experiment service    [-pods 2] [-json-out BENCH_service.json]
+//	bench -experiment parallel   [-pods 4] [-workers N] [-certify] [-json-out BENCH_parallel.json]
 //	bench -experiment fuzz       [-iters 2] [-seed 1]
 //	bench -compare [-tolerance 0.25] [-min-ms 5] old.json new.json
 //
@@ -104,7 +105,7 @@ func main() {
 		tiersFlag  = flag.String("tiers", "", "fig8: verification tiers (graph,sat enables the fast path; default: untiered, measuring the solver)")
 		certify    = flag.Bool("certify", false, "fig8: record DRAT proofs and check verified verdicts, adding the proof columns")
 		monoMax    = flag.Int("mono-max", 4, "modular: largest pod count also verified monolithically for the reference comparison")
-		workers    = flag.Int("workers", runtime.NumCPU(), "modular: component-class solver parallelism")
+		workers    = flag.Int("workers", runtime.NumCPU(), "modular/parallel: solver-level parallelism")
 		iters      = flag.Int("iters", 2, "fuzz: iterations per scenario family")
 		profOrig   = flag.Bool("profile-origins", false, "fig8: run every query twice to measure origin-attribution overhead and collect the per-origin hot-constraint profile")
 		profOut    = flag.String("profile-out", "BENCH_origins.folded", "collapsed-stack output path for -profile-origins ('' to skip)")
@@ -215,10 +216,16 @@ func main() {
 			ks = []int{2}
 		}
 		err = runService(ks, out, tr, every, *passesFlag)
+	case "parallel":
+		out := *jsonOut
+		if out == "BENCH_fig8.json" {
+			out = "BENCH_parallel.json"
+		}
+		err = runParallel(parseInts(*podsFlag), parseProps(*propsFlag), out, *passesFlag, *workers, *certify)
 	case "fuzz":
 		err = runFuzz(*iters, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|tiered|modular|ablation|service|fuzz")
+		fmt.Fprintln(os.Stderr, "usage: bench -experiment violations|fig7|fig8|tiered|modular|ablation|service|parallel|fuzz")
 		os.Exit(2)
 	}
 	if err == nil && tr != nil {

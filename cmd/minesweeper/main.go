@@ -89,6 +89,7 @@ import (
 	"repro/internal/properties"
 	"repro/internal/protograph"
 	"repro/internal/provenance"
+	"repro/internal/psolve"
 	"repro/internal/sat"
 	"repro/internal/smt"
 	"repro/internal/tiered"
@@ -103,6 +104,8 @@ type cliOpts struct {
 	traceJSON, traceChrome, promOut    string
 	passes                             string
 	tiers                              string
+	parallel                           string
+	parallelWorkers                    int
 	progressEvery                      int64
 }
 
@@ -128,6 +131,8 @@ func main() {
 	flag.BoolVar(&o.certify, "certify", false, "record a DRAT proof trace and check verified verdicts with the independent checker")
 	flag.BoolVar(&o.blame, "blame", false, "report the configuration origins the verdict depends on (UNSAT core origins, or the counterexample's forwarding origins)")
 	flag.BoolVar(&o.modular, "modular", false, "verify multi-component networks by assume/guarantee composition (cut at eBGP interfaces, parallel per-component checks; residue falls back to the monolithic pipeline)")
+	flag.StringVar(&o.parallel, "parallel", "off", "parallel solve strategy: off, portfolio (race configured solver clones), cubes (split on environment variables), or auto")
+	flag.IntVar(&o.parallelWorkers, "parallel-workers", 0, "solver-level parallelism (0: one per CPU); 1 reproduces the sequential search exactly")
 	flag.Int64Var(&o.progressEvery, "progress", 0, "print solver progress to stderr every N conflicts")
 	flag.Parse()
 	if o.dir == "" || o.check == "" {
@@ -177,6 +182,11 @@ func run(o cliOpts) error {
 		return err
 	}
 	opts.Tiers = o.tiers
+	if !psolve.ValidMode(o.parallel) {
+		return fmt.Errorf("unknown -parallel mode %q (want off, portfolio, cubes or auto)", o.parallel)
+	}
+	opts.Parallel = o.parallel
+	opts.ParallelWorkers = o.parallelWorkers
 	opts.Certify = o.certify
 	opts.Blame = o.blame
 	opts.Span = tr.Root()

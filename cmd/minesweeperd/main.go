@@ -61,6 +61,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/psolve"
 	"repro/internal/service"
 	"repro/internal/tiered"
 )
@@ -74,6 +75,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 120*time.Second, "default per-job deadline")
 		passes    = flag.String("passes", "", "optimization passes: comma list of hoist,slice,fold,cse,propagate,coi, or all/none (default: all)")
 		tiers     = flag.String("tiers", "", "verification tiers: graph,sat (default; sound graph fast path, residue to the solver), or sat/none to disable the fast path")
+		parallel  = flag.String("parallel", "off", "parallel solve strategy: off, portfolio (race configured solver clones), cubes (split on environment variables), or auto")
+		parWk     = flag.Int("parallel-workers", 0, "solver-level parallelism per check (0: one per CPU); shares the verification worker pool")
 		mod       = flag.Bool("modular", false, "verify multi-component networks by assume/guarantee composition (cut at eBGP interfaces, per-component checks on the worker pool; residue falls back to the monolithic pipeline)")
 		certify   = flag.Bool("certify", false, "record DRAT proof traces and check verified verdicts with the independent checker")
 		blame     = flag.Bool("blame", false, "report the configuration origins each verdict depends on (implies proof logging)")
@@ -91,20 +94,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "minesweeperd:", err)
 		os.Exit(2)
 	}
+	if !psolve.ValidMode(*parallel) {
+		fmt.Fprintf(os.Stderr, "minesweeperd: unknown -parallel mode %q (want off, portfolio, cubes or auto)\n", *parallel)
+		os.Exit(2)
+	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	opts := service.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		Timeout:        *timeout,
-		Passes:         *passes,
-		Tiers:          *tiers,
-		Modular:        *mod,
-		Certify:        *certify,
-		Blame:          *blame,
-		ProfileOrigins: *profOrig,
-		MaxJobs:        *maxJobs,
-		EventBuffer:    *eventBuf,
-		ProgressEvery:  *progress,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		Timeout:         *timeout,
+		Passes:          *passes,
+		Tiers:           *tiers,
+		Parallel:        *parallel,
+		ParallelWorkers: *parWk,
+		Modular:         *mod,
+		Certify:         *certify,
+		Blame:           *blame,
+		ProfileOrigins:  *profOrig,
+		MaxJobs:         *maxJobs,
+		EventBuffer:     *eventBuf,
+		ProgressEvery:   *progress,
 	}
 	if err := run(logger, *listen, *debugAddr, opts); err != nil {
 		logger.Error("exiting", "err", err)

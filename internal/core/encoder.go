@@ -77,6 +77,21 @@ type Options struct {
 	// lives here so every entry point (service, CLI, harness) threads
 	// one configuration object.
 	Tiers string
+
+	// Parallel selects the parallel solve strategy (internal/psolve):
+	// "off" (or empty, the default) keeps the sequential search,
+	// "portfolio" races differently-configured solver clones,
+	// "cubes" splits on environment/failure variables, and "auto" picks
+	// per query. With a parallel strategy on, UNSAT certification also
+	// replays the DRAT trace with the concurrent segment checker.
+	Parallel string
+	// ParallelWorkers bounds solver-level parallelism; <=0 means one
+	// worker per CPU.
+	ParallelWorkers int
+	// Seed diversifies the portfolio configurations deterministically;
+	// fixed seeds give reproducible parallel runs (and the determinism
+	// pin: one worker with any seed must equal the sequential search).
+	Seed int64
 }
 
 // DefaultOptions enables all optimizations.
@@ -186,6 +201,13 @@ type Model struct {
 	ProgressEvery int64
 	// OnProgress receives the periodic solver snapshots.
 	OnProgress func(sat.Progress)
+	// Schedule, when set, runs parallel-solve tasks on a shared worker
+	// pool (the service hands its helper pool here so job- and
+	// solver-level parallelism share cores). Nil uses fresh goroutines.
+	Schedule func(tasks []func())
+	// OnSolverEvent receives parallel-engine flight-recorder events
+	// (psolve.EventPortfolio, psolve.EventCube).
+	OnSolverEvent func(kind string, fields map[string]any)
 
 	// encSpan is the live "encode" span while EncodeWithContext runs;
 	// encodeSlice hangs its per-slice spans off it.

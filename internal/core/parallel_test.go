@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/psolve"
+	"repro/internal/testnets"
+)
+
+func parallelOptions(mode string, workers int) Options {
+	o := DefaultOptions()
+	o.Certify = true
+	o.Parallel = mode
+	o.ParallelWorkers = workers
+	o.Seed = 1729
+	return o
+}
+
+// TestParallelDeterminismPin is the determinism pin of ISSUE 9: with a
+// fixed seed and one worker, both parallel strategies must reproduce the
+// sequential search bit for bit — same verdict, same solver statistics,
+// same certificate shape. A single-worker portfolio is a vanilla clone
+// and a single-worker cube run degenerates to the same, so any
+// divergence means a strategy leaks configuration into the search.
+func TestParallelDeterminismPin(t *testing.T) {
+	net := testnets.OSPFChain(3)
+	c0, err := Encode(net.Graph, parallelOptions(psolve.ModeOff, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := testnets.StubIP(3)
+	check := func(m *Model) *Result {
+		t.Helper()
+		prop := m.Reach(m.Main, true)["R1"]
+		pin := m.Ctx.Eq(m.DstIP, m.Ctx.BV(uint64(dst), WidthIP))
+		res, err := m.Check(prop, m.NoFailures(), pin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := check(c0)
+	if !want.Verified || want.Certificate == nil || !want.Certificate.Checked {
+		t.Fatalf("sequential baseline broken: %+v", want)
+	}
+	for _, mode := range []string{psolve.ModePortfolio, psolve.ModeCubes} {
+		m, err := Encode(net.Graph, parallelOptions(mode, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := check(m)
+		if got.Verified != want.Verified {
+			t.Fatalf("%s: verdict diverges: %v vs %v", mode, got.Verified, want.Verified)
+		}
+		if got.Stats != want.Stats {
+			t.Fatalf("%s: solver stats diverge from sequential:\n got %+v\nwant %+v",
+				mode, got.Stats, want.Stats)
+		}
+		if got.Certificate.Steps != want.Certificate.Steps ||
+			got.Certificate.Lemmas != want.Certificate.Lemmas ||
+			got.Certificate.Inputs != want.Certificate.Inputs {
+			t.Fatalf("%s: certificate diverges: %+v vs %+v", mode, got.Certificate, want.Certificate)
+		}
+	}
+}
+
+// TestParallelModesAgree answers one verified and one falsified query
+// under every strategy with real parallelism: identical verdicts,
+// checked certificates on UNSAT, a counterexample that replays on SAT,
+// and the strategy report attached.
+func TestParallelModesAgree(t *testing.T) {
+	net := testnets.OSPFChain(3)
+	dst := testnets.StubIP(3)
+	for _, mode := range []string{psolve.ModePortfolio, psolve.ModeCubes, psolve.ModeAuto} {
+		m, err := Encode(net.Graph, parallelOptions(mode, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := m.Ctx
+		prop := m.Reach(m.Main, true)["R1"]
+		pin := c.Eq(m.DstIP, c.BV(uint64(dst), WidthIP))
+		res, err := m.Check(prop, m.NoFailures(), pin)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !res.Verified {
+			t.Fatalf("%s: R1 should reach R3's stub with no failures", mode)
+		}
+		if res.Certificate == nil || !res.Certificate.Checked {
+			t.Fatalf("%s: verified without checked certificate", mode)
+		}
+		if res.Portfolio == nil && res.Cube == nil {
+			t.Fatalf("%s: no strategy report on the result", mode)
+		}
+
+		res, err = m.Check(c.False())
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if res.Verified {
+			t.Fatalf("%s: False verified", mode)
+		}
+		if res.Counterexample == nil {
+			t.Fatalf("%s: falsified without counterexample", mode)
+		}
+		if diffs, err := m.ReplayAgrees(res.Counterexample); err != nil || len(diffs) != 0 {
+			t.Fatalf("%s: parallel counterexample does not replay: %v %v", mode, diffs, err)
+		}
+	}
+}
+
+// TestParallelSession runs several checks of one incremental session
+// under a portfolio race: the clones must leave the session solver
+// reusable, and every verdict must match the sequential session.
+func TestParallelSession(t *testing.T) {
+	net := testnets.OSPFChain(3)
+	dst := testnets.StubIP(3)
+	seqM, err := Encode(net.Graph, parallelOptions(psolve.ModeOff, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parM, err := Encode(net.Graph, parallelOptions(psolve.ModePortfolio, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par := seqM.NewSession(), parM.NewSession()
+	for i := 0; i < 3; i++ {
+		run := func(m *Model, s *Session) *Result {
+			t.Helper()
+			c := m.Ctx
+			prop := m.Reach(m.Main, true)["R1"]
+			pin := c.Eq(m.DstIP, c.BV(uint64(dst), WidthIP))
+			var res *Result
+			var err error
+			if i == 1 {
+				res, err = s.Check(c.False())
+			} else {
+				res, err = s.Check(prop, m.NoFailures(), pin)
+			}
+			if err != nil {
+				t.Fatalf("check %d: %v", i, err)
+			}
+			return res
+		}
+		want, got := run(seqM, seq), run(parM, par)
+		if got.Verified != want.Verified {
+			t.Fatalf("check %d: parallel session says %v, sequential says %v",
+				i, got.Verified, want.Verified)
+		}
+		if got.Verified && (got.Certificate == nil || !got.Certificate.Checked) {
+			t.Fatalf("check %d: verified without checked certificate", i)
+		}
+	}
+}
+
+// TestParallelUnknownMode pins the validation error for a bad
+// Options.Parallel value on both execution paths.
+func TestParallelUnknownMode(t *testing.T) {
+	net := testnets.OSPFChain(2)
+	o := DefaultOptions()
+	o.Parallel = "sideways"
+	m, err := Encode(net.Graph, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Check(m.Ctx.True()); err == nil {
+		t.Fatal("Check accepted unknown parallel mode")
+	}
+	if _, err := m.NewSession().Check(m.Ctx.True()); err == nil {
+		t.Fatal("Session.Check accepted unknown parallel mode")
+	}
+}

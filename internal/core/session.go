@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/provenance"
+	"repro/internal/psolve"
 	"repro/internal/sat"
 	"repro/internal/smt"
 )
@@ -174,6 +175,9 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 		return nil, err
 	}
 	m := s.m
+	if !psolve.ValidMode(m.Opts.Parallel) {
+		return nil, fmt.Errorf("core: unknown parallel mode %q", m.Opts.Parallel)
+	}
 	c := m.Ctx
 	sp := m.Obs.Start("session-check")
 	defer sp.End()
@@ -231,13 +235,33 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 
 	// Phase 2: CDCL search under the activation literal, with optional
 	// cancellation. The watcher is joined before the interrupt flag is
-	// cleared so a late Interrupt cannot leak into the next check.
+	// cleared so a late Interrupt cannot leak into the next check. With a
+	// parallel strategy on, the search runs on clones of the session
+	// solver (which stays untouched and reusable); the session is told
+	// the adopted cumulative counters so per-check deltas stay right.
 	solveSp := sp.Start("solve")
 	solveStart := time.Now()
-	stopWatch := watchInterrupt(ctx, s.ss.Interrupt)
-	status := s.ss.Solve()
-	stopWatch()
-	s.ss.ResetInterrupt()
+	var status sat.Status
+	var outcome *psolve.Outcome
+	if m.parallelEnabled() {
+		var perr error
+		outcome, perr = psolve.Solve(ctx, s.ss.Solver().SATSolver(),
+			m.parallelOptions(s.ss.Solver()), s.ss.Assumptions()...)
+		if perr != nil {
+			solveSp.End()
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("core: parallel solve: %w", perr)
+		}
+		status = outcome.Status
+		s.ss.FinishExternalSolve(outcome.Stats)
+	} else {
+		stopWatch := watchInterrupt(ctx, s.ss.Interrupt)
+		status = s.ss.Solve()
+		stopWatch()
+		s.ss.ResetInterrupt()
+	}
 	solveElapsed := time.Since(solveStart)
 	s.checks++
 	st := s.ss.LastStats().Stats
@@ -256,6 +280,10 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 		SATClauses:    satClauses,
 		Stats:         st,
 	}
+	if outcome != nil {
+		res.Portfolio = outcome.Portfolio
+		res.Cube = outcome.Cube
+	}
 	switch status {
 	case sat.Unsat:
 		res.Verified = true
@@ -263,8 +291,14 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 			// The session's UNSAT is relative to its activation literal;
 			// the checker gets it as an assumption. The trace replayed is
 			// cumulative over the session's whole life, so certification
-			// cost grows with the number of checks.
-			cert, core, err := certify(sp, s.proof, m.Opts.Blame, s.ss.Assumptions()...)
+			// cost grows with the number of checks. A parallel run's trace
+			// is the adopted one (winner's or stitched), resolved against
+			// whichever origin tables recorded it.
+			checkProof, bases := s.proof, s.ss.Solver().OriginSetBases
+			if outcome != nil {
+				checkProof, bases = outcome.Proof, outcome.OriginBases
+			}
+			cert, core, err := certify(sp, checkProof, m.Opts.Blame, m.certifyWorkers(), s.ss.Assumptions()...)
 			if err != nil {
 				return nil, err
 			}
@@ -272,12 +306,16 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 			res.CertifyElapsed = cert.CheckElapsed
 			res.Elapsed += res.CertifyElapsed
 			if m.Opts.Blame {
-				res.Blame = m.blameFromCore(s.ss.Solver(), s.proof, core)
+				res.Blame = m.blameFromCore(bases, checkProof, core)
 			}
 		}
 	case sat.Sat:
 		dSp := sp.Start("decode")
-		res.Counterexample = m.Decode(s.ss.Model())
+		asg := s.ss.Model()
+		if outcome != nil {
+			asg = s.ss.Solver().ModelFrom(outcome.Winner)
+		}
+		res.Counterexample = m.Decode(asg)
 		dSp.End()
 		if m.Opts.Blame {
 			res.Blame = m.blameSat(s.blameAsserts, s.blameOrigins, res.Counterexample.Assignment)
@@ -289,7 +327,11 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 		return nil, fmt.Errorf("core: solver returned %v", status)
 	}
 	if m.Opts.ProfileOrigins {
-		res.OriginProfile = m.originProfile(s.ss.Solver())
+		if outcome != nil {
+			res.OriginProfile = m.profileFromOutcome(outcome)
+		} else {
+			res.OriginProfile = m.originProfile(s.ss.Solver())
+		}
 	}
 	return res, nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/provenance"
+	"repro/internal/psolve"
 	"repro/internal/sat"
 	"repro/internal/sat/drat"
 	"repro/internal/simulator"
@@ -79,6 +80,12 @@ type Result struct {
 	// attributed per config origin, hottest first.
 	OriginProfile *provenance.Profile
 
+	// Portfolio and Cube report how a parallel solve (Options.Parallel)
+	// reached its verdict; nil for sequential checks and for the parallel
+	// strategies that were not used.
+	Portfolio *psolve.PortfolioReport
+	Cube      *psolve.CubeReport
+
 	// Tier records which verification tier produced the verdict when a
 	// tiered orchestrator (internal/tiered) ran the query: "graph" for
 	// the fast path, "sat" for solver fall-through, "" when no tiering
@@ -109,17 +116,21 @@ type Certificate struct {
 // the trace does not establish UNSAT — in which case the caller must not
 // report a verdict. With wantCore set the checker additionally extracts
 // the unsatisfiable core (indices of the input steps the refutation
-// depends on) in the same replay.
-func certify(sp *obs.Span, proof *sat.Proof, wantCore bool, assumptions ...sat.Lit) (*Certificate, []int, error) {
+// depends on) in the same replay; core extraction threads state through
+// the whole trace, so it stays sequential even when workers > 1.
+func certify(sp *obs.Span, proof *sat.Proof, wantCore bool, workers int, assumptions ...sat.Lit) (*Certificate, []int, error) {
 	cSp := sp.Start("certify")
 	defer cSp.End()
 	start := time.Now()
 	var st *drat.Stats
 	var core []int
 	var err error
-	if wantCore {
+	switch {
+	case wantCore:
 		st, core, err = drat.CheckCore(proof, assumptions...)
-	} else {
+	case workers > 1:
+		st, err = drat.CheckParallel(proof, workers, assumptions...)
+	default:
 		st, err = drat.Check(proof, assumptions...)
 	}
 	elapsed := time.Since(start)
@@ -203,6 +214,9 @@ func watchInterrupt(ctx context.Context, interrupt func()) (stop func()) {
 func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []passes.Stats, priorElapsed time.Duration, property *smt.Term, assumptions []*smt.Term) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if !psolve.ValidMode(m.Opts.Parallel) {
+		return nil, fmt.Errorf("core: unknown parallel mode %q", m.Opts.Parallel)
 	}
 	c := m.Ctx
 	sp := m.Obs.Start("check")
@@ -303,15 +317,36 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 	simpSp.SetInt("clauses_after", int64(solver.NumSATClauses()))
 	simpSp.End()
 
-	// Phase 3: CDCL search, interruptible through ctx.
+	// Phase 3: CDCL search, interruptible through ctx. A parallel
+	// strategy (Options.Parallel) fans the search out over clones of the
+	// solver and adopts the winner's verdict, stats and proof
+	// (internal/psolve); the sequential path is untouched when off.
 	solveSp := sp.Start("solve")
 	solveStart := time.Now()
-	stopWatch := watchInterrupt(ctx, solver.Interrupt)
-	status := solver.Check()
-	stopWatch()
-	solver.ResetInterrupt()
+	var status sat.Status
+	var outcome *psolve.Outcome
+	if m.parallelEnabled() {
+		var perr error
+		outcome, perr = psolve.Solve(ctx, solver.SATSolver(), m.parallelOptions(solver))
+		if perr != nil {
+			solveSp.End()
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("core: parallel solve: %w", perr)
+		}
+		status = outcome.Status
+	} else {
+		stopWatch := watchInterrupt(ctx, solver.Interrupt)
+		status = solver.Check()
+		stopWatch()
+		solver.ResetInterrupt()
+	}
 	solveElapsed := time.Since(solveStart)
 	st := solver.SATStats()
+	if outcome != nil {
+		st = outcome.Stats
+	}
 	solveSp.SetStr("status", status.String())
 	solveSp.SetInt("conflicts", st.Conflicts)
 	solveSp.SetInt("decisions", st.Decisions)
@@ -330,11 +365,22 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 		SATClauses:      satClauses,
 		Stats:           st,
 	}
+	if outcome != nil {
+		res.Portfolio = outcome.Portfolio
+		res.Cube = outcome.Cube
+	}
 	switch status {
 	case sat.Unsat:
 		res.Verified = true
 		if proof != nil {
-			cert, core, err := certify(sp, proof, m.Opts.Blame)
+			// A parallel run's certificate is the adopted trace (the
+			// winner's, or the stitched multi-cube proof), resolved against
+			// whichever origin tables it refers to.
+			checkProof, bases := proof, solver.OriginSetBases
+			if outcome != nil {
+				checkProof, bases = outcome.Proof, outcome.OriginBases
+			}
+			cert, core, err := certify(sp, checkProof, m.Opts.Blame, m.certifyWorkers())
 			if err != nil {
 				return nil, err
 			}
@@ -342,12 +388,16 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 			res.CertifyElapsed = cert.CheckElapsed
 			res.Elapsed += res.CertifyElapsed
 			if m.Opts.Blame {
-				res.Blame = m.blameFromCore(solver, proof, core)
+				res.Blame = m.blameFromCore(bases, checkProof, core)
 			}
 		}
 	case sat.Sat:
 		dSp := sp.Start("decode")
-		res.Counterexample = m.Decode(solver.Model())
+		asg := solver.Model()
+		if outcome != nil {
+			asg = solver.ModelFrom(outcome.Winner)
+		}
+		res.Counterexample = m.Decode(asg)
 		dSp.End()
 		if m.Opts.Blame {
 			res.Blame = m.blameSat(asserts, origins, res.Counterexample.Assignment)
@@ -359,17 +409,22 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 		return nil, fmt.Errorf("core: solver returned %v", status)
 	}
 	if m.Opts.ProfileOrigins {
-		res.OriginProfile = m.originProfile(solver)
+		if outcome != nil {
+			res.OriginProfile = m.profileFromOutcome(outcome)
+		} else {
+			res.OriginProfile = m.originProfile(solver)
+		}
 	}
 	return res, nil
 }
 
 // blameFromCore maps an UNSAT core (input-step indices of a checked
 // proof) back to config origins: each input clause carries the interned
-// origin set of the assert it was blasted from. Untagged clauses (the
-// zero origin) are dropped; the result is sorted, so equal cores blame
-// identically.
-func (m *Model) blameFromCore(solver *smt.Solver, proof *sat.Proof, core []int) []provenance.Origin {
+// origin set of the assert it was blasted from, resolved through bases
+// (the origin tables of whichever solver recorded the proof). Untagged
+// clauses (the zero origin) are dropped; the result is sorted, so equal
+// cores blame identically.
+func (m *Model) blameFromCore(bases func(id int32) []int32, proof *sat.Proof, core []int) []provenance.Origin {
 	steps := proof.Steps()
 	seen := map[int32]bool{}
 	var out []provenance.Origin
@@ -377,7 +432,7 @@ func (m *Model) blameFromCore(solver *smt.Solver, proof *sat.Proof, core []int) 
 		if si < 0 || si >= len(steps) {
 			continue
 		}
-		for _, base := range solver.OriginSetBases(steps[si].Origin) {
+		for _, base := range bases(steps[si].Origin) {
 			if seen[base] {
 				continue
 			}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/properties"
+	"repro/internal/psolve"
 	"repro/internal/service"
 	"repro/internal/smt"
 	"repro/internal/tiered"
@@ -32,10 +33,11 @@ import (
 //	...
 //
 // Directives come first; each "--- name" line starts one router's
-// configuration block. Every check is replayed on all three execution
-// paths (fresh Model.Check, Session.Check, service engine) with
-// certification on, and sim-safe scenarios additionally run the
-// differential oracle on a fixed random stream.
+// configuration block. Every check is replayed on the execution paths
+// (fresh Model.Check, Session.Check, service engine, graph fast path,
+// parallel solve strategies) with certification on, and sim-safe
+// scenarios additionally run the differential oracle on a fixed random
+// stream.
 
 // CorpusCheck is one expected verdict of a corpus scenario.
 type CorpusCheck struct {
@@ -314,6 +316,37 @@ func (cs *CorpusScenario) Verify(rng *rand.Rand, simIters int) error {
 		if out.Decided && out.Verified != ck.Expect {
 			return fmt.Errorf("%s: graph-tier check %d (%s src=%s subnet=%s): decided verified=%v (reason %s), want %v",
 				cs.Path, i, ck.Check, ck.Src, ck.Subnet, out.Verified, out.Reason, ck.Expect)
+		}
+	}
+
+	// Path 5: the parallel solve strategies. Each pinned verdict must
+	// survive a portfolio race and a cube-and-conquer fan-out, with the
+	// certificate invariant intact (for an all-UNSAT fan-out that means
+	// the stitched multi-cube proof checked out).
+	for _, mode := range []string{psolve.ModePortfolio, psolve.ModeCubes} {
+		mp, err := cs.Encode("")
+		if err != nil {
+			return err
+		}
+		mp.Opts.Parallel = mode
+		mp.Opts.ParallelWorkers = 2
+		for i, ck := range cs.Checks {
+			prop, err := buildProperty(mp, ck)
+			if err != nil {
+				return fmt.Errorf("%s: parallel=%s check %d: %w", cs.Path, mode, i, err)
+			}
+			res, err := mp.Check(prop, assumptionFor(mp, ck))
+			if err != nil {
+				return fmt.Errorf("%s: parallel=%s check %d (%s): %w", cs.Path, mode, i, ck.Check, err)
+			}
+			if res.Verified != ck.Expect {
+				return fmt.Errorf("%s: parallel=%s check %d (%s): got verified=%v want %v",
+					cs.Path, mode, i, ck.Check, res.Verified, ck.Expect)
+			}
+			if res.Verified && (res.Certificate == nil || !res.Certificate.Checked) {
+				return fmt.Errorf("%s: parallel=%s check %d: verified without checked certificate",
+					cs.Path, mode, i)
+			}
 		}
 	}
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/modular"
 	"repro/internal/network"
 	"repro/internal/properties"
+	"repro/internal/psolve"
 	"repro/internal/service"
 	"repro/internal/smt"
 	"repro/internal/tiered"
@@ -22,6 +23,11 @@ func certifyOptions(passes string) core.Options {
 	o := core.DefaultOptions()
 	o.Passes = passes
 	o.Certify = true
+	// The sequential search is pinned explicitly: every other oracle
+	// compares variants of one verdict, and a racing parallel engine
+	// would blur which variant was actually exercised. Parallel parity
+	// has its own oracle (ParallelParity).
+	o.Parallel = psolve.ModeOff
 	return o
 }
 
@@ -403,10 +409,76 @@ func (s *Scenario) ModularParity(rng *rand.Rand) error {
 	return nil
 }
 
+// ParallelParity is the parallel-engine oracle (the sixth family): the
+// same query answered by the pinned sequential search, a portfolio race,
+// cube-and-conquer and auto mode must agree, and every verified parallel
+// verdict must carry a checked certificate — for an all-UNSAT cube
+// fan-out that certificate is the stitched multi-cube proof, so the
+// oracle exercises proof stitching end to end. The incremental session
+// path runs twice under portfolio so a finished race (won or lost) must
+// leave the session solver reusable.
+func (s *Scenario) ParallelParity(rng *rand.Rand) error {
+	q := s.pickQuery(rng)
+	m, err := s.Encode("")
+	if err != nil {
+		return err
+	}
+	want, err := checkOn(m, q)
+	if err != nil {
+		return fmt.Errorf("fuzz: %s: sequential check: %w", s.Name, err)
+	}
+	for _, mode := range []string{psolve.ModePortfolio, psolve.ModeCubes, psolve.ModeAuto} {
+		pm, err := s.Encode("")
+		if err != nil {
+			return err
+		}
+		pm.Opts.Parallel = mode
+		pm.Opts.ParallelWorkers = 1 + rng.Intn(4)
+		pm.Opts.Seed = rng.Int63()
+		got, err := checkOn(pm, q)
+		if err != nil {
+			return fmt.Errorf("fuzz: %s: parallel=%s workers=%d: %w",
+				s.Name, mode, pm.Opts.ParallelWorkers, err)
+		}
+		if got != want {
+			return fmt.Errorf("fuzz: %s: verdict differs under parallel=%s (workers=%d, src=%s dst=%v): got %v want %v",
+				s.Name, mode, pm.Opts.ParallelWorkers, q.src, q.sub, got, want)
+		}
+	}
+	sm, err := s.Encode("")
+	if err != nil {
+		return err
+	}
+	sm.Opts.Parallel = psolve.ModePortfolio
+	sm.Opts.ParallelWorkers = 2
+	sm.Opts.Seed = rng.Int63()
+	sess := sm.NewSession()
+	for i := 0; i < 2; i++ {
+		prop := properties.Reachable(sm, q.src, q.sub)
+		assum := sm.NoFailures()
+		if q.maxFail > 0 {
+			assum = sm.AtMostFailures(q.maxFail)
+		}
+		res, err := sess.Check(prop, assum)
+		if err != nil {
+			return fmt.Errorf("fuzz: %s: parallel session check %d: %w", s.Name, i, err)
+		}
+		if res.Verified && (res.Certificate == nil || !res.Certificate.Checked) {
+			return fmt.Errorf("fuzz: %s: parallel session check %d: verified without certificate", s.Name, i)
+		}
+		if res.Verified != want {
+			return fmt.Errorf("fuzz: %s: parallel session check %d disagrees: got %v want %v",
+				s.Name, i, res.Verified, want)
+		}
+	}
+	return nil
+}
+
 // CheckAll runs every oracle valid for the scenario: the differential
 // oracle (SimSafe scenarios only) plus the three metamorphic oracles,
-// the tiered-verification parity oracle and the modular assume/guarantee
-// parity oracle. Certification runs implicitly in the SAT-based ones.
+// the tiered-verification parity oracle, the parallel-engine parity
+// oracle and the modular assume/guarantee parity oracle. Certification
+// runs implicitly in the SAT-based ones.
 func (s *Scenario) CheckAll(rng *rand.Rand, simIters int) error {
 	if s.SimSafe {
 		if err := s.DiffVsSim(rng, simIters); err != nil {
@@ -423,6 +495,9 @@ func (s *Scenario) CheckAll(rng *rand.Rand, simIters int) error {
 		return err
 	}
 	if err := s.TierParity(rng); err != nil {
+		return err
+	}
+	if err := s.ParallelParity(rng); err != nil {
 		return err
 	}
 	return s.ModularParity(rng)

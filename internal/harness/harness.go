@@ -301,6 +301,12 @@ type Fabric struct {
 	// rows carry the per-origin hot-constraint profile.
 	ProfileOrigins bool
 
+	// Parallel selects the parallel solve strategy for every encode
+	// (core.Options.Parallel syntax); empty keeps the sequential search.
+	// ParallelWorkers bounds solver-level parallelism (<=0: one per CPU).
+	Parallel        string
+	ParallelWorkers int
+
 	Obs           *obs.Span
 	ProgressEvery int64
 	OnProgress    func(sat.Progress)
@@ -317,6 +323,10 @@ func (f *Fabric) encode(opts core.Options) (*core.Model, error) {
 	}
 	if f.ProfileOrigins {
 		opts.ProfileOrigins = true
+	}
+	if f.Parallel != "" {
+		opts.Parallel = f.Parallel
+		opts.ParallelWorkers = f.ParallelWorkers
 	}
 	m, err := core.Encode(f.G, opts)
 	if err != nil {

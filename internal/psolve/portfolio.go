@@ -1,0 +1,185 @@
+package psolve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sat"
+)
+
+// Config is one portfolio member's solver configuration. The zero Config
+// (ID 0) leaves the clone exactly as the template configured it, so a
+// one-worker portfolio is the sequential search.
+type Config struct {
+	ID   int
+	Name string
+	// Seed seeds the solver's deterministic random generator (applied
+	// only when the config uses randomness).
+	Seed int64
+	// RestartBase overrides the Luby restart unit when positive.
+	RestartBase float64
+	// RandomFreq is the random-decision rate when positive.
+	RandomFreq float64
+	// FlipPhase starts the racer with all saved phases biased to true
+	// instead of the solver's false default.
+	FlipPhase bool
+	// JitterEps perturbs VSIDS activities by up to JitterEps when
+	// positive, diversifying the branching order.
+	JitterEps float64
+}
+
+// apply configures a cloned solver. Config 0 must leave the clone
+// untouched: the determinism pin compares its run against the sequential
+// path bit for bit.
+func (c Config) apply(s *sat.Solver) {
+	if c.RestartBase > 0 {
+		s.RestartBase = c.RestartBase
+	}
+	if c.RandomFreq > 0 {
+		s.RandomFreq = c.RandomFreq
+		s.SeedRandom(c.Seed)
+	}
+	if c.FlipPhase {
+		s.SetAllSavedPhases(false)
+	}
+	if c.JitterEps > 0 {
+		s.JitterActivity(c.Seed, c.JitterEps)
+	}
+}
+
+// baseConfigs is the diversity palette: restart schedule, phase polarity,
+// random-decision rate and VSIDS jitter, roughly in order of how often
+// each wins on the fig8 workload.
+var baseConfigs = []Config{
+	{Name: "vanilla"},
+	{Name: "flip-phase", FlipPhase: true},
+	{Name: "slow-restarts", RestartBase: 512},
+	{Name: "random-2%", RandomFreq: 0.02},
+	{Name: "fast-restarts+jitter", RestartBase: 32, JitterEps: 0.5},
+	{Name: "flip+random-5%", FlipPhase: true, RandomFreq: 0.05},
+	{Name: "slow-restarts+jitter", RestartBase: 1024, JitterEps: 0.25},
+	{Name: "random-10%", RandomFreq: 0.1},
+}
+
+// Configs returns the portfolio table for n workers. Entry 0 is always
+// the vanilla config; past the palette, entries recycle it with fresh
+// seeds. Equal (n, seed) inputs yield equal tables.
+func Configs(n int, seed int64) []Config {
+	out := make([]Config, n)
+	for i := 0; i < n; i++ {
+		c := baseConfigs[i%len(baseConfigs)]
+		c.ID = i
+		c.Seed = seed ^ int64(i)*0x9e3779b9
+		if i >= len(baseConfigs) {
+			c.Name = fmt.Sprintf("%s#%d", c.Name, i/len(baseConfigs))
+			if c.RandomFreq == 0 && !c.FlipPhase {
+				// Recycled deterministic configs would duplicate the search;
+				// add jitter so every extra racer explores something new.
+				c.JitterEps = 0.1 * float64(1+i/len(baseConfigs))
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// runPortfolio races Workers differently-configured clones and adopts the
+// first verdict, interrupting the rest. All racers are joined before it
+// returns, so no goroutine outlives the call and the template is safe to
+// reuse immediately.
+func runPortfolio(ctx context.Context, template *sat.Solver, opts Options, assumptions []sat.Lit) (*Outcome, error) {
+	cfgs := Configs(opts.Workers, opts.Seed)
+	solvers := make([]*sat.Solver, len(cfgs))
+	for i, cfg := range cfgs {
+		c := template.Clone()
+		if i == 0 {
+			// Only the vanilla racer keeps the progress hook: hooks are not
+			// synchronized, and the sequential path it mirrors had one.
+			c.ProgressEvery = template.ProgressEvery
+			c.OnProgress = template.OnProgress
+		}
+		cfg.apply(c)
+		solvers[i] = c
+	}
+
+	type result struct {
+		status sat.Status
+		err    error
+		at     time.Duration
+	}
+	results := make([]result, len(solvers))
+	start := time.Now()
+	var mu sync.Mutex
+	winner := -1
+	stop := watchCancel(ctx, solvers)
+	tasks := make([]func(), len(solvers))
+	for i := range solvers {
+		i := i
+		tasks[i] = func() {
+			st, err := solvers[i].SolveLimited(assumptions...)
+			at := time.Since(start)
+			mu.Lock()
+			results[i] = result{status: st, err: err, at: at}
+			if decisive(st) && winner < 0 {
+				winner = i
+				for j, other := range solvers {
+					if j != i {
+						other.Interrupt()
+					}
+				}
+			}
+			mu.Unlock()
+		}
+	}
+	runTasks(opts.Schedule, tasks)
+	stop()
+	for _, s := range solvers {
+		s.ResetInterrupt()
+	}
+
+	if winner < 0 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		for _, r := range results {
+			if r.err != nil {
+				return nil, r.err
+			}
+		}
+		return nil, ErrNoVerdict
+	}
+
+	win := solvers[winner]
+	report := &PortfolioReport{
+		Workers:          len(solvers),
+		WinnerID:         winner,
+		WinnerConfig:     cfgs[winner].Name,
+		CancelledElapsed: time.Since(start) - results[winner].at,
+	}
+	out := &Outcome{
+		Status:      results[winner].status,
+		Winner:      win,
+		Stats:       win.Stats,
+		Proof:       win.Proof(),
+		OriginBases: win.OriginSetBases,
+		Portfolio:   report,
+	}
+	if od, ok := originData(win); ok {
+		out.Origins = []OriginData{od}
+	}
+	if opts.OnEvent != nil {
+		opts.OnEvent(EventPortfolio, map[string]any{
+			"workers":              report.Workers,
+			"winner_id":            report.WinnerID,
+			"winner_config":        report.WinnerConfig,
+			"status":               out.Status.String(),
+			"winner_elapsed_ms":    results[winner].at.Milliseconds(),
+			"cancelled_elapsed_ms": report.CancelledElapsed.Milliseconds(),
+		})
+	}
+	return out, nil
+}

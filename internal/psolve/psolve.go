@@ -1,0 +1,282 @@
+// Package psolve is the parallel solve engine: it answers one SAT query
+// with many cores without changing what the answer means. Two strategies
+// are provided. Portfolio mode races N differently-configured clones of
+// one template solver and adopts the first verdict, cancelling the losers
+// through the solver's Interrupt plumbing. Cube-and-conquer splits the
+// search space on high-activity environment variables found by a short
+// probing run and solves the cubes concurrently; a SAT cube yields a
+// model directly, while an all-UNSAT fan-out is re-certified by stitching
+// the per-cube DRAT traces into one checkable proof.
+//
+// Both strategies start from sat.Solver.Clone, so the template solver is
+// never mutated by a parallel run and stays reusable for incremental
+// sessions. With Workers == 1 each strategy degenerates to a single
+// vanilla clone whose search, stats and proof are byte-identical to a
+// sequential Solve on the template — the determinism pin in core holds
+// the engine to that.
+package psolve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sat"
+)
+
+// Strategy names accepted by core.Options.Parallel and the -parallel
+// flags.
+const (
+	ModeOff       = "off"
+	ModePortfolio = "portfolio"
+	ModeCubes     = "cubes"
+	ModeAuto      = "auto"
+)
+
+// ValidMode reports whether m names a known strategy ("" counts as off).
+func ValidMode(m string) bool {
+	switch m {
+	case "", ModeOff, ModePortfolio, ModeCubes, ModeAuto:
+		return true
+	}
+	return false
+}
+
+// Enabled reports whether m selects a parallel strategy.
+func Enabled(m string) bool {
+	switch m {
+	case ModePortfolio, ModeCubes, ModeAuto:
+		return true
+	}
+	return false
+}
+
+// Event kinds passed to Options.OnEvent, mirrored onto the service flight
+// recorder.
+const (
+	EventPortfolio = "solver.portfolio"
+	EventCube      = "solver.cube"
+)
+
+// ErrNoVerdict is returned when every racer was cancelled or exhausted
+// its budget before reaching a verdict.
+var ErrNoVerdict = errors.New("psolve: no racer reached a verdict")
+
+// Options configures one parallel solve.
+type Options struct {
+	// Mode is the strategy: ModePortfolio, ModeCubes or ModeAuto. Auto
+	// picks cubes when the query has enough split candidates and workers,
+	// portfolio otherwise.
+	Mode string
+	// Workers bounds the number of concurrently racing solvers; <=0 means
+	// runtime.NumCPU().
+	Workers int
+	// Seed diversifies the portfolio configurations deterministically:
+	// equal seeds produce equal config tables.
+	Seed int64
+	// Candidates are the variables cube-and-conquer may split on —
+	// environment and failure variables in the Minesweeper encoding. The
+	// probing run ranks them by VSIDS activity.
+	Candidates []sat.Var
+	// CubeVars caps the number of split variables (2^CubeVars cubes);
+	// <=0 derives it from Workers.
+	CubeVars int
+	// ProbeConflicts is the conflict budget of the cube lookahead run;
+	// <=0 means 2000.
+	ProbeConflicts int64
+	// Schedule, when set, runs a batch of tasks on a shared worker pool
+	// and returns when all have finished (service.Engine hands its helper
+	// pool here so job- and solver-level parallelism share cores). Nil
+	// runs tasks on fresh goroutines.
+	Schedule func(tasks []func())
+	// OnEvent, when set, receives flight-recorder events (EventPortfolio,
+	// EventCube) describing how the verdict was reached.
+	OnEvent func(kind string, fields map[string]any)
+}
+
+// PortfolioReport describes a decided portfolio race.
+type PortfolioReport struct {
+	Workers      int    `json:"workers"`
+	WinnerID     int    `json:"winner_id"`
+	WinnerConfig string `json:"winner_config"`
+	// CancelledElapsed is the time between the winner's verdict and the
+	// last loser acknowledging cancellation.
+	CancelledElapsed time.Duration `json:"cancelled_elapsed"`
+}
+
+// CubeReport describes a decided cube-and-conquer run.
+type CubeReport struct {
+	Workers    int       `json:"workers"`
+	SplitVars  []sat.Var `json:"split_vars"`
+	Cubes      int       `json:"cubes"`
+	UnsatCubes int       `json:"unsat_cubes"`
+	SatCube    int       `json:"sat_cube"` // index of the satisfying cube, -1 otherwise
+	// ProbeDecided is set when the lookahead run already reached the
+	// verdict, so no cubes were spawned.
+	ProbeDecided bool `json:"probe_decided"`
+}
+
+// OriginData is one participating solver's origin tables, for
+// hot-constraint profile construction.
+type OriginData struct {
+	Sets   [][]int32
+	Counts []sat.OriginCounts
+}
+
+// Outcome is the adopted result of a parallel solve.
+type Outcome struct {
+	Status sat.Status
+	// Winner holds the satisfying assignment after Sat (read it through
+	// sat.Solver.ValueLit); it is the deciding solver for portfolio runs
+	// and the deciding cube or probe for cube runs.
+	Winner *sat.Solver
+	// Stats is the adopted work accounting: the winner's counters for a
+	// portfolio race (the losers' work bought nothing the verdict uses),
+	// the summed counters of probe and cubes for a cube run.
+	Stats sat.Stats
+	// Proof is the adopted certificate: the winner's own trace for
+	// portfolio and probe verdicts, the stitched multi-cube trace for an
+	// all-UNSAT fan-out. Nil when the template records no proof. Origin
+	// ids on stitched steps are re-interned into the template solver's
+	// tables, so the template resolves them for blame.
+	Proof *sat.Proof
+	// OriginBases resolves a proof step's origin id to base origin ids,
+	// against whichever solver's tables the adopted proof refers to.
+	OriginBases func(id int32) []int32
+	// Origins lists the participating solvers' origin tables (winner only
+	// for portfolio) for profile construction; nil when tracking is off.
+	Origins []OriginData
+
+	Portfolio *PortfolioReport
+	Cube      *CubeReport
+}
+
+// Solve answers the template's formula under the given assumptions with
+// the selected parallel strategy. The template itself is only read (and
+// backtracked to the root level, which any Solve call does anyway); all
+// search happens on clones.
+func Solve(ctx context.Context, template *sat.Solver, opts Options, assumptions ...sat.Lit) (*Outcome, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.ProbeConflicts <= 0 {
+		opts.ProbeConflicts = 2000
+	}
+	mode := opts.Mode
+	if mode == ModeAuto {
+		if len(opts.Candidates) >= 2 && opts.Workers >= 4 {
+			mode = ModeCubes
+		} else {
+			mode = ModePortfolio
+		}
+	}
+	switch mode {
+	case ModePortfolio:
+		return runPortfolio(ctx, template, opts, assumptions)
+	case ModeCubes:
+		return runCubes(ctx, template, opts, assumptions)
+	default:
+		return nil, errors.New("psolve: mode " + opts.Mode + " is not a parallel strategy")
+	}
+}
+
+// runTasks executes the batch on the configured pool (or fresh
+// goroutines) and returns when every task has finished.
+func runTasks(schedule func([]func()), tasks []func()) {
+	if schedule != nil {
+		schedule(tasks)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		t := t
+		go func() {
+			defer wg.Done()
+			t()
+		}()
+	}
+	wg.Wait()
+}
+
+// watchCancel interrupts every solver when ctx is cancelled. The returned
+// stop function must be called after the solving tasks have been joined;
+// it does not wait for the watcher goroutine, which exits promptly.
+func watchCancel(ctx context.Context, solvers []*sat.Solver) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, s := range solvers {
+				s.Interrupt()
+			}
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// decisive reports whether a status is a verdict.
+func decisive(st sat.Status) bool { return st == sat.Sat || st == sat.Unsat }
+
+// proofPrefixLen returns the template's recorded step count, the split
+// point between the shared prefix and the per-clone tails.
+func proofPrefixLen(template *sat.Solver) int {
+	if p := template.Proof(); p != nil {
+		return p.NumSteps()
+	}
+	return 0
+}
+
+// originData snapshots one solver's origin tables.
+func originData(s *sat.Solver) (OriginData, bool) {
+	sets, counts := s.OriginSnapshot()
+	if sets == nil {
+		return OriginData{}, false
+	}
+	return OriginData{Sets: sets, Counts: counts}, true
+}
+
+// originDelta snapshots one solver's origin tables with the template's
+// base counts subtracted (origin-set ids are append-only, so the base
+// tables are a prefix of every clone's).
+func originDelta(s *sat.Solver, baseCounts []sat.OriginCounts) (OriginData, bool) {
+	od, ok := originData(s)
+	if !ok {
+		return od, false
+	}
+	for i := range baseCounts {
+		if i >= len(od.Counts) {
+			break
+		}
+		od.Counts[i].Conflicts -= baseCounts[i].Conflicts
+		od.Counts[i].Propagations -= baseCounts[i].Propagations
+		od.Counts[i].Learned -= baseCounts[i].Learned
+		od.Counts[i].LBDSum -= baseCounts[i].LBDSum
+	}
+	return od, true
+}
+
+// statsAdd folds the search-work delta between base and after into dst.
+// Counters add; MaxLevel takes the maximum.
+func statsAdd(dst *sat.Stats, base, after sat.Stats) {
+	dst.Decisions += after.Decisions - base.Decisions
+	dst.Propagations += after.Propagations - base.Propagations
+	dst.Conflicts += after.Conflicts - base.Conflicts
+	dst.Restarts += after.Restarts - base.Restarts
+	dst.Learned += after.Learned - base.Learned
+	dst.Deleted += after.Deleted - base.Deleted
+	dst.Simplified += after.Simplified - base.Simplified
+	dst.Strengthened += after.Strengthened - base.Strengthened
+	if after.MaxLevel > dst.MaxLevel {
+		dst.MaxLevel = after.MaxLevel
+	}
+	for i := range dst.LBDHist {
+		dst.LBDHist[i] += after.LBDHist[i] - base.LBDHist[i]
+	}
+}

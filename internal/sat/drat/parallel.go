@@ -1,0 +1,156 @@
+package drat
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sat"
+)
+
+// CheckParallel verifies the proof with the given number of concurrent
+// workers and the same acceptance semantics as Check: it accepts exactly
+// the traces Check accepts. The trace is partitioned into contiguous
+// segments balanced by literal mass; worker k reconstructs the database
+// state at its segment boundary by fast-forwarding the prefix — applying
+// installs and deletes and propagating units, but skipping RUP
+// verification, which is the dominant cost — and then fully verifies the
+// Derive steps of its own segment. Every Derive step is therefore RUP-
+// checked by exactly one worker against the same database state the
+// sequential checker would present, and the union of the segment checks
+// is the sequential check.
+//
+// Core extraction stays sequential (CheckCore): it threads used-step
+// state through the whole replay.
+func CheckParallel(p *sat.Proof, workers int, assumptions ...sat.Lit) (*Stats, error) {
+	if p == nil {
+		return nil, fmt.Errorf("drat: no proof recorded")
+	}
+	if workers > p.NumSteps() {
+		workers = p.NumSteps()
+	}
+	if workers <= 1 {
+		return Check(p, assumptions...)
+	}
+	return checkWithBounds(p, splitBounds(p, workers), assumptions)
+}
+
+// splitBounds partitions the trace into segments of roughly equal literal
+// mass, weighting Derive steps (which pay a RUP check) by their size.
+// The result has workers+1 entries from 0 to NumSteps.
+func splitBounds(p *sat.Proof, workers int) []int {
+	steps := p.Steps()
+	weight := func(st sat.ProofStep) int {
+		if st.Kind == sat.ProofDerive {
+			return 4 + len(st.Lits)
+		}
+		return 1
+	}
+	total := 0
+	for _, st := range steps {
+		total += weight(st)
+	}
+	bounds := make([]int, 0, workers+1)
+	bounds = append(bounds, 0)
+	acc, cut := 0, 1
+	for i, st := range steps {
+		acc += weight(st)
+		for cut < workers && acc >= cut*total/workers {
+			bounds = append(bounds, i+1)
+			cut++
+		}
+	}
+	for len(bounds) < workers {
+		bounds = append(bounds, len(steps))
+	}
+	bounds = append(bounds, len(steps))
+	return bounds
+}
+
+// checkWithBounds runs one checker per segment. Exposed to the property
+// tests so arbitrary split points can be exercised; bounds must be
+// non-decreasing, start at 0 and end at NumSteps.
+func checkWithBounds(p *sat.Proof, bounds []int, assumptions []sat.Lit) (*Stats, error) {
+	steps := p.Steps()
+	n := len(bounds) - 1
+	type segment struct {
+		stats Stats
+		unsat bool
+		err   error
+	}
+	segs := make([]segment, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			c := newChecker()
+			for _, a := range assumptions {
+				c.install([]sat.Lit{a}, -1)
+			}
+			for i := 0; i < bounds[w]; i++ {
+				if err := c.apply(steps[i], i, false); err != nil {
+					segs[w].err = err
+					return
+				}
+			}
+			for i := bounds[w]; i < bounds[w+1]; i++ {
+				if err := c.apply(steps[i], i, true); err != nil {
+					segs[w].err = err
+					return
+				}
+			}
+			segs[w] = segment{stats: c.stats, unsat: c.unsat}
+		}()
+	}
+	wg.Wait()
+	merged := &Stats{}
+	for w := 0; w < n; w++ {
+		if segs[w].err != nil {
+			return nil, segs[w].err
+		}
+		merged.Inputs += segs[w].stats.Inputs
+		merged.Lemmas += segs[w].stats.Lemmas
+		merged.Deletions += segs[w].stats.Deletions
+		merged.Propagations += segs[w].stats.Propagations
+	}
+	if !segs[n-1].unsat {
+		return nil, fmt.Errorf("drat: proof ends without deriving the empty clause")
+	}
+	return merged, nil
+}
+
+// apply processes one trace step. With verify set it behaves exactly like
+// the sequential replay (RUP-checking Derive steps and counting stats);
+// without it the step is only applied to the database — the fast-forward
+// used to reconstruct a segment boundary's state, whose install, delete
+// and unit-propagation effects are deterministic and independent of the
+// skipped RUP verdicts. Propagation work is counted in both modes.
+func (c *checker) apply(st sat.ProofStep, i int, verify bool) error {
+	switch st.Kind {
+	case sat.ProofInput:
+		if verify {
+			c.stats.Inputs++
+		}
+		c.install(st.Lits, i)
+	case sat.ProofDerive:
+		if verify {
+			ok, _ := c.rup(st.Lits)
+			if !ok {
+				return fmt.Errorf("drat: step %d: derived clause %v is not RUP", i, st.Lits)
+			}
+			c.stats.Lemmas++
+		}
+		c.install(st.Lits, i)
+	case sat.ProofDelete:
+		if err := c.remove(st.Lits); err != nil {
+			return fmt.Errorf("drat: step %d: %w", i, err)
+		}
+		if verify {
+			c.stats.Deletions++
+		}
+	default:
+		return fmt.Errorf("drat: step %d: unknown kind %d", i, st.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package drat
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// randomBounds draws arbitrary split points for n steps and w segments:
+// non-decreasing, starting at 0 and ending at n, duplicates (empty
+// segments) allowed.
+func randomBounds(rng *rand.Rand, n, w int) []int {
+	bounds := make([]int, w+1)
+	bounds[0], bounds[w] = 0, n
+	for i := 1; i < w; i++ {
+		bounds[i] = rng.Intn(n + 1)
+	}
+	sort.Ints(bounds)
+	return bounds
+}
+
+// TestParallelAcceptsIffSequential is the equivalence property: for
+// random instances and completely arbitrary split points, the segmented
+// check must accept exactly the traces the sequential check accepts —
+// valid proofs from the solver, and traces truncated just before the
+// empty clause, which both must reject.
+func TestParallelAcceptsIffSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	unsat := 0
+	for tries := 0; unsat < 50; tries++ {
+		if tries > 5000 {
+			t.Fatalf("only %d unsat instances in %d tries", unsat, tries)
+		}
+		s, p := randomCNF(rng, 8+rng.Intn(12), 5.2)
+		if s.Solve() != sat.Unsat {
+			continue
+		}
+		unsat++
+		seq, seqErr := Check(p)
+		if seqErr != nil {
+			t.Fatalf("instance %d: sequential rejected a solver proof: %v", unsat, seqErr)
+		}
+		for w := 2; w <= 5; w++ {
+			bounds := randomBounds(rng, p.NumSteps(), w)
+			st, err := checkWithBounds(p, bounds, nil)
+			if err != nil {
+				t.Fatalf("instance %d bounds %v: parallel rejected what sequential accepts: %v",
+					unsat, bounds, err)
+			}
+			if st.Inputs != seq.Inputs || st.Lemmas != seq.Lemmas || st.Deletions != seq.Deletions {
+				t.Fatalf("instance %d bounds %v: stats diverge: %+v vs %+v", unsat, bounds, st, seq)
+			}
+		}
+
+		// Truncate the trace at a random point: whether the remainder still
+		// demonstrates unsatisfiability (earlier installs may already
+		// conflict) or not, the two checkers must agree on it.
+		steps := p.Steps()
+		if len(steps) < 2 {
+			continue
+		}
+		trunc := replay(steps[:1+rng.Intn(len(steps)-1)])
+		_, seqTruncErr := Check(trunc)
+		bounds := randomBounds(rng, trunc.NumSteps(), 3)
+		_, parTruncErr := checkWithBounds(trunc, bounds, nil)
+		if (seqTruncErr == nil) != (parTruncErr == nil) {
+			t.Fatalf("instance %d bounds %v: truncated trace: sequential err=%v, parallel err=%v",
+				unsat, bounds, seqTruncErr, parTruncErr)
+		}
+	}
+}
+
+// TestParallelRejectsMutatedSegments drops all real lemmas from a
+// pigeonhole proof and requires every split of the mutated trace to be
+// rejected: a fast-forwarded prefix must not launder an unjustified
+// derive past its segment's verifier.
+func TestParallelRejectsMutatedSegments(t *testing.T) {
+	s := sat.New()
+	p := s.EnableProof()
+	pigeonhole(s, 3)
+	if st := s.Solve(); st != sat.Unsat {
+		t.Fatalf("PHP(3) = %v, want unsat", st)
+	}
+	var kept []sat.ProofStep
+	for _, st := range p.Steps() {
+		if st.Kind == sat.ProofDerive && len(st.Lits) > 0 {
+			continue
+		}
+		if st.Kind == sat.ProofDelete {
+			continue
+		}
+		kept = append(kept, st)
+	}
+	mutated := replay(kept)
+	if _, err := Check(mutated); err == nil {
+		t.Fatal("sequential accepted the lemma-free proof")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		w := 2 + rng.Intn(6)
+		bounds := randomBounds(rng, mutated.NumSteps(), w)
+		if _, err := checkWithBounds(mutated, bounds, nil); err == nil {
+			t.Fatalf("bounds %v: parallel accepted the lemma-free proof", bounds)
+		}
+	}
+}
+
+// TestParallelRejectsTamperedLemma mirrors the sequential tampering test
+// through CheckParallel: flipping a literal of a random lemma must be
+// rejected at least as often as sequentially — here, identically.
+func TestParallelRejectsTamperedLemma(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	for tries := 0; checked < 30 && tries < 3000; tries++ {
+		s, p := randomCNF(rng, 12, 5.0)
+		if s.Solve() != sat.Unsat {
+			continue
+		}
+		steps := append([]sat.ProofStep(nil), p.Steps()...)
+		var idxs []int
+		for i, st := range steps {
+			if st.Kind == sat.ProofDerive && len(st.Lits) > 1 {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) == 0 {
+			continue
+		}
+		checked++
+		i := idxs[rng.Intn(len(idxs))]
+		lits := append([]sat.Lit(nil), steps[i].Lits...)
+		lits[rng.Intn(len(lits))] = lits[rng.Intn(len(lits))].Not()
+		steps[i] = sat.ProofStep{Kind: sat.ProofDerive, Lits: lits}
+		mp := replay(steps)
+		_, seqErr := Check(mp)
+		_, parErr := CheckParallel(mp, 4)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("tampered step %d: sequential err=%v, parallel err=%v", i, seqErr, parErr)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no tampered instance was exercised")
+	}
+}
+
+// TestCheckParallelEntry covers the public entry point's edge cases:
+// nil proof, worker counts exceeding the step count, and the one-worker
+// fallback.
+func TestCheckParallelEntry(t *testing.T) {
+	if _, err := CheckParallel(nil, 4); err == nil {
+		t.Fatal("nil proof accepted")
+	}
+	s := sat.New()
+	p := s.EnableProof()
+	pigeonhole(s, 2)
+	if st := s.Solve(); st != sat.Unsat {
+		t.Fatalf("PHP(2) = %v, want unsat", st)
+	}
+	for _, w := range []int{1, 2, 1000} {
+		if _, err := CheckParallel(p, w); err != nil {
+			t.Fatalf("workers=%d: valid proof rejected: %v", w, err)
+		}
+	}
+}

@@ -85,6 +85,19 @@ func (p *Proof) add(k ProofKind, lits []Lit, origin int32) {
 	p.lits += len(lits)
 }
 
+// NewProof returns an empty proof for external assembly: the parallel
+// solve engine stitches per-cube traces into one checkable proof through
+// AppendShared.
+func NewProof() *Proof { return &Proof{} }
+
+// AppendShared appends a step sharing its literal slice with the caller
+// (no copy). The caller must not mutate the slice afterwards; steps
+// coming out of Proof.Steps already satisfy this.
+func (p *Proof) AppendShared(st ProofStep) {
+	p.steps = append(p.steps, st)
+	p.lits += len(st.Lits)
+}
+
 // RebuildProof assembles a Proof from explicit steps, for replaying
 // traces that were stored or transformed outside the solver (tests,
 // corpus minimization). Literal slices are copied.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/obs/stream"
 	"repro/internal/protograph"
 	"repro/internal/provenance"
+	"repro/internal/psolve"
 	"repro/internal/sat"
 	"repro/internal/smt"
 	"repro/internal/tiered"
@@ -56,6 +57,15 @@ type Options struct {
 	// graph fast path and only residue reaches the solver; "sat"/"none"
 	// disables the fast path, reproducing the untiered engine exactly.
 	Tiers string
+	// Parallel selects the parallel solve strategy for every solver-bound
+	// check (core.Options.Parallel syntax: off, portfolio, cubes, auto).
+	// The engine arbitrates cores by handing the parallel engine its own
+	// worker pool, so solver- and job-level parallelism share the same
+	// budget instead of oversubscribing the machine.
+	Parallel string
+	// ParallelWorkers bounds solver-level parallelism per check (<=0
+	// means one per CPU).
+	ParallelWorkers int
 	// Modular verifies multi-component networks with the assume/guarantee
 	// pipeline (internal/modular) when the spec's goal is in its
 	// vocabulary: cut at the eBGP interfaces, verify one representative
@@ -265,6 +275,8 @@ type Engine struct {
 	timeout       time.Duration
 	passes        string
 	tiers         string
+	parallel      string
+	parallelWk    int
 	modular       bool
 	certify       bool
 	blame         bool
@@ -323,6 +335,8 @@ func NewEngine(o Options) *Engine {
 		timeout:       o.Timeout,
 		passes:        o.Passes,
 		tiers:         o.Tiers,
+		parallel:      o.Parallel,
+		parallelWk:    o.ParallelWorkers,
 		modular:       o.Modular,
 		certify:       o.Certify,
 		blame:         o.Blame,
@@ -660,6 +674,8 @@ func (e *Engine) coreOptions(sp *obs.Span) core.Options {
 	opts.Certify = e.certify
 	opts.Blame = e.blame
 	opts.ProfileOrigins = e.profOrig
+	opts.Parallel = e.parallel
+	opts.ParallelWorkers = e.parallelWk
 	opts.Span = sp
 	return opts
 }
@@ -702,6 +718,16 @@ func (e *Engine) buildModel(ent *netEntry, sp *obs.Span) error {
 				"learned":      p.Learned,
 				"lbd_avg":      p.LBDAvg,
 			})
+		}
+	}
+	if psolve.Enabled(e.parallel) {
+		// Parallel solves borrow idle verification workers for their racer
+		// tasks (running inline when none is free), so the machine never
+		// runs more solver goroutines than the pool size allows; the
+		// strategy's verdict events land on the checking job's recorder.
+		m.Schedule = e.schedule
+		m.OnSolverEvent = func(kind string, fields map[string]any) {
+			ent.curRec.Emit(kind, fields)
 		}
 	}
 	ent.sess = m.NewSession()

@@ -122,6 +122,21 @@ func (ss *Session) Solve() sat.Status {
 	return st
 }
 
+// FinishExternalSolve records the accounting of a check whose search ran
+// outside the session solver (the parallel engine solves on clones, so
+// the session's own counters do not move). after must be the adopted
+// cumulative counters — a winner clone's Stats, or the template base
+// plus the summed cube deltas — which extend the session's counters the
+// same way a sequential Solve would have.
+func (ss *Session) FinishExternalSolve(after sat.Stats) {
+	ss.checks++
+	ss.last = CheckStats{
+		Stats:      statsDelta(ss.statsBefore, after),
+		NewVars:    ss.sol.NumSATVars() - ss.varsBefore,
+		NewClauses: ss.sol.NumSATClauses() - ss.clausesBefore,
+	}
+}
+
 // Check is Prepare followed by Solve.
 func (ss *Session) Check(goals ...*Term) sat.Status {
 	ss.Prepare(goals...)
