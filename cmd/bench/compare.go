@@ -18,11 +18,38 @@ type compareRow struct {
 	// DeltaPct is the relative change in percent (+ slower, - faster).
 	DeltaPct float64
 	// Regressed is true when the row slowed beyond both the relative
-	// tolerance and the absolute floor, or its verdict flipped.
+	// tolerance and the absolute floor, its verdict flipped, or a
+	// deterministic work column grew past the work tolerance.
 	Regressed bool
 	// Flipped is true when verified changed between artifacts — a
 	// correctness alarm, reported as a regression regardless of timing.
 	Flipped bool
+	// WorkColumn names the deterministic work column (conflicts,
+	// decisions, propagations, clause_db_bytes) whose growth tripped the
+	// work gate; WorkDeltaPct is its relative growth in percent. Work
+	// columns are machine-independent at a fixed seed, so they catch
+	// algorithmic regressions the noisy timing gate has to tolerate.
+	WorkColumn    string
+	WorkDeltaPct  float64
+	WorkRegressed bool
+}
+
+// workColumns extracts the deterministic counters the work gate
+// compares. Columns at zero in the old artifact (pre-cost baselines, or
+// graph-tier rows that never ran the solver) are not gated.
+func workColumns(r fig8JSON) [](struct {
+	Name string
+	V    int64
+}) {
+	return [](struct {
+		Name string
+		V    int64
+	}){
+		{"conflicts", r.Conflicts},
+		{"decisions", r.Decisions},
+		{"propagations", r.Propagations},
+		{"clause_db_bytes", r.ClauseDBBytes},
+	}
 }
 
 // compareArtifacts diffs two BENCH_fig8.json artifacts row by row over
@@ -35,7 +62,13 @@ type compareRow struct {
 // verified bit is always a regression: the gate guards the answers as
 // well as the clock. The aggregate (summed ms over shared rows) is held
 // to the same relative tolerance.
-func compareArtifacts(oldRows, newRows []fig8JSON, tolerance, minMs float64) (rows []compareRow, aggRegressed bool, oldTotal, newTotal float64) {
+//
+// Independently, the deterministic work columns (conflicts, decisions,
+// propagations, clause_db_bytes) are held to workTol — typically far
+// tighter than the timing tolerance, since at a fixed seed they don't
+// move with machine load. Any column growing past workTol regresses the
+// row even when its wall time stayed flat.
+func compareArtifacts(oldRows, newRows []fig8JSON, tolerance, minMs, workTol float64) (rows []compareRow, aggRegressed bool, oldTotal, newTotal float64) {
 	type key struct {
 		pods int
 		prop string
@@ -57,8 +90,22 @@ func compareArtifacts(oldRows, newRows []fig8JSON, tolerance, minMs float64) (ro
 		if o.Ms > 0 {
 			row.DeltaPct = 100 * (n.Ms/o.Ms - 1)
 		}
+		oldWork, newWork := workColumns(o), workColumns(n)
+		for i, ow := range oldWork {
+			if ow.V <= 0 {
+				continue
+			}
+			delta := 100 * (float64(newWork[i].V)/float64(ow.V) - 1)
+			if row.WorkColumn == "" || delta > row.WorkDeltaPct {
+				row.WorkDeltaPct = delta
+				row.WorkColumn = ow.Name
+			}
+			if delta > 100*workTol {
+				row.WorkRegressed = true
+			}
+		}
 		slower := n.Ms > o.Ms*(1+tolerance) && n.Ms-o.Ms > minMs
-		row.Regressed = slower || row.Flipped
+		row.Regressed = slower || row.Flipped || row.WorkRegressed
 		oldTotal += o.Ms
 		newTotal += n.Ms
 		rows = append(rows, row)
@@ -89,8 +136,9 @@ func loadFig8(path string) ([]fig8JSON, error) {
 // runCompare is the perf-regression gate: it diffs two fig8 JSON
 // artifacts, prints the per-row and aggregate deltas to w, and returns
 // the number of regressed rows (counting the aggregate as one more when
-// it trips on its own).
-func runCompare(w io.Writer, oldPath, newPath string, tolerance, minMs float64) (int, error) {
+// it trips on its own). Timing rows are held to tolerance/minMs, the
+// deterministic work columns to the (much tighter) workTol.
+func runCompare(w io.Writer, oldPath, newPath string, tolerance, minMs, workTol float64) (int, error) {
 	oldRows, err := loadFig8(oldPath)
 	if err != nil {
 		return 0, err
@@ -99,19 +147,21 @@ func runCompare(w io.Writer, oldPath, newPath string, tolerance, minMs float64) 
 	if err != nil {
 		return 0, err
 	}
-	rows, aggRegressed, oldTotal, newTotal := compareArtifacts(oldRows, newRows, tolerance, minMs)
+	rows, aggRegressed, oldTotal, newTotal := compareArtifacts(oldRows, newRows, tolerance, minMs, workTol)
 	if len(rows) == 0 {
 		return 0, fmt.Errorf("no shared (pods, property) rows between %s and %s", oldPath, newPath)
 	}
-	fmt.Fprintf(w, "# bench compare: %s -> %s (tolerance %.0f%%, floor %.1fms)\n",
-		oldPath, newPath, tolerance*100, minMs)
-	fmt.Fprintln(w, "pods\tproperty\told_ms\tnew_ms\tdelta_pct\tstatus")
+	fmt.Fprintf(w, "# bench compare: %s -> %s (tolerance %.0f%%, floor %.1fms, work tolerance %.1f%%)\n",
+		oldPath, newPath, tolerance*100, minMs, workTol*100)
+	fmt.Fprintln(w, "pods\tproperty\told_ms\tnew_ms\tdelta_pct\twork_delta\tstatus")
 	regressed := 0
 	for _, r := range rows {
 		status := "ok"
 		switch {
 		case r.Flipped:
 			status = "VERDICT-FLIPPED"
+		case r.WorkRegressed:
+			status = fmt.Sprintf("WORK-REGRESSED(%s)", r.WorkColumn)
 		case r.Regressed:
 			status = "REGRESSED"
 		case r.DeltaPct < -10:
@@ -120,8 +170,12 @@ func runCompare(w io.Writer, oldPath, newPath string, tolerance, minMs float64) 
 		if r.Regressed {
 			regressed++
 		}
-		fmt.Fprintf(w, "%d\t%s\t%.1f\t%.1f\t%+.1f%%\t%s\n",
-			r.Pods, r.Property, r.OldMs, r.NewMs, r.DeltaPct, status)
+		workCol := "-"
+		if r.WorkColumn != "" {
+			workCol = fmt.Sprintf("%+.1f%%(%s)", r.WorkDeltaPct, r.WorkColumn)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%.1f\t%.1f\t%+.1f%%\t%s\t%s\n",
+			r.Pods, r.Property, r.OldMs, r.NewMs, r.DeltaPct, workCol, status)
 	}
 	aggDelta := 0.0
 	if oldTotal > 0 {

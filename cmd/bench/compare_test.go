@@ -35,7 +35,7 @@ func TestCompareIdentical(t *testing.T) {
 	old := writeArtifact(t, dir, "old.json", baselineRows())
 	niu := writeArtifact(t, dir, "new.json", baselineRows())
 	var out strings.Builder
-	n, err := runCompare(&out, old, niu, 0.25, 5)
+	n, err := runCompare(&out, old, niu, 0.25, 5, 0.02)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestCompareInjectedSlowdown(t *testing.T) {
 	old := writeArtifact(t, dir, "old.json", baselineRows())
 	niu := writeArtifact(t, dir, "new.json", slow)
 	var out strings.Builder
-	n, err := runCompare(&out, old, niu, 0.25, 5)
+	n, err := runCompare(&out, old, niu, 0.25, 5, 0.02)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestCompareMinMsFloor(t *testing.T) {
 	old := writeArtifact(t, dir, "old.json", oldRows)
 	niu := writeArtifact(t, dir, "new.json", newRows)
 	var out strings.Builder
-	n, err := runCompare(&out, old, niu, 0.25, 5)
+	n, err := runCompare(&out, old, niu, 0.25, 5, 0.02)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestCompareVerdictFlip(t *testing.T) {
 	old := writeArtifact(t, dir, "old.json", baselineRows())
 	niu := writeArtifact(t, dir, "new.json", flipped)
 	var out strings.Builder
-	n, err := runCompare(&out, old, niu, 0.25, 5)
+	n, err := runCompare(&out, old, niu, 0.25, 5, 0.02)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,6 +106,75 @@ func TestCompareVerdictFlip(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "VERDICT-FLIPPED") {
 		t.Fatalf("report does not name the flip:\n%s", out.String())
+	}
+}
+
+// TestCompareWorkRegression is the acceptance scenario for the
+// deterministic work gate: conflicts grow 5% with wall time dead flat —
+// the timing gate alone would pass, the work gate must fail the run.
+func TestCompareWorkRegression(t *testing.T) {
+	oldRows := []fig8JSON{
+		{Pods: 2, Property: "reachability", Ms: 100, Verified: true,
+			Conflicts: 1000, Decisions: 5000, Propagations: 900000, ClauseDBBytes: 700000},
+		{Pods: 2, Property: "no-loops", Ms: 40, Verified: true,
+			Conflicts: 10, Decisions: 50, Propagations: 8000, ClauseDBBytes: 650000},
+	}
+	newRows := []fig8JSON{
+		{Pods: 2, Property: "reachability", Ms: 100, Verified: true,
+			Conflicts: 1050, Decisions: 5000, Propagations: 900000, ClauseDBBytes: 700000},
+		{Pods: 2, Property: "no-loops", Ms: 40, Verified: true,
+			Conflicts: 10, Decisions: 50, Propagations: 8000, ClauseDBBytes: 650000},
+	}
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", oldRows)
+	niu := writeArtifact(t, dir, "new.json", newRows)
+
+	// Sanity: the timing gate alone (work tolerance effectively off)
+	// passes — nothing got slower.
+	var out strings.Builder
+	n, err := runCompare(&out, old, niu, 0.25, 5, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("timing gate tripped on flat timings:\n%s", out.String())
+	}
+
+	// The tight work gate catches the +5% conflicts.
+	out.Reset()
+	n, err = runCompare(&out, old, niu, 0.25, 5, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("work regressions = %d, want 1:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "WORK-REGRESSED(conflicts)") {
+		t.Fatalf("report does not name the regressed work column:\n%s", out.String())
+	}
+}
+
+// TestCompareWorkBaselineWithoutColumns: an old artifact predating the
+// cost columns (all-zero work) must not gate — zero is "unknown", not
+// "the solver did no work".
+func TestCompareWorkBaselineWithoutColumns(t *testing.T) {
+	oldRows := baselineRows() // no work columns
+	newRows := []fig8JSON{
+		{Pods: 2, Property: "reachability", Ms: 100, Verified: true,
+			Conflicts: 1000, Decisions: 5000, Propagations: 900000, ClauseDBBytes: 700000},
+		{Pods: 2, Property: "no-loops", Ms: 40, Verified: true},
+		{Pods: 4, Property: "reachability", Ms: 400, Verified: true},
+	}
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", oldRows)
+	niu := writeArtifact(t, dir, "new.json", newRows)
+	var out strings.Builder
+	n, err := runCompare(&out, old, niu, 0.25, 5, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("zero-work baseline tripped the work gate:\n%s", out.String())
 	}
 }
 
@@ -118,7 +187,7 @@ func TestCompareDisjoint(t *testing.T) {
 		{Pods: 8, Property: "other", Ms: 1},
 	})
 	var out strings.Builder
-	if _, err := runCompare(&out, old, niu, 0.25, 5); err == nil {
+	if _, err := runCompare(&out, old, niu, 0.25, 5, 0.02); err == nil {
 		t.Fatal("disjoint artifacts compared without error")
 	}
 }

@@ -18,13 +18,17 @@
 //	bench -experiment service    [-pods 2] [-json-out BENCH_service.json]
 //	bench -experiment parallel   [-pods 4] [-workers N] [-certify] [-json-out BENCH_parallel.json]
 //	bench -experiment fuzz       [-iters 2] [-seed 1]
-//	bench -compare [-tolerance 0.25] [-min-ms 5] old.json new.json
+//	bench -compare [-tolerance 0.25] [-min-ms 5] [-work-tolerance 0.02] old.json new.json
 //
 // -compare is the perf-regression gate: it diffs two fig8 JSON artifacts
 // row by row over their shared (pods, property) keys and exits nonzero
 // when any row — or the aggregate — slowed beyond the relative tolerance
-// and the absolute -min-ms floor, or when a verified bit flipped. CI
-// runs it against the committed BENCH_fig8.json baseline.
+// and the absolute -min-ms floor, or when a verified bit flipped. The
+// deterministic work columns (conflicts, decisions, propagations,
+// clause_db_bytes) are gated independently by -work-tolerance: at a
+// fixed seed they are machine-independent, so a few percent of growth is
+// an algorithmic regression even when the (noisy) wall-clock gate stays
+// green. CI runs it against the committed BENCH_fig8.json baseline.
 //
 // The service experiment measures the batch engine's amortization: the
 // same ≥10-property suite on one fabric, verified once with a fresh
@@ -114,6 +118,7 @@ func main() {
 		compare    = flag.Bool("compare", false, "compare two fig8 JSON artifacts (old new) and exit nonzero on a perf regression")
 		tolerance  = flag.Float64("tolerance", 0.25, "compare: relative slowdown tolerated per row and on the aggregate (0.25 = 25%)")
 		minMs      = flag.Float64("min-ms", 5, "compare: absolute slowdown floor in ms below which a row never regresses")
+		workTol    = flag.Float64("work-tolerance", 0.02, "compare: relative growth tolerated on the deterministic work columns (conflicts, decisions, propagations, clause_db_bytes); they don't move with machine load, so the gate is tight")
 	)
 	flag.Parse()
 	if *compare {
@@ -121,7 +126,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: bench -compare [-tolerance F] [-min-ms F] old.json new.json")
 			os.Exit(2)
 		}
-		n, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance, *minMs)
+		n, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance, *minMs, *workTol)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(2)
@@ -350,20 +355,29 @@ func ms(nc *harness.NetCheck, prop string) float64 {
 // diffable form of the Figure 8 table, so performance can be compared
 // across revisions without parsing the text output.
 type fig8JSON struct {
-	Pods         int     `json:"pods"`
-	Routers      int     `json:"routers"`
-	Property     string  `json:"property"`
-	Ms           float64 `json:"ms"`
-	EncodeMs     float64 `json:"encode_ms"`
-	SimplifyMs   float64 `json:"simplify_ms"`
-	SolveMs      float64 `json:"solve_ms"`
-	Verified     bool    `json:"verified"`
-	SATVars      int     `json:"sat_vars"`
-	SATClauses   int     `json:"sat_clauses"`
-	Conflicts    int64   `json:"conflicts"`
-	ProofSteps   int     `json:"proof_steps,omitempty"`
-	ProofLemmas  int     `json:"proof_lemmas,omitempty"`
-	ProofCheckMs float64 `json:"proof_check_ms,omitempty"`
+	Pods       int     `json:"pods"`
+	Routers    int     `json:"routers"`
+	Property   string  `json:"property"`
+	Ms         float64 `json:"ms"`
+	EncodeMs   float64 `json:"encode_ms"`
+	SimplifyMs float64 `json:"simplify_ms"`
+	SolveMs    float64 `json:"solve_ms"`
+	Verified   bool    `json:"verified"`
+	SATVars    int     `json:"sat_vars"`
+	SATClauses int     `json:"sat_clauses"`
+	Conflicts  int64   `json:"conflicts"`
+	// Deterministic work columns: the adopted search's counters plus the
+	// ledger's clause-db/proof byte estimates. Unlike the ms columns these
+	// are machine-independent at a fixed seed (sequential search), so
+	// -compare gates them with -work-tolerance, far tighter than the
+	// timing tolerance.
+	Decisions     int64   `json:"decisions,omitempty"`
+	Propagations  int64   `json:"propagations,omitempty"`
+	ClauseDBBytes int64   `json:"clause_db_bytes,omitempty"`
+	ProofBytes    int64   `json:"proof_bytes,omitempty"`
+	ProofSteps    int     `json:"proof_steps,omitempty"`
+	ProofLemmas   int     `json:"proof_lemmas,omitempty"`
+	ProofCheckMs  float64 `json:"proof_check_ms,omitempty"`
 	// With -profile-origins: the solve time of the origin-tracked rerun
 	// and its overhead relative to the plain solve, in percent.
 	TrackedSolveMs    float64 `json:"tracked_solve_ms,omitempty"`
@@ -380,7 +394,7 @@ type fig8JSON struct {
 // size.
 func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every int64, passes, tiers string, certify, profOrig bool, profOut string) error {
 	fmt.Println("# Figure 8: verification time (ms) per property and fabric size")
-	fmt.Println("pods\trouters\tproperty\ttier\tms\tencode_ms\tsimplify_ms\tsolve_ms\tfastpath_ms\tverified\tsat_vars\tsat_clauses\tconflicts\tproof_steps\tproof_lemmas\tproof_check_ms")
+	fmt.Println("pods\trouters\tproperty\ttier\tms\tencode_ms\tsimplify_ms\tsolve_ms\tfastpath_ms\tverified\tsat_vars\tsat_clauses\tconflicts\tdecisions\tpropagations\tdb_bytes\tproof_bytes\tproof_steps\tproof_lemmas\tproof_check_ms")
 	var art []fig8JSON
 	var profiles []*provenance.Profile
 	var baseSolve, trackedSolve time.Duration
@@ -416,11 +430,12 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 			if tier == "" {
 				tier = tiered.TierSAT
 			}
-			fmt.Printf("%d\t%d\t%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%v\t%d\t%d\t%d\t%d\t%d\t%.1f\n",
+			fmt.Printf("%d\t%d\t%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f\n",
 				row.Pods, row.Routers, row.Property, tier,
 				toMs(row.Elapsed), toMs(row.Encode), toMs(row.Simplify), toMs(row.Solve),
 				toMs(row.FastPath),
 				row.Verified, row.SATVars, row.SATClauses, row.Conflicts,
+				row.Decisions, row.Propagations, row.ClauseDBBytes, row.ProofBytes,
 				row.ProofSteps, row.ProofLemmas, toMs(row.ProofCheck))
 			jrow := fig8JSON{
 				Pods: row.Pods, Routers: row.Routers, Property: row.Property,
@@ -428,6 +443,8 @@ func runFig8(pods []int, props []string, jsonOut string, tr *obs.Trace, every in
 				SimplifyMs: toMs(row.Simplify), SolveMs: toMs(row.Solve),
 				Verified: row.Verified, SATVars: row.SATVars,
 				SATClauses: row.SATClauses, Conflicts: row.Conflicts,
+				Decisions: row.Decisions, Propagations: row.Propagations,
+				ClauseDBBytes: row.ClauseDBBytes, ProofBytes: row.ProofBytes,
 				ProofSteps: row.ProofSteps, ProofLemmas: row.ProofLemmas,
 				ProofCheckMs: toMs(row.ProofCheck),
 				Tier:         tier, FastPathMs: toMs(row.FastPath),
@@ -631,6 +648,12 @@ type modularJSON struct {
 	PeakTerms int `json:"peak_terms"`
 	SATVars   int `json:"sat_vars"`
 	Blame     int `json:"blame"`
+	// Units / ClauseDBBytes total the per-class cost ledger: the
+	// deterministic work the composition actually paid (one
+	// representative check per isomorphism class, amortized over
+	// aliases).
+	Units         int64 `json:"work_units,omitempty"`
+	ClauseDBBytes int64 `json:"clause_db_bytes,omitempty"`
 	// Monolithic reference (mono_ran=false beyond -mono-max, where the
 	// whole-network encoding is off the table).
 	MonoRan     bool    `json:"mono_ran"`
@@ -648,7 +671,7 @@ type modularJSON struct {
 func runModular(pods []int, props []string, jsonOut, passes string, monoMax, workers int) error {
 	toMs := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	fmt.Println("# modular assume/guarantee vs monolithic per Figure 8 row")
-	fmt.Println("pods\trouters\tproperty\tmode\tmodular_ms\tcomps\tclasses\talias\tchecks\tpeak_terms\tsat_vars\tblame\tmono_ms\tspeedup\tverified\tagree")
+	fmt.Println("pods\trouters\tproperty\tmode\tmodular_ms\tcomps\tclasses\talias\tchecks\tpeak_terms\tsat_vars\tblame\tunits\tdb_bytes\tmono_ms\tspeedup\tverified\tagree")
 	opts := modular.Options{Workers: workers, Core: core.DefaultOptions()}
 	opts.Core.Blame = true
 	if passes != "" {
@@ -699,6 +722,11 @@ func runModular(pods []int, props []string, jsonOut, passes string, monoMax, wor
 				row.AliasHits = v.Report.AliasHits
 				row.Checks = v.Report.Checks
 				row.PeakTerms = v.Report.PeakTerms
+				if v.Report.Cost != nil {
+					t := v.Report.Cost.Total()
+					row.Units = t.Units()
+					row.ClauseDBBytes = t.ClauseDBBytes
+				}
 			}
 			monoCol, speedCol, agreeCol := "-", "-", "-"
 			if k <= monoMax {
@@ -718,10 +746,11 @@ func runModular(pods []int, props []string, jsonOut, passes string, monoMax, wor
 				speedCol = fmt.Sprintf("%.1fx", row.Speedup)
 				agreeCol = fmt.Sprintf("%v", row.Agree)
 			}
-			fmt.Printf("%d\t%d\t%s\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%v\t%s\n",
+			fmt.Printf("%d\t%d\t%s\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%v\t%s\n",
 				row.Pods, row.Routers, row.Property, row.Mode, row.ModularMs,
 				row.Components, row.Classes, row.AliasHits, row.Checks,
-				row.PeakTerms, row.SATVars, row.Blame, monoCol, speedCol,
+				row.PeakTerms, row.SATVars, row.Blame, row.Units,
+				row.ClauseDBBytes, monoCol, speedCol,
 				row.Verified, agreeCol)
 			if row.MonoRan && !row.Agree {
 				return fmt.Errorf("modular disagreement on pods=%d %s: modular says verified=%v (mode %s), monolithic disagrees",

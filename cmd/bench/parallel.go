@@ -15,15 +15,20 @@ import (
 // speedup (and the certified-proof overhead) can be compared across
 // revisions.
 type parallelJSON struct {
-	Pods         int     `json:"pods"`
-	Routers      int     `json:"routers"`
-	Property     string  `json:"property"`
-	Mode         string  `json:"mode"`
-	Workers      int     `json:"workers"`
-	Ms           float64 `json:"ms"`
-	SolveMs      float64 `json:"solve_ms"`
-	Verified     bool    `json:"verified"`
-	Conflicts    int64   `json:"conflicts"`
+	Pods      int     `json:"pods"`
+	Routers   int     `json:"routers"`
+	Property  string  `json:"property"`
+	Mode      string  `json:"mode"`
+	Workers   int     `json:"workers"`
+	Ms        float64 `json:"ms"`
+	SolveMs   float64 `json:"solve_ms"`
+	Verified  bool    `json:"verified"`
+	Conflicts int64   `json:"conflicts"`
+	// Units is the adopted search's work (decisions+propagations+
+	// conflicts); SpentUnits totals every task in the cost ledger, so
+	// SpentUnits−Units is the work the losing racers/cubes burned.
+	Units        int64   `json:"work_units,omitempty"`
+	SpentUnits   int64   `json:"spent_units,omitempty"`
 	ProofSteps   int     `json:"proof_steps,omitempty"`
 	ProofCheckMs float64 `json:"proof_check_ms,omitempty"`
 	// CertifyOverhead is proof-check time over solve time; the parallel
@@ -39,7 +44,7 @@ type parallelJSON struct {
 func runParallel(pods []int, props []string, jsonOut, passes string, workers int, certify bool) error {
 	modes := []string{psolve.ModeOff, psolve.ModePortfolio, psolve.ModeCubes}
 	fmt.Printf("# parallel solve: Figure 8 rows per strategy (workers=%d)\n", workers)
-	fmt.Println("pods\trouters\tproperty\tmode\tms\tsolve_ms\tverified\tconflicts\tproof_steps\tproof_check_ms")
+	fmt.Println("pods\trouters\tproperty\tmode\tms\tsolve_ms\tverified\tconflicts\tunits\tspent_units\tproof_steps\tproof_check_ms")
 	var art []parallelJSON
 	totalSolve := map[string]time.Duration{}
 	totalCheck := map[string]time.Duration{}
@@ -74,15 +79,18 @@ func runParallel(pods []int, props []string, jsonOut, passes string, workers int
 						k, prop, mode, row.Verified, verdicts[key])
 				}
 				toMs := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-				fmt.Printf("%d\t%d\t%s\t%s\t%.1f\t%.1f\t%v\t%d\t%d\t%.1f\n",
+				units := row.Decisions + row.Propagations + row.Conflicts
+				fmt.Printf("%d\t%d\t%s\t%s\t%.1f\t%.1f\t%v\t%d\t%d\t%d\t%d\t%.1f\n",
 					row.Pods, row.Routers, row.Property, mode,
 					toMs(row.Elapsed), toMs(row.Solve), row.Verified, row.Conflicts,
+					units, row.SpentUnits,
 					row.ProofSteps, toMs(row.ProofCheck))
 				jr := parallelJSON{
 					Pods: row.Pods, Routers: row.Routers, Property: row.Property,
 					Mode: mode, Workers: workers,
 					Ms: toMs(row.Elapsed), SolveMs: toMs(row.Solve),
 					Verified: row.Verified, Conflicts: row.Conflicts,
+					Units: units, SpentUnits: row.SpentUnits,
 					ProofSteps: row.ProofSteps, ProofCheckMs: toMs(row.ProofCheck),
 				}
 				if row.Solve > 0 && row.ProofCheck > 0 {

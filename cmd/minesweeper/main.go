@@ -28,6 +28,11 @@
 //	                    chrome://tracing
 //	-prom FILE          writes the metrics in Prometheus text format
 //	-progress N         prints solver progress to stderr every N conflicts
+//	-cost               prints the hierarchical cost ledger — work units
+//	                    (decisions+propagations+conflicts), clause-db and
+//	                    proof bytes, wall/CPU time — attributed per phase
+//	                    (compile, blast, solve, certify, …); with -json the
+//	                    same tree rides along as the "cost" member
 //
 // Certification:
 //
@@ -86,6 +91,7 @@ import (
 	"repro/internal/modular"
 	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/obs/cost"
 	"repro/internal/properties"
 	"repro/internal/protograph"
 	"repro/internal/provenance"
@@ -100,7 +106,7 @@ type cliOpts struct {
 	dir, check, src, via, subnet, pair string
 	hops, maxLen, maxFailures          int
 	verbose, replay, jsonOut, certify  bool
-	blame, modular                     bool
+	blame, modular, costOut            bool
 	traceJSON, traceChrome, promOut    string
 	passes                             string
 	tiers                              string
@@ -123,6 +129,7 @@ func main() {
 	flag.BoolVar(&o.verbose, "v", false, "print model statistics, forwarding state and the span tree")
 	flag.BoolVar(&o.replay, "replay", false, "replay counterexamples in the concrete simulator")
 	flag.BoolVar(&o.jsonOut, "json", false, "print the verdict as a single JSON object")
+	flag.BoolVar(&o.costOut, "cost", false, "print the hierarchical cost ledger (work units, clause-db/proof bytes, wall/CPU time) after the verdict; with -json, adds a \"cost\" tree to the object")
 	flag.StringVar(&o.traceJSON, "trace-json", "", "write the span tree and metrics as JSON to this file")
 	flag.StringVar(&o.traceChrome, "trace-chrome", "", "write the span tree as Chrome trace_event JSON to this file (open in Perfetto or chrome://tracing)")
 	flag.StringVar(&o.promOut, "prom", "", "write the metrics in Prometheus text format to this file")
@@ -246,6 +253,7 @@ func run(o cliOpts) error {
 			return emitJSONResult(o, res, pr.A, tr, modResult{})
 		}
 		report(o.check, res, nil, o.verbose, modResult{})
+		printCost(o, costTree(res, modResult{}))
 		return finish(tr, o)
 	}
 
@@ -269,6 +277,7 @@ func run(o cliOpts) error {
 					return emitJSONResult(o, res, nil, tr, modResult{})
 				}
 				report(o.check, res, nil, o.verbose, modResult{})
+				printCost(o, costTree(res, modResult{}))
 				return finish(tr, o)
 			}
 		}
@@ -289,6 +298,7 @@ func run(o cliOpts) error {
 				return emitJSONResult(o, res, nil, tr, modRes)
 			}
 			report(o.check, res, nil, o.verbose, modRes)
+			printCost(o, costTree(res, modRes))
 			return finish(tr, o)
 		}
 	}
@@ -391,6 +401,7 @@ func run(o cliOpts) error {
 		return emitJSONResult(o, res, m, tr, modRes)
 	}
 	report(o.check, res, m, o.verbose, modRes)
+	printCost(o, costTree(res, modRes))
 	if o.replay && res.Counterexample != nil {
 		diffs, err := m.ReplayAgrees(res.Counterexample)
 		if err != nil {
@@ -572,6 +583,10 @@ type jsonReport struct {
 	Proof          *jsonProof `json:"proof,omitempty"`
 	Counterexample *jsonCex   `json:"counterexample,omitempty"`
 	Difference     string     `json:"difference,omitempty"`
+	// Cost is the hierarchical resource ledger (-cost): per-phase work
+	// units, clause-db/proof bytes and wall/CPU time, each node's work
+	// equal to its self work plus its children's.
+	Cost *cost.Node `json:"cost,omitempty"`
 }
 
 // jsonProof reports the checked DRAT certificate behind a verified
@@ -618,6 +633,29 @@ type jsonCex struct {
 	ReplayDiffs   []string   `json:"replay_diffs,omitempty"`
 }
 
+// costTree picks the ledger to report: the modular composition's
+// per-class tree when there is one (it keeps the component detail the
+// composed result folds away), otherwise the result's own ledger.
+func costTree(res *core.Result, mod modResult) *cost.Node {
+	if r := mod.report; r != nil && r.Cost != nil {
+		return r.Cost
+	}
+	if res != nil {
+		return res.Cost
+	}
+	return nil
+}
+
+// printCost writes the indented cost table after the text verdict
+// (-cost without -json).
+func printCost(o cliOpts, n *cost.Node) {
+	if !o.costOut || n == nil {
+		return
+	}
+	fmt.Println("cost:")
+	n.WriteTree(os.Stdout)
+}
+
 func durMs(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // emitJSONResult renders a solver-backed result as the -json object.
@@ -661,6 +699,9 @@ func emitJSONResult(o cliOpts, res *core.Result, m *core.Model, tr *obs.Trace, m
 			// per-phase and CDCL numbers would misattribute component work.
 			rep.Solver = nil
 		}
+	}
+	if o.costOut {
+		rep.Cost = costTree(res, mod)
 	}
 	if cert := res.Certificate; cert != nil {
 		rep.Proof = &jsonProof{

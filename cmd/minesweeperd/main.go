@@ -84,6 +84,9 @@ func main() {
 		maxJobs   = flag.Int("max-jobs", 1024, "finished jobs retained before FIFO eviction (bounds memory with their flight recorders)")
 		eventBuf  = flag.Int("event-buffer", 0, "per-job flight-recorder capacity in events (0: default 1024)")
 		progress  = flag.Int64("progress-every", 1000, "emit a solver.progress event every N conflicts (<0: disabled)")
+		workBud   = flag.Int64("work-budget", 0, "per-job solver work-unit budget (decisions+propagations+conflicts; 0: unlimited); over-budget jobs finish with a budget_exceeded verdict")
+		memBud    = flag.Int64("mem-budget", 0, "live-heap byte ceiling while a job's solver runs (0: unlimited); breaching jobs are cancelled with a budget_exceeded verdict instead of OOMing the daemon")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
 	if err := core.ValidatePasses(*passes); err != nil {
@@ -98,7 +101,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "minesweeperd: unknown -parallel mode %q (want off, portfolio, cubes or auto)\n", *parallel)
 		os.Exit(2)
 	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	level := new(slog.LevelVar)
+	if err := parseLogLevel(level, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "minesweeperd:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	opts := service.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -114,6 +122,8 @@ func main() {
 		MaxJobs:         *maxJobs,
 		EventBuffer:     *eventBuf,
 		ProgressEvery:   *progress,
+		WorkBudget:      *workBud,
+		MemBudgetBytes:  *memBud,
 	}
 	if err := run(logger, *listen, *debugAddr, opts); err != nil {
 		logger.Error("exiting", "err", err)
@@ -141,7 +151,8 @@ func run(logger *slog.Logger, listen, debugAddr string, opts service.Options) er
 		"timeout", opts.Timeout, "tiers", tiersLabel(opts.Tiers),
 		"certify", opts.Certify, "blame", opts.Blame,
 		"profile_origins", opts.ProfileOrigins, "max_jobs", opts.MaxJobs,
-		"progress_every", opts.ProgressEvery)
+		"progress_every", opts.ProgressEvery,
+		"work_budget", opts.WorkBudget, "mem_budget", opts.MemBudgetBytes)
 
 	if debugAddr != "" {
 		dbg := &http.Server{
@@ -171,6 +182,25 @@ func run(logger *slog.Logger, listen, debugAddr string, opts service.Options) er
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	return nil
+}
+
+// parseLogLevel sets the handler's LevelVar from the -log-level flag. A
+// LevelVar (rather than a fixed level) keeps the door open for runtime
+// adjustment; today only startup sets it.
+func parseLogLevel(v *slog.LevelVar, s string) error {
+	switch s {
+	case "debug":
+		v.Set(slog.LevelDebug)
+	case "info":
+		v.Set(slog.LevelInfo)
+	case "warn":
+		v.Set(slog.LevelWarn)
+	case "error":
+		v.Set(slog.LevelError)
+	default:
+		return fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", s)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/network"
+	"repro/internal/obs/cost"
 	"repro/internal/protograph"
 	"repro/internal/provenance"
 	"repro/internal/smt"
@@ -219,13 +220,17 @@ type ComponentVerdict struct {
 // sequential cost; wall-clock with parallelism is the scheduler's story)
 // and SAT sizes the per-check peak.
 func ComposeVerdicts(vs []*ComponentVerdict) *Result {
-	out := &Result{Verified: true, Tier: TierModular}
+	out := &Result{Verified: true, Tier: TierModular, Cost: cost.New("goal")}
 	var blame []provenance.Origin
 	for _, v := range vs {
 		r := v.Res
 		if r == nil {
 			continue
 		}
+		// Per-component ledgers merge like origin profiles: same-name
+		// phase children fold, so the composed tree prices the whole
+		// modular run with the familiar phase vocabulary.
+		out.Cost.Merge(r.Cost)
 		out.Elapsed += r.Elapsed
 		out.EncodeElapsed += r.EncodeElapsed
 		out.SimplifyElapsed += r.SimplifyElapsed

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs/cost"
+	"repro/internal/smt"
+	"repro/internal/testnets"
+)
+
+// checkLedgerMatchesStats asserts the acceptance invariant for a
+// sequential check: the ledger's work total equals the Result's solver
+// stats exactly, counter for counter.
+func checkLedgerMatchesStats(t *testing.T, res *Result) {
+	t.Helper()
+	if res.Cost == nil {
+		t.Fatal("result has no cost ledger")
+	}
+	total := res.Cost.Total()
+	want := cost.FromStats(res.Stats)
+	if total.Decisions != want.Decisions || total.Propagations != want.Propagations ||
+		total.Conflicts != want.Conflicts || total.Learned != want.Learned ||
+		total.Restarts != want.Restarts {
+		t.Fatalf("ledger total %+v != solver stats %+v", total, want)
+	}
+}
+
+// TestCheckCostLedger runs a verified and a violated property through
+// Model.Check and validates the ledger's structure: phase children in
+// execution order, work totals equal to sat.Stats, clause-DB bytes
+// summing to the final database footprint, and proof bytes on the
+// certify node for certified UNSATs.
+func TestCheckCostLedger(t *testing.T) {
+	net := testnets.OSPFChain(3)
+	m, err := Encode(net.Graph, certifyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Ctx
+	dst := testnets.StubIP(3)
+	prop := m.Reach(m.Main, true)["R1"]
+	pin := c.Eq(m.DstIP, c.BV(uint64(dst), WidthIP))
+	res, err := m.Check(prop, m.NoFailures(), pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("expected verified")
+	}
+	checkLedgerMatchesStats(t, res)
+	for _, phase := range []string{"blast", "simplify", "solve", "certify"} {
+		if res.Cost.Find(phase) == nil {
+			t.Fatalf("ledger missing %q phase:\n%+v", phase, res.Cost)
+		}
+	}
+	if pb := res.Cost.Find("certify").Total().ProofBytes; pb <= 0 {
+		t.Fatalf("certify node has no proof bytes (%d)", pb)
+	}
+	if db := res.Cost.Find("blast").Total().ClauseDBBytes; db <= 0 {
+		t.Fatalf("blast node has no clause-db bytes (%d)", db)
+	}
+	if res.Cost.TotalWall() <= 0 {
+		t.Fatal("ledger recorded no wall time")
+	}
+
+	// SAT verdict: decode phase appears, stats still match.
+	res, err = m.Check(c.False())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified {
+		t.Fatal("False verified")
+	}
+	checkLedgerMatchesStats(t, res)
+	if res.Cost.Find("decode") == nil {
+		t.Fatal("SAT ledger missing decode phase")
+	}
+}
+
+// TestSessionCostLedger checks the incremental path: the session carries
+// a one-time setup ledger, and each check's ledger prices only that
+// check (so two checks' ledgers are independent and both nonzero).
+func TestSessionCostLedger(t *testing.T) {
+	net := testnets.OSPFChain(3)
+	m, err := Encode(net.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.NewSession()
+	setup := s.SetupCost()
+	if setup == nil {
+		t.Fatal("no setup cost ledger")
+	}
+	if setup.Find("blast") == nil || setup.Find("simplify") == nil {
+		t.Fatalf("setup ledger missing phases: %+v", setup)
+	}
+	if setup.Total().ClauseDBBytes <= 0 {
+		t.Fatal("setup ledger has no clause-db bytes")
+	}
+
+	c := m.Ctx
+	var props []*smt.Term
+	props = append(props, c.True(), c.False())
+	for _, p := range props {
+		res, err := s.Check(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost == nil {
+			t.Fatal("session check has no cost ledger")
+		}
+		if res.Cost.Find("solve") == nil {
+			t.Fatal("session ledger missing solve phase")
+		}
+	}
+}
+
+// TestParallelCostLedger checks the racing path: the solve node carries
+// one child per racer, the ledger prices the work spent (>= the adopted
+// stats), and the winner's row is marked adopted.
+func TestParallelCostLedger(t *testing.T) {
+	net := testnets.OSPFChain(3)
+	o := DefaultOptions()
+	o.Parallel = "portfolio"
+	o.ParallelWorkers = 3
+	m, err := Encode(net.Graph, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Ctx
+	dst := testnets.StubIP(3)
+	prop := m.Reach(m.Main, true)["R1"]
+	pin := c.Eq(m.DstIP, c.BV(uint64(dst), WidthIP))
+	res, err := m.Check(prop, m.NoFailures(), pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := res.Cost.Find("solve")
+	if solve == nil {
+		t.Fatal("no solve node")
+	}
+	if len(solve.Children) != 3 {
+		t.Fatalf("solve node has %d racer children, want 3", len(solve.Children))
+	}
+	adopted := 0
+	for _, racer := range solve.Children {
+		if racer.Meta["adopted"] == 1 {
+			adopted++
+		}
+	}
+	if adopted != 1 {
+		t.Fatalf("%d adopted racers, want 1", adopted)
+	}
+	// Spent >= adopted: the ledger's solve units can only exceed the
+	// adopted stats delta (the losers raced too).
+	spent := solve.Total().Units()
+	if spent < res.Stats.Decisions+res.Stats.Propagations+res.Stats.Conflicts-
+		res.Cost.Find("blast").Total().Units()-res.Cost.Find("simplify").Total().Units() {
+		t.Fatalf("solve spent %d units < adopted delta", spent)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs/cost"
 	"repro/internal/provenance"
 	"repro/internal/psolve"
 	"repro/internal/sat"
@@ -59,6 +60,11 @@ type Session struct {
 	setupCompile  time.Duration
 	setupEncode   time.Duration
 	setupSimplify time.Duration
+
+	// setupCost is the one-time session ledger (compile, shared blast,
+	// simplify); per-check Results carry their own ledgers. The service
+	// grafts this under the session-creating job's cost tree.
+	setupCost *cost.Node
 }
 
 // ErrSessionInvalidated is returned by Session.Check when the model's
@@ -88,10 +94,13 @@ func (m *Model) NewSession() *Session {
 		s.proof = s.ss.Solver().EnableProof()
 	}
 
+	s.setupCost = cost.New("session-setup")
+	msnap := cost.TakeSnap()
 	compiles := m.compiles
 	cn := m.Compile()
 	if m.compiles != compiles {
 		s.setupCompile = cn.Elapsed
+		msnap = s.setupCost.Child("compile").Charge(msnap)
 	}
 	if m.Opts.Blame {
 		s.blameAsserts = append([]*smt.Term(nil), cn.Asserts...)
@@ -122,6 +131,11 @@ func (m *Model) NewSession() *Session {
 	blastSp.SetInt("sat_vars", int64(s.ss.Solver().NumSATVars()))
 	blastSp.SetInt("sat_clauses", int64(s.ss.Solver().NumSATClauses()))
 	blastSp.End()
+	blastNode := s.setupCost.Child("blast")
+	msnap = blastNode.Charge(msnap)
+	stBlast := s.ss.Solver().SATStats()
+	dbBlast := s.ss.Solver().SATSolver().ClauseDBBytes()
+	blastNode.Add(cost.FromStats(stBlast).Plus(cost.Work{ClauseDBBytes: dbBlast}))
 
 	simpSp := sp.Start("simplify")
 	start = time.Now()
@@ -129,8 +143,23 @@ func (m *Model) NewSession() *Session {
 	s.setupSimplify = time.Since(start)
 	simpSp.SetInt("clauses_after", int64(s.ss.Solver().NumSATClauses()))
 	simpSp.End()
+	simpNode := s.setupCost.Child("simplify")
+	simpNode.Charge(msnap)
+	simpNode.Add(cost.FromStats(s.ss.Solver().SATStats()).Minus(cost.FromStats(stBlast)).
+		Plus(cost.Work{ClauseDBBytes: s.ss.Solver().SATSolver().ClauseDBBytes() - dbBlast}))
 	return s
 }
+
+// SetupCost returns the session's one-time setup ledger (compile, shared
+// blast, simplify). The tree is owned by the session; callers merge or
+// graft it, they do not mutate it.
+func (s *Session) SetupCost() *cost.Node { return s.setupCost }
+
+// SolverStats returns the session solver's cumulative counters — not a
+// per-check delta. Service budgets baseline against it at check start so
+// progress-hook snapshots (also cumulative) can be turned into per-check
+// spend.
+func (s *Session) SolverStats() sat.Stats { return s.ss.Solver().SATStats() }
 
 // SetupElapsed returns the one-time session cost: the shared blast and
 // the simplification work that ran in NewSession (term-level compile
@@ -192,6 +221,11 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 	// Phase 1: blast instrumentation asserts added by property builders
 	// since the last check (permanent), then the goals under a fresh
 	// activation literal.
+	ledger := cost.New("goal")
+	msnap := cost.TakeSnap()
+	blastNode := ledger.Child("blast")
+	stBefore := s.ss.Solver().SATStats()
+	dbBefore := s.ss.Solver().SATSolver().ClauseDBBytes()
 	cnfSp := sp.Start("cnf")
 	encStart := time.Now()
 	track := m.Opts.Blame || m.Opts.ProfileOrigins
@@ -232,6 +266,11 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 	cnfSp.SetInt("sat_vars", int64(satVars))
 	cnfSp.SetInt("sat_clauses", int64(satClauses))
 	cnfSp.End()
+	msnap = blastNode.Charge(msnap)
+	stEnc := s.ss.Solver().SATStats()
+	dbEnc := s.ss.Solver().SATSolver().ClauseDBBytes()
+	blastNode.Add(cost.FromStats(stEnc).Minus(cost.FromStats(stBefore)).
+		Plus(cost.Work{ClauseDBBytes: dbEnc - dbBefore}))
 
 	// Phase 2: CDCL search under the activation literal, with optional
 	// cancellation. The watcher is joined before the interrupt flag is
@@ -271,6 +310,15 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 	solveSp.SetInt("propagations", st.Propagations)
 	solveSp.SetInt("learned", st.Learned)
 	solveSp.End()
+	solveNode := ledger.Child("solve")
+	msnap = solveNode.Charge(msnap)
+	if outcome != nil {
+		chargeParallelSolve(solveNode, outcome, cost.FromStats(st))
+	} else {
+		w := cost.FromStats(s.ss.Solver().SATStats()).Minus(cost.FromStats(stEnc))
+		w.ClauseDBBytes = s.ss.Solver().SATSolver().ClauseDBBytes() - dbEnc
+		solveNode.Add(w)
+	}
 
 	res := &Result{
 		Elapsed:       encodeElapsed + solveElapsed,
@@ -302,11 +350,15 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 			if err != nil {
 				return nil, err
 			}
+			certNode := ledger.Child("certify")
+			msnap = certNode.Charge(msnap)
+			certNode.Add(cost.Work{ProofBytes: checkProof.Bytes()})
 			res.Certificate = cert
 			res.CertifyElapsed = cert.CheckElapsed
 			res.Elapsed += res.CertifyElapsed
 			if m.Opts.Blame {
 				res.Blame = m.blameFromCore(bases, checkProof, core)
+				msnap = ledger.Child("blame").Charge(msnap)
 			}
 		}
 	case sat.Sat:
@@ -317,8 +369,10 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 		}
 		res.Counterexample = m.Decode(asg)
 		dSp.End()
+		msnap = ledger.Child("decode").Charge(msnap)
 		if m.Opts.Blame {
 			res.Blame = m.blameSat(s.blameAsserts, s.blameOrigins, res.Counterexample.Assignment)
+			msnap = ledger.Child("blame").Charge(msnap)
 		}
 	default:
 		if err := ctx.Err(); err != nil {
@@ -333,5 +387,7 @@ func (s *Session) CheckContext(ctx context.Context, property *smt.Term, assumpti
 			res.OriginProfile = m.originProfile(s.ss.Solver())
 		}
 	}
+	ledger.Charge(msnap)
+	res.Cost = ledger
 	return res, nil
 }

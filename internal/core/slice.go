@@ -267,16 +267,21 @@ func (m *Model) encodeRouter(sl *Slice, n *network.Node, isAddr bool) error {
 					// Should not happen: multihop sessions have slices.
 					continue
 				}
-				for h, t := range addr.CtrlFwd[n.Name] {
-					addFwd(h, c.And(chosen, t))
+				// Sorted iteration: term construction order fixes the
+				// hash-consing ids, and commutative canonicalization
+				// orders by id — map order here would leak into the CNF
+				// and make solver work counters nondeterministic.
+				ctrlFwd := addr.CtrlFwd[n.Name]
+				for _, h := range sortedHops(ctrlFwd) {
+					addFwd(h, c.And(chosen, ctrlFwd[h]))
 				}
 			case cand.redist:
 				if visiting[cand.redistSrc] {
 					continue // mutual-redistribution cycle: stop here
 				}
 				src := within(cand.redistSrc, vis)
-				for h, t := range src.fwd {
-					addFwd(h, c.And(chosen, t))
+				for _, h := range sortedHops(src.fwd) {
+					addFwd(h, c.And(chosen, src.fwd[h]))
 				}
 				info.local = c.Or(info.local, c.And(chosen, src.local))
 				info.drop = c.Or(info.drop, c.And(chosen, src.drop))
@@ -303,8 +308,8 @@ func (m *Model) encodeRouter(sl *Slice, n *network.Node, isAddr bool) error {
 		info := within(p, map[config.Protocol]bool{})
 		m.setOrigin(provenance.Origin{Router: n.Name, Proto: p.String(), Kind: "selection"})
 		m.assert(c.Implies(sl.BestProto[n.Name][p].Valid, info.any))
-		for h, t := range info.fwd {
-			contrib := c.And(w, t)
+		for _, h := range sortedHops(info.fwd) {
+			contrib := c.And(w, info.fwd[h])
 			if prev, ok := ctrl[h]; ok {
 				ctrl[h] = c.Or(prev, contrib)
 			} else {
@@ -324,7 +329,8 @@ func (m *Model) encodeRouter(sl *Slice, n *network.Node, isAddr bool) error {
 	// Data plane: control plane modulo ACLs (§3(7)).
 	pkt := m.pkt(sl)
 	data := map[Hop]*smt.Term{}
-	for h, t := range ctrl {
+	for _, h := range sortedHops(ctrl) {
+		t := ctrl[h]
 		if h.Ext != "" {
 			out := m.aclPermits(cfg, m.extIfaceOf(n, h.Ext), false, pkt)
 			data[h] = c.And(t, out)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/obs/cost"
 	"repro/internal/provenance"
 	"repro/internal/psolve"
 	"repro/internal/sat"
@@ -85,6 +86,15 @@ type Result struct {
 	// strategies that were not used.
 	Portfolio *psolve.PortfolioReport
 	Cube      *psolve.CubeReport
+
+	// Cost is the query's hierarchical resource ledger: wall/CPU time,
+	// memory and deterministic solver work units attributed per phase
+	// (compile, blast, simplify, solve, certify, decode, blame), with
+	// per-racer/per-cube children under "solve" for parallel runs. For a
+	// sequential check the ledger's work total equals Stats exactly; a
+	// parallel run's ledger prices the work SPENT (winner and losers),
+	// while Stats records the work ADOPTED by the verdict.
+	Cost *cost.Node
 
 	// Tier records which verification tier produced the verdict when a
 	// tiered orchestrator (internal/tiered) ran the query: "graph" for
@@ -237,10 +247,22 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 		proof = solver.EnableProof()
 	}
 
+	// The cost ledger shadows the span tree with resource accounting:
+	// each phase is charged its wall/CPU/memory window by snapshot deltas
+	// and its deterministic solver work by counter deltas, so the phase
+	// rows telescope to exactly the final solver totals. Children are
+	// created up front to pin the display order to the execution order.
+	ledger := cost.New("goal")
+	if priorElapsed > 0 {
+		ledger.Child("compile").AddWall(priorElapsed)
+	}
+	blastNode, simpNode := ledger.Child("blast"), ledger.Child("simplify")
+
 	// Phase 0 (charged to simplify): goal-relative term passes. The
 	// compiled asserts plus any instrumentation appended after the
 	// artifact was built, pruned to the goal's cone of influence.
 	passStats := append([]passes.Stats(nil), prior...)
+	msnap := cost.TakeSnap()
 	termStart := time.Now()
 	asserts := cn.Asserts
 	origins := cn.Origins
@@ -274,6 +296,7 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 		}
 	}
 	termElapsed := priorElapsed + time.Since(termStart)
+	msnap = simpNode.Charge(msnap)
 
 	// Phase 1: Tseitin CNF conversion + bit-blasting of N ∧ ¬P.
 	cnfSp := sp.Start("cnf")
@@ -305,6 +328,10 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 	cnfSp.SetInt("sat_vars", int64(satVars))
 	cnfSp.SetInt("sat_clauses", int64(satClauses))
 	cnfSp.End()
+	msnap = blastNode.Charge(msnap)
+	stBlast := solver.SATStats()
+	dbBlast := solver.SATSolver().ClauseDBBytes()
+	blastNode.Add(cost.FromStats(stBlast).Plus(cost.Work{ClauseDBBytes: dbBlast}))
 
 	// Phase 2: top-level CNF simplification.
 	simpSp := sp.Start("simplify")
@@ -316,6 +343,11 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 	simpSp.SetInt("clauses_before", int64(satClauses))
 	simpSp.SetInt("clauses_after", int64(solver.NumSATClauses()))
 	simpSp.End()
+	msnap = simpNode.Charge(msnap)
+	stSimp := solver.SATStats()
+	dbSimp := solver.SATSolver().ClauseDBBytes()
+	simpNode.Add(cost.FromStats(stSimp).Minus(cost.FromStats(stBlast)).
+		Plus(cost.Work{ClauseDBBytes: dbSimp - dbBlast}))
 
 	// Phase 3: CDCL search, interruptible through ctx. A parallel
 	// strategy (Options.Parallel) fans the search out over clones of the
@@ -354,6 +386,15 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 	solveSp.SetInt("learned", st.Learned)
 	solveSp.SetInt("restarts", st.Restarts)
 	solveSp.End()
+	solveNode := ledger.Child("solve")
+	msnap = solveNode.Charge(msnap)
+	adoptedDelta := cost.FromStats(st).Minus(cost.FromStats(stSimp))
+	if outcome != nil {
+		chargeParallelSolve(solveNode, outcome, adoptedDelta)
+	} else {
+		adoptedDelta.ClauseDBBytes = solver.SATSolver().ClauseDBBytes() - dbSimp
+		solveNode.Add(adoptedDelta)
+	}
 
 	res := &Result{
 		Elapsed:         encodeElapsed + simplifyElapsed + solveElapsed,
@@ -384,11 +425,15 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 			if err != nil {
 				return nil, err
 			}
+			certNode := ledger.Child("certify")
+			msnap = certNode.Charge(msnap)
+			certNode.Add(cost.Work{ProofBytes: checkProof.Bytes()})
 			res.Certificate = cert
 			res.CertifyElapsed = cert.CheckElapsed
 			res.Elapsed += res.CertifyElapsed
 			if m.Opts.Blame {
 				res.Blame = m.blameFromCore(bases, checkProof, core)
+				msnap = ledger.Child("blame").Charge(msnap)
 			}
 		}
 	case sat.Sat:
@@ -399,8 +444,10 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 		}
 		res.Counterexample = m.Decode(asg)
 		dSp.End()
+		msnap = ledger.Child("decode").Charge(msnap)
 		if m.Opts.Blame {
 			res.Blame = m.blameSat(asserts, origins, res.Counterexample.Assignment)
+			msnap = ledger.Child("blame").Charge(msnap)
 		}
 	default:
 		if err := ctx.Err(); err != nil {
@@ -415,7 +462,40 @@ func (m *Model) checkGoal(ctx context.Context, cn *CompiledNetwork, prior []pass
 			res.OriginProfile = m.originProfile(solver)
 		}
 	}
+	// Whatever ran since the last phase boundary (profile construction,
+	// result assembly) is the root's own window.
+	ledger.Charge(msnap)
+	res.Cost = ledger
 	return res, nil
+}
+
+// chargeParallelSolve expands a parallel outcome under the solve node:
+// one child per participating solver pricing the work it SPENT, with the
+// adopted rows marked. The solve subtree therefore totals the race's
+// full bill, while Result.Stats keeps only the adopted delta — the
+// difference is recorded as wasted_units.
+func chargeParallelSolve(solve *cost.Node, outcome *psolve.Outcome, adopted cost.Work) {
+	var spent cost.Work
+	for _, tw := range outcome.Tasks {
+		name := tw.Label
+		if outcome.Portfolio != nil {
+			name = fmt.Sprintf("racer:%d", tw.ID)
+		}
+		w := cost.FromStats(tw.Stats)
+		w.ClauseDBBytes = tw.DBBytes
+		child := solve.Child(name)
+		child.Add(w)
+		if tw.Adopted {
+			child.SetMeta("adopted", 1)
+		}
+		spent = spent.Plus(w)
+	}
+	if wasted := spent.Units() - adopted.Units(); wasted > 0 {
+		solve.SetMeta("wasted_units", wasted)
+	}
+	if outcome.Portfolio != nil {
+		solve.SetMeta("winner", int64(outcome.Portfolio.WinnerID))
+	}
 }
 
 // blameFromCore maps an UNSAT core (input-step indices of a checked

@@ -263,6 +263,19 @@ type Fig8Row struct {
 	ProofSteps  int
 	ProofLemmas int
 	ProofCheck  time.Duration
+	// Deterministic work columns, from the adopted search's counters and
+	// the cost ledger's byte estimates. At a fixed seed with a sequential
+	// search these are machine-independent, so the regression gate holds
+	// them to a far tighter tolerance than wall-clock time.
+	Decisions     int64
+	Propagations  int64
+	ClauseDBBytes int64
+	ProofBytes    int64
+	// SpentUnits totals decisions+propagations+conflicts across every
+	// solver task in the ledger — equal to the adopted units on a
+	// sequential search, larger under portfolio/cube parallelism where
+	// losing tasks also burn work.
+	SpentUnits int64
 	// Profile is the per-origin hot-constraint profile, populated only
 	// when the fabric runs with ProfileOrigins.
 	Profile *provenance.Profile
@@ -523,6 +536,14 @@ func RunFig8Property(f *Fabric, prop string) (*Fig8Row, error) {
 	row.SATVars = res.SATVars
 	row.SATClauses = res.SATClauses
 	row.Conflicts = res.Stats.Conflicts
+	row.Decisions = res.Stats.Decisions
+	row.Propagations = res.Stats.Propagations
+	if res.Cost != nil {
+		t := res.Cost.Total()
+		row.ClauseDBBytes = t.ClauseDBBytes
+		row.ProofBytes = t.ProofBytes
+		row.SpentUnits = t.Units()
+	}
 	if cert := res.Certificate; cert != nil {
 		row.ProofSteps = cert.Steps
 		row.ProofLemmas = cert.Lemmas

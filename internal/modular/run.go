@@ -11,6 +11,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/obs/cost"
 	"repro/internal/properties"
 	"repro/internal/protograph"
 	"repro/internal/smt"
@@ -61,6 +62,13 @@ type Report struct {
 	// answer to the monolithic model-size question.
 	PeakTerms int
 	Elapsed   time.Duration
+	// Cost is the run's resource ledger: one "class:N" child per solved
+	// isomorphism class (N the representative's component index) holding
+	// that class's compile and per-check phase costs, with meta members
+	// and amortized_units recording how far aliasing stretched the work —
+	// a class solved once on behalf of k members costs units/k per
+	// component.
+	Cost *cost.Node
 }
 
 func emit(o Options, event string, fields map[string]any) {
@@ -98,6 +106,7 @@ type classOutcome struct {
 	residue  string // "" = all checks verified
 	violated string
 	terms    int
+	cost     *cost.Node
 	err      error
 }
 
@@ -173,12 +182,20 @@ func Run(ctx context.Context, g *protograph.Graph, plan *Plan, opts Options) (*R
 		wg.Wait()
 	}
 
-	rep := &Report{Components: len(plan.Comps), Classes: len(order)}
+	rep := &Report{Components: len(plan.Comps), Classes: len(order), Cost: cost.New("modular")}
 	var all []*core.ComponentVerdict
 	for _, key := range order {
 		cl := byKey[key]
 		if cl.err != nil {
 			return nil, cl.err
+		}
+		if cl.cost != nil {
+			cl.cost.SetMeta("members", int64(len(cl.members)))
+			cl.cost.SetMeta("checks", int64(len(cl.verdicts)))
+			if n := int64(len(cl.members)); n > 0 {
+				cl.cost.SetMeta("amortized_units", cl.cost.Total().Units()/n)
+			}
+			rep.Cost.AddChild(cl.cost)
 		}
 		rep.Checks += len(cl.verdicts)
 		if cl.terms > rep.PeakTerms {
@@ -337,6 +354,8 @@ func runClass(ctx context.Context, g *protograph.Graph, plan *Plan, cl *classOut
 		fail(err)
 		return
 	}
+	cl.cost = cost.New(fmt.Sprintf("class:%d", cp.Comp.Index))
+	cl.cost.Child("compile").AddWall(cn.Elapsed)
 	defer func() { cl.terms = m.Ctx.NumTerms() }()
 
 	type boundExt struct {
@@ -404,6 +423,9 @@ func runClass(ctx context.Context, g *protograph.Graph, plan *Plan, cl *classOut
 		if err != nil {
 			return false, err
 		}
+		// Fold the check's phase ledger into the class node (same-name
+		// phases accumulate, like origin profiles).
+		cl.cost.Merge(res.Cost)
 		cl.verdicts = append(cl.verdicts, &core.ComponentVerdict{
 			Component: cp.Comp.Index, Check: name, Contract: contract, Res: res})
 		return res.Verified, nil

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -137,5 +138,85 @@ func TestPrometheusStableOrdering(t *testing.T) {
 	want := []string{"minesweeper_c_alpha 1", "minesweeper_c_mid 1", "minesweeper_c_zeta 1"}
 	if strings.Join(lines, "|") != strings.Join(want, "|") {
 		t.Fatalf("counters not in sorted order: %v", lines)
+	}
+}
+
+// TestPrometheusHistogramConformance pins the exposition-format contract
+// for histograms (the part scrapers actually parse): every histogram
+// family emits cumulative, monotonically non-decreasing _bucket samples
+// ending in le="+Inf", plus _sum and _count samples, with +Inf == _count
+// and _sum equal to the arithmetic sum of the observations.
+func TestPrometheusHistogramConformance(t *testing.T) {
+	tr := New("hist")
+	obsVals := []float64{0.5, 1.5, 1.5, 7, 120}
+	wantSum := 0.0
+	for _, v := range obsVals {
+		tr.ObserveBounds("job.units", v, []float64{1, 2, 10, 100})
+		wantSum += v
+	}
+	tr.Root().End()
+	var buf bytes.Buffer
+	tr.WritePrometheus(&buf)
+	out := buf.String()
+
+	if !strings.Contains(out, "# TYPE minesweeper_job_units histogram") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+
+	// Collect the bucket samples in emission order and parse their counts.
+	var bucketCounts []int64
+	var infCount, count int64 = -1, -1
+	var sum float64
+	var sawSum bool
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "minesweeper_job_units_bucket{"):
+			var c int64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &c); err != nil {
+				t.Fatalf("unparsable bucket line %q: %v", line, err)
+			}
+			bucketCounts = append(bucketCounts, c)
+			if strings.Contains(line, `le="+Inf"`) {
+				infCount = c
+			}
+		case strings.HasPrefix(line, "minesweeper_job_units_sum "):
+			if _, err := fmt.Sscanf(line, "minesweeper_job_units_sum %g", &sum); err != nil {
+				t.Fatalf("unparsable _sum line %q: %v", line, err)
+			}
+			sawSum = true
+		case strings.HasPrefix(line, "minesweeper_job_units_count "):
+			if _, err := fmt.Sscanf(line, "minesweeper_job_units_count %d", &count); err != nil {
+				t.Fatalf("unparsable _count line %q: %v", line, err)
+			}
+		}
+	}
+	if !sawSum || count < 0 {
+		t.Fatalf("histogram family lacks _sum/_count samples:\n%s", out)
+	}
+	if want := int64(len(obsVals)); count != want {
+		t.Fatalf("_count = %d, want %d", count, want)
+	}
+	if sum != wantSum {
+		t.Fatalf("_sum = %g, want %g", sum, wantSum)
+	}
+	// 4 finite bounds + the +Inf bucket, cumulative and non-decreasing.
+	if len(bucketCounts) != 5 {
+		t.Fatalf("bucket samples = %d, want 5 (4 bounds + +Inf):\n%s", len(bucketCounts), out)
+	}
+	for i := 1; i < len(bucketCounts); i++ {
+		if bucketCounts[i] < bucketCounts[i-1] {
+			t.Fatalf("bucket counts not cumulative: %v", bucketCounts)
+		}
+	}
+	if infCount != count {
+		t.Fatalf(`le="+Inf" bucket %d != _count %d`, infCount, count)
+	}
+	// The fixed observations land deterministically: le=1 sees one
+	// sample, le=2 three, le=10 four, le=100 four, +Inf all five.
+	wantBuckets := []int64{1, 3, 4, 4, 5}
+	for i, w := range wantBuckets {
+		if bucketCounts[i] != w {
+			t.Fatalf("bucket counts %v, want %v", bucketCounts, wantBuckets)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package psolve
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,7 @@ func runCubes(ctx context.Context, template *sat.Solver, opts Options, assumptio
 	}
 	prefix := proofPrefixLen(template)
 	base := template.Stats
+	baseDB := template.ClauseDBBytes()
 
 	// Lookahead: a budgeted probe both ranks the split variables and
 	// sometimes settles the query outright.
@@ -43,6 +45,7 @@ func runCubes(ctx context.Context, template *sat.Solver, opts Options, assumptio
 	}
 	if decisive(probeStatus) {
 		out := adoptSingle(probe, probeStatus)
+		out.Tasks = []TaskWork{taskWork(-1, "probe", probe, base, baseDB, true)}
 		out.Cube = &CubeReport{Workers: opts.Workers, SatCube: -1, ProbeDecided: true}
 		emitCubeEvent(opts, out.Cube, out.Status)
 		return out, nil
@@ -118,11 +121,15 @@ func runCubes(ctx context.Context, template *sat.Solver, opts Options, assumptio
 	report := &CubeReport{Workers: opts.Workers, SplitVars: splitVars, Cubes: nCubes, SatCube: -1}
 	stats := base
 	statsAdd(&stats, base, probe.Stats)
+	// Every cube's refutation contributes to the verdict, so every ran
+	// task is adopted — a cube fan-out has no wasted-work rows.
+	taskRows := []TaskWork{taskWork(-1, "probe", probe, base, baseDB, true)}
 	for i, r := range results {
 		if !r.ran {
 			continue
 		}
 		statsAdd(&stats, base, solvers[i].Stats)
+		taskRows = append(taskRows, taskWork(i, fmt.Sprintf("cube:%d", i), solvers[i], base, baseDB, true))
 		if r.status == sat.Unsat {
 			report.UnsatCubes++
 		}
@@ -136,6 +143,7 @@ func runCubes(ctx context.Context, template *sat.Solver, opts Options, assumptio
 			report.SatCube = i
 			out := adoptSingle(solvers[i], sat.Sat)
 			out.Stats = stats
+			out.Tasks = taskRows
 			out.Cube = report
 			emitCubeEvent(opts, report, sat.Sat)
 			return out, nil
@@ -157,6 +165,7 @@ func runCubes(ctx context.Context, template *sat.Solver, opts Options, assumptio
 		Winner:      solvers[0],
 		Stats:       stats,
 		OriginBases: template.OriginSetBases,
+		Tasks:       taskRows,
 		Cube:        report,
 	}
 	if template.Proof() != nil {

@@ -91,6 +91,7 @@ func Configs(n int, seed int64) []Config {
 // reuse immediately.
 func runPortfolio(ctx context.Context, template *sat.Solver, opts Options, assumptions []sat.Lit) (*Outcome, error) {
 	cfgs := Configs(opts.Workers, opts.Seed)
+	baseStats, baseDB := template.Stats, template.ClauseDBBytes()
 	solvers := make([]*sat.Solver, len(cfgs))
 	for i, cfg := range cfgs {
 		c := template.Clone()
@@ -170,6 +171,9 @@ func runPortfolio(ctx context.Context, template *sat.Solver, opts Options, assum
 	}
 	if od, ok := originData(win); ok {
 		out.Origins = []OriginData{od}
+	}
+	for i, s := range solvers {
+		out.Tasks = append(out.Tasks, taskWork(i, cfgs[i].Name, s, baseStats, baseDB, i == winner))
 	}
 	if opts.OnEvent != nil {
 		opts.OnEvent(EventPortfolio, map[string]any{

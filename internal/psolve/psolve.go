@@ -118,6 +118,47 @@ type CubeReport struct {
 	ProbeDecided bool `json:"probe_decided"`
 }
 
+// TaskWork is one participating solver's work delta — the cost ledger's
+// view of a parallel solve. Stats and DBBytes are deltas against the
+// template's counters at solve start, so they price exactly this solve's
+// search, not prior incremental work. Adopted marks the tasks whose
+// deltas the Outcome.Stats adopted: the winner of a portfolio race (the
+// losers' rows price the wasted work), probe plus every ran cube for a
+// cube fan-out (nothing is wasted there — every cube's refutation is
+// part of the verdict).
+type TaskWork struct {
+	// ID is the portfolio config id or cube index; -1 for the cube probe.
+	ID int `json:"id"`
+	// Label names the task: a portfolio config name, "probe", or "cube:N".
+	Label string `json:"label"`
+	// Stats is the task's search-work delta.
+	Stats sat.Stats `json:"stats"`
+	// DBBytes is the task's clause-database growth (can be negative when
+	// simplification shrank the inherited database).
+	DBBytes int64 `json:"db_bytes"`
+	// Adopted reports whether the delta is part of Outcome.Stats.
+	Adopted bool `json:"adopted"`
+}
+
+// statsDelta returns after - base as a fresh Stats (counters subtract,
+// MaxLevel takes after's maximum).
+func statsDelta(base, after sat.Stats) sat.Stats {
+	var d sat.Stats
+	statsAdd(&d, base, after)
+	return d
+}
+
+// taskWork builds one task's ledger row against the template baseline.
+func taskWork(id int, label string, s *sat.Solver, baseStats sat.Stats, baseDB int64, adopted bool) TaskWork {
+	return TaskWork{
+		ID:      id,
+		Label:   label,
+		Stats:   statsDelta(baseStats, s.Stats),
+		DBBytes: s.ClauseDBBytes() - baseDB,
+		Adopted: adopted,
+	}
+}
+
 // OriginData is one participating solver's origin tables, for
 // hot-constraint profile construction.
 type OriginData struct {
@@ -148,6 +189,10 @@ type Outcome struct {
 	// Origins lists the participating solvers' origin tables (winner only
 	// for portfolio) for profile construction; nil when tracking is off.
 	Origins []OriginData
+	// Tasks lists every participating solver's work delta for cost
+	// attribution, winners and losers alike; the adopted rows sum to the
+	// solve's Stats delta, the rest is the race's wasted work.
+	Tasks []TaskWork
 
 	Portfolio *PortfolioReport
 	Cube      *CubeReport

@@ -1,0 +1,101 @@
+package psolve
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// sumAdopted folds the adopted task deltas into one Stats.
+func sumAdopted(tasks []TaskWork) sat.Stats {
+	var sum sat.Stats
+	for _, tw := range tasks {
+		if !tw.Adopted {
+			continue
+		}
+		statsAdd(&sum, sat.Stats{}, tw.Stats)
+	}
+	return sum
+}
+
+// TestPortfolioTasksAccountWork checks the ledger rows of a portfolio
+// race: one row per racer, exactly one adopted, and the adopted delta
+// equal to the outcome's stats delta against the template baseline.
+func TestPortfolioTasksAccountWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		template := randomCNF(rng, 12+rng.Intn(8), 4.8)
+		base := template.Stats
+		out, err := Solve(context.Background(), template,
+			Options{Mode: ModePortfolio, Workers: 4, Seed: int64(i)})
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if len(out.Tasks) != 4 {
+			t.Fatalf("instance %d: %d task rows, want 4", i, len(out.Tasks))
+		}
+		adopted := 0
+		for _, tw := range out.Tasks {
+			if tw.Adopted {
+				adopted++
+				if out.Portfolio != nil && tw.ID != out.Portfolio.WinnerID {
+					t.Fatalf("instance %d: adopted task %d is not the winner %d", i, tw.ID, out.Portfolio.WinnerID)
+				}
+			}
+			if tw.Label == "" {
+				t.Fatalf("instance %d: task %d has no label", i, tw.ID)
+			}
+		}
+		if adopted != 1 {
+			t.Fatalf("instance %d: %d adopted tasks, want 1", i, adopted)
+		}
+		wantDelta := statsDelta(base, out.Stats)
+		got := sumAdopted(out.Tasks)
+		if got.Conflicts != wantDelta.Conflicts || got.Decisions != wantDelta.Decisions ||
+			got.Propagations != wantDelta.Propagations {
+			t.Fatalf("instance %d: adopted sum %+v != outcome delta %+v", i, got, wantDelta)
+		}
+	}
+}
+
+// TestCubesTasksAccountWork checks the cube fan-out ledger: a probe row
+// plus one row per ran cube, all adopted, summing to the outcome's
+// stats delta.
+func TestCubesTasksAccountWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	checked := 0
+	for i := 0; i < 20; i++ {
+		template := randomCNF(rng, 12+rng.Intn(8), 4.8)
+		base := template.Stats
+		out, err := Solve(context.Background(), template,
+			Options{Mode: ModeCubes, Workers: 4, Candidates: allVars(template), ProbeConflicts: 5})
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if len(out.Tasks) == 0 {
+			t.Fatalf("instance %d: no task rows", i)
+		}
+		for _, tw := range out.Tasks {
+			if !tw.Adopted {
+				t.Fatalf("instance %d: cube task %q not adopted", i, tw.Label)
+			}
+		}
+		wantDelta := statsDelta(base, out.Stats)
+		got := sumAdopted(out.Tasks)
+		if got.Conflicts != wantDelta.Conflicts || got.Decisions != wantDelta.Decisions ||
+			got.Propagations != wantDelta.Propagations {
+			t.Fatalf("instance %d: adopted sum %+v != outcome delta %+v", i, got, wantDelta)
+		}
+		if out.Cube != nil && !out.Cube.ProbeDecided {
+			if out.Tasks[0].Label != "probe" || out.Tasks[0].ID != -1 {
+				t.Fatalf("instance %d: first task %+v is not the probe", i, out.Tasks[0])
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no run exercised a real cube fan-out")
+	}
+}

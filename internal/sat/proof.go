@@ -65,6 +65,18 @@ func (p *Proof) NumSteps() int { return len(p.steps) }
 // the proof's size in memory and on disk.
 func (p *Proof) NumLits() int { return p.lits }
 
+// Bytes returns the accounting footprint of the trace: a fixed per-step
+// overhead plus four bytes per literal. Like Solver.ClauseDBBytes this is
+// a deterministic function of the trace contents (not Go's exact memory
+// layout), so cost ledgers and regression gates can compare it across
+// machines. Nil-safe.
+func (p *Proof) Bytes() int64 {
+	if p == nil {
+		return 0
+	}
+	return 16*int64(len(p.steps)) + 4*int64(p.lits)
+}
+
 // Counts returns the number of input, derive and delete steps.
 func (p *Proof) Counts() (inputs, derives, deletes int) {
 	for _, st := range p.steps {

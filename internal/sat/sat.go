@@ -290,6 +290,27 @@ func (s *Solver) NumVars() int { return len(s.assigns) }
 // NumClauses returns the number of problem clauses currently held.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
 
+// clauseBytes is the accounting size of one clause: a fixed per-clause
+// overhead plus four bytes per literal. The constant models the clause
+// header (activity, lbd, flags, slice header), not Go's exact layout, so
+// the figure is a deterministic function of the database contents and
+// identical across machines.
+func clauseBytes(c *clause) int64 { return 32 + 4*int64(len(c.lits)) }
+
+// ClauseDBBytes returns the accounting footprint of the clause database
+// (problem plus learned clauses). Deterministic: equal databases report
+// equal bytes regardless of platform, so the figure is safe to gate on.
+func (s *Solver) ClauseDBBytes() int64 {
+	var b int64
+	for _, c := range s.clauses {
+		b += clauseBytes(c)
+	}
+	for _, c := range s.learnts {
+		b += clauseBytes(c)
+	}
+	return b
+}
+
 // NewVar allocates a fresh variable.
 func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))

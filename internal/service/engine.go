@@ -15,6 +15,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/modular"
 	"repro/internal/obs"
+	"repro/internal/obs/cost"
 	"repro/internal/obs/stream"
 	"repro/internal/protograph"
 	"repro/internal/provenance"
@@ -102,6 +103,21 @@ type Options struct {
 	// recorder every N conflicts while the CDCL search runs (default
 	// 1000; <0 disables solver progress events).
 	ProgressEvery int64
+	// WorkBudget bounds one job's solver work units (decisions +
+	// propagations + conflicts, the cost ledger's deterministic Units
+	// scale); 0 is unlimited. An over-budget job is cancelled and
+	// finishes with a budget_exceeded verdict naming the costliest
+	// subtree of its cost ledger — it does not fail. Enforced from the
+	// solver progress hook, so enforcement granularity is ProgressEvery
+	// conflicts; modular component checks run outside the hook and are
+	// not bounded.
+	WorkBudget int64
+	// MemBudgetBytes cancels a job, like WorkBudget, when the process's
+	// live heap exceeds this many bytes while the job's solver runs —
+	// the job degrades to a budget_exceeded verdict instead of the
+	// daemon OOMing. The engine's reserved_bytes gauge reports
+	// MemBudgetBytes times the number of in-flight jobs.
+	MemBudgetBytes int64
 	// Trace receives the engine's counters and gauges; nil creates a
 	// private trace (exposed via Engine.Trace for /metrics).
 	Trace *obs.Trace
@@ -151,6 +167,12 @@ type netEntry struct {
 	// worker's goroutine inside Session.CheckContext) happen with
 	// ent.mu held, so a plain field suffices.
 	curRec *stream.Recorder
+
+	// curBudget is the budget enforcer of the job currently checking on
+	// this entry's session, consulted by the same progress hook. Same
+	// locking story as curRec; the state itself synchronizes internally
+	// because parallel racers observe it concurrently.
+	curBudget *budgetState
 }
 
 // Job is one queued verification request. Jobs are created by Submit and
@@ -284,6 +306,8 @@ type Engine struct {
 	maxJobs       int
 	eventBuf      int
 	progressEvery int64
+	workBudget    int64
+	memBudget     int64
 	log           *slog.Logger
 
 	jobCh chan *Job
@@ -295,6 +319,9 @@ type Engine struct {
 	helpCh  chan func()
 	wg      sync.WaitGroup
 	running atomic.Int64
+	// reserved is the in-flight memory reservation: MemBudgetBytes per
+	// running budgeted job, surfaced as the service.reserved_bytes gauge.
+	reserved atomic.Int64
 
 	mu         sync.Mutex
 	closed     bool
@@ -344,6 +371,8 @@ func NewEngine(o Options) *Engine {
 		maxJobs:       o.MaxJobs,
 		eventBuf:      o.EventBuffer,
 		progressEvery: o.ProgressEvery,
+		workBudget:    o.WorkBudget,
+		memBudget:     o.MemBudgetBytes,
 		log:           o.Logger,
 		jobCh:         make(chan *Job, o.QueueDepth),
 		helpCh:        make(chan func()),
@@ -553,13 +582,28 @@ func (e *Engine) finishJob(j *Job, v *Verdict, err error) {
 	} else {
 		e.tr.Add("service.jobs_done", 1)
 		if e.log != nil {
-			e.log.Info("job done", "job", j.ID, "check", j.Spec.Check,
+			kv := []any{"job", j.ID, "check", j.Spec.Check,
 				"verified", v.Verified, "cached", v.Cached, "ms", v.ElapsedMs,
 				"encode_ms", v.EncodeMs, "simplify_ms", v.SimplifyMs,
-				"solve_ms", v.SolveMs)
+				"solve_ms", v.SolveMs}
+			if v.Cost != nil {
+				// The cost summary: deterministic work plus the memory
+				// account, same numbers GET /v1/jobs/{id}/cost breaks down.
+				w, m := v.Cost.Total(), v.Cost.TotalMem()
+				kv = append(kv, "units", w.Units(), "conflicts", w.Conflicts,
+					"db_bytes", w.ClauseDBBytes, "heap_peak", m.HeapPeakBytes)
+			}
+			if v.Budget != nil {
+				kv = append(kv, "budget_exceeded", v.Budget.Exceeded,
+					"budget_costliest", v.Budget.Costliest)
+			}
+			e.log.Info("job done", kv...)
 		}
 	}
 	e.tr.Gauge("service.jobs_running", float64(e.running.Add(-1)))
+	if e.memBudget > 0 {
+		e.tr.Gauge("service.reserved_bytes", float64(e.reserved.Add(-e.memBudget)))
+	}
 
 	e.mu.Lock()
 	e.finished = append(e.finished, j.ID)
@@ -587,6 +631,9 @@ func (e *Engine) runJob(j *Job) {
 	j.started = time.Now()
 	j.mu.Unlock()
 	e.tr.Gauge("service.jobs_running", float64(e.running.Add(1)))
+	if e.memBudget > 0 {
+		e.tr.Gauge("service.reserved_bytes", float64(e.reserved.Add(e.memBudget)))
+	}
 	j.rec.Emit(stream.EventJobStarted, nil)
 
 	// Content-addressed fast path: an identical (network, property,
@@ -610,9 +657,13 @@ func (e *Engine) runJob(j *Job) {
 		e.finishJob(j, nil, err)
 		return
 	}
-	e.mu.Lock()
-	e.cache[j.key] = v
-	e.mu.Unlock()
+	if v.Budget == nil {
+		// Budget-exceeded verdicts are not answers: a retried job with a
+		// bigger budget (or none) must reach the solver, not the cache.
+		e.mu.Lock()
+		e.cache[j.key] = v
+		e.mu.Unlock()
+	}
 	e.finishJob(j, v, nil)
 }
 
@@ -704,20 +755,31 @@ func (e *Engine) buildModel(ent *netEntry, sp *obs.Span) error {
 		e.tr.Add("service.compile_reuse", 1)
 		return nil
 	}
-	if e.progressEvery > 0 {
+	every := e.progressEvery
+	if every <= 0 && (e.workBudget > 0 || e.memBudget > 0) {
+		// Budgets ride the progress hook; keep it firing (without
+		// progress events) even when the operator disabled streaming.
+		every = 1000
+	}
+	if every > 0 {
 		// The hook is installed once per session and routes through the
 		// entry's current-recorder field, so every job checking on this
-		// session streams its own solver.progress events.
-		m.ProgressEvery = e.progressEvery
+		// session streams its own solver.progress events — and through
+		// the current-budget field, so the checking job's budgets are
+		// enforced at the same cadence.
+		m.ProgressEvery = every
 		m.OnProgress = func(p sat.Progress) {
-			ent.curRec.Emit(stream.EventSolverProgress, map[string]any{
-				"conflicts":    p.Conflicts,
-				"decisions":    p.Decisions,
-				"propagations": p.Propagations,
-				"restarts":     p.Restarts,
-				"learned":      p.Learned,
-				"lbd_avg":      p.LBDAvg,
-			})
+			if e.progressEvery > 0 {
+				ent.curRec.Emit(stream.EventSolverProgress, map[string]any{
+					"conflicts":    p.Conflicts,
+					"decisions":    p.Decisions,
+					"propagations": p.Propagations,
+					"restarts":     p.Restarts,
+					"learned":      p.Learned,
+					"lbd_avg":      p.LBDAvg,
+				})
+			}
+			ent.curBudget.observe(p)
 		}
 	}
 	if psolve.Enabled(e.parallel) {
@@ -757,15 +819,24 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 	j.setTrace(jtr)
 	defer jtr.Root().End()
 
+	// setupCost is the session's one-time ledger, owned by the job that
+	// actually built the session — later jobs reuse the session without
+	// repaying (or re-reporting) its cost.
+	var setupCost *cost.Node
 	ent := e.netEntryFor(j.netKey)
 	ent.mu.Lock()
 	if !ent.built {
 		ent.built = true
 		j.rec.Emit(stream.EventPhaseStart, map[string]any{"phase": "build"})
 		ent.err = e.build(ent, j.configs, jtr.Root())
-		j.rec.Emit(stream.EventPhaseEnd, map[string]any{
-			"phase": "build", "ok": ent.err == nil,
-		})
+		data := map[string]any{"phase": "build", "ok": ent.err == nil}
+		if ent.sess != nil {
+			setupCost = ent.sess.SetupCost()
+			w := setupCost.Total()
+			data["units"] = w.Units()
+			data["db_bytes"] = w.ClauseDBBytes
+		}
+		j.rec.Emit(stream.EventPhaseEnd, data)
 	} else if ent.err == nil {
 		e.tr.Add("service.session_reuse", 1)
 		j.rec.Emit(stream.EventSessionReuse, nil)
@@ -803,6 +874,8 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 				e.tr.Add("service.fastpath_hits", 1)
 				res := tiered.Synthesize(out, fastElapsed, e.blame)
 				v := newVerdict(j.ID, j.Spec, res, nil)
+				v.Cost = jobLedger(setupCost, res.Cost)
+				e.recordCostMetrics(v.Cost)
 				e.emitCheckEvents(j, res, v)
 				jtr.Root().End()
 				emitSpans(j.rec, jtr)
@@ -845,6 +918,9 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 			ent.mu.Unlock()
 			return nil, err
 		}
+		if ent.sess != nil {
+			setupCost = ent.sess.SetupCost()
+		}
 	}
 
 	if canon := ent.alias; canon != nil {
@@ -883,13 +959,56 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 	} else {
 		assumptions = append(assumptions, ent.m.NoFailures())
 	}
+	// Budget enforcement rides the solver progress hook: baseline the
+	// session's cumulative counters now, cancel the derived context on
+	// breach, and recognize the breach below instead of failing the job.
+	var budget *budgetState
+	checkCtx := ctx
+	if e.workBudget > 0 || e.memBudget > 0 {
+		var cancelBudget context.CancelFunc
+		checkCtx, cancelBudget = context.WithCancel(ctx)
+		defer cancelBudget()
+		budget = newBudgetState(cancelBudget, e.workBudget, e.memBudget, ent.sess.SolverStats())
+		ent.curBudget = budget
+		defer func() { ent.curBudget = nil }()
+	}
 	j.rec.Emit(stream.EventPhaseStart, map[string]any{"phase": "solve"})
-	res, err := ent.sess.CheckContext(ctx, p, assumptions...)
+	res, err := ent.sess.CheckContext(checkCtx, p, assumptions...)
+	if bi := budget.breach(); bi != nil && ctx.Err() == nil {
+		// The budget tripped, not the job's deadline: the job degrades to
+		// a budget_exceeded verdict naming the costliest subtree of its
+		// ledger, it does not fail. The cancellation is asynchronous, so
+		// a fast solve may have finished anyway — the breach still rules,
+		// but then the ledger is the complete one.
+		var full *cost.Node
+		if err == nil && res != nil {
+			full = jobLedger(setupCost, res.Cost)
+		}
+		j.rec.Emit(stream.EventPhaseEnd, map[string]any{
+			"phase": "solve", "ok": false, "budget_exceeded": bi.Exceeded,
+		})
+		e.tr.Add("service.budget_exceeded", 1)
+		v := budgetVerdict(j, setupCost, bi, full)
+		j.rec.Emit(stream.EventVerdict, map[string]any{
+			"verified": false, "budget_exceeded": bi.Exceeded,
+			"costliest": bi.Costliest, "units": bi.spent.Units(),
+		})
+		jtr.Root().End()
+		emitSpans(j.rec, jtr)
+		return v, nil
+	}
 	if err != nil {
 		j.rec.Emit(stream.EventPhaseEnd, map[string]any{"phase": "solve", "ok": false})
 		return nil, err
 	}
-	j.rec.Emit(stream.EventPhaseEnd, map[string]any{"phase": "solve", "ok": true})
+	solveEnd := map[string]any{"phase": "solve", "ok": true}
+	if res.Cost != nil {
+		w := res.Cost.Total()
+		solveEnd["units"] = w.Units()
+		solveEnd["conflicts"] = w.Conflicts
+		solveEnd["db_bytes"] = w.ClauseDBBytes
+	}
+	j.rec.Emit(stream.EventPhaseEnd, solveEnd)
 	core.RecordSolverMetrics(e.tr, res)
 	e.tr.Add("service.session_checks", 1)
 	e.tr.Add("service.session_shared_blasts", int64(ent.sess.SharedBlasts())-e.sharedBlastsSeen(ent.cn.Hash, ent.sess.SharedBlasts()))
@@ -903,6 +1022,8 @@ func (e *Engine) check(ctx context.Context, j *Job) (*Verdict, error) {
 		res.FastPathElapsed = fastElapsed
 	}
 	v := newVerdict(j.ID, j.Spec, res, ent.m)
+	v.Cost = jobLedger(setupCost, res.Cost)
+	e.recordCostMetrics(v.Cost)
 	if e.modular {
 		// Name how the whole-network pipeline ended up answering: a goal
 		// outside the modular vocabulary or a single-component network is
@@ -972,6 +1093,10 @@ func (e *Engine) tryModular(ctx context.Context, j *Job, ent *netEntry, jtr *obs
 	}
 	e.tr.Add("service.modular_verdicts", 1)
 	v := newVerdict(j.ID, j.Spec, rep.Result, nil)
+	// The modular job's ledger is the per-class tree (job → modular →
+	// class:N → phases), richer than the composed result's folded goal.
+	v.Cost = jobLedger(nil, rep.Cost)
+	e.recordCostMetrics(v.Cost)
 	v.Mode = modular.ModeModular
 	v.Components = rep.Components
 	v.ComponentClasses = rep.Classes
@@ -1020,7 +1145,73 @@ func (e *Engine) emitCheckEvents(j *Job, res *core.Result, v *Verdict) {
 		data["conflicts"] = v.Solver.Conflicts
 		data["decisions"] = v.Solver.Decisions
 	}
+	if v.Cost != nil {
+		w := v.Cost.Total()
+		data["units"] = w.Units()
+		data["db_bytes"] = w.ClauseDBBytes
+	}
 	j.rec.Emit(stream.EventVerdict, data)
+}
+
+// jobLedger roots a job's cost tree: the goal (or modular) ledger of its
+// check plus, for the job that created the network's session, the
+// one-time setup. Nil when the check produced no ledger at all.
+func jobLedger(setup, goal *cost.Node) *cost.Node {
+	if setup == nil && goal == nil {
+		return nil
+	}
+	root := cost.New("job")
+	root.AddChild(setup)
+	root.AddChild(goal)
+	return root
+}
+
+// Histogram bounds for the cost metrics: work units span request scales
+// from trivial incremental checks to multi-minute monoliths; byte bounds
+// cover clause databases from toy to saturated.
+var (
+	workUnitBounds = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+	costByteBounds = []float64{1 << 10, 1 << 14, 1 << 17, 1 << 20, 1 << 24, 1 << 27, 1 << 30}
+)
+
+// recordCostMetrics folds one job's cost totals into the engine trace:
+// monotonic counters for Prometheus rate() arithmetic plus per-job
+// histograms of the deterministic work.
+func (e *Engine) recordCostMetrics(n *cost.Node) {
+	if n == nil {
+		return
+	}
+	w := n.Total()
+	e.tr.Add("service.work_units", w.Units())
+	e.tr.Add("service.clause_db_bytes", w.ClauseDBBytes)
+	if w.ProofBytes > 0 {
+		e.tr.Add("service.proof_bytes", w.ProofBytes)
+	}
+	e.tr.ObserveBounds("service.job_units", float64(w.Units()), workUnitBounds)
+	e.tr.ObserveBounds("service.job_db_bytes", float64(w.ClauseDBBytes), costByteBounds)
+}
+
+// budgetVerdict renders a budget breach as a verdict: unverified, the
+// budget block filled in, and a cost ledger whose costliest subtree the
+// budget block names. full is the check's complete ledger when the solve
+// outran the interrupt; otherwise a partial one is assembled from the
+// session setup (if this job paid it) and the solve work spent before
+// the trip.
+func budgetVerdict(j *Job, setup *cost.Node, bi *BudgetInfo, full *cost.Node) *Verdict {
+	ledger := full
+	if ledger == nil {
+		ledger = cost.New("job")
+		ledger.AddChild(setup)
+		ledger.Child("goal").Child("solve").Add(bi.spent)
+	}
+	bi.Costliest, bi.CostliestUnits = ledger.Costliest()
+	return &Verdict{
+		JobID:    j.ID,
+		Check:    j.Spec.Check,
+		Verified: false,
+		Budget:   bi,
+		Cost:     ledger,
+	}
 }
 
 // emitSpans backfills the finished span tree as "span" events, oldest

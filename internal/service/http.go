@@ -16,6 +16,9 @@ import (
 //	GET  /v1/jobs/{id}/profile  the job's hot-constraint origin profile
 //	                            (JSON rows; ?format=collapsed for the
 //	                            flamegraph collapsed-stack text)
+//	GET  /v1/jobs/{id}/cost     the job's hierarchical cost ledger
+//	                            (JSON tree; ?format=text for the
+//	                            indented table)
 //	GET  /v1/jobs/{id}/events   the job's flight recorder as SSE: buffered
 //	                            replay then live follow; resumes from
 //	                            Last-Event-ID or ?after=N
@@ -46,6 +49,9 @@ func NewHandler(e *Engine) http.Handler {
 			"verified", v.Verified, "cached", v.Cached,
 			"encode_ms", v.EncodeMs, "simplify_ms", v.SimplifyMs,
 			"solve_ms", v.SolveMs)
+		if v.Cost != nil {
+			AddLogExtra(r.Context(), "units", v.Cost.Total().Units())
+		}
 		writeJSON(w, http.StatusOK, v)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -77,6 +83,26 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/cost", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		v := j.Verdict()
+		if v == nil || v.Cost == nil {
+			writeError(w, http.StatusNotFound,
+				"no cost ledger for this job (not done, failed, or a cache hit)")
+			return
+		}
+		AddLogExtra(r.Context(), "job", j.ID, "units", v.Cost.Total().Units())
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			v.Cost.WriteTree(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, v.Cost)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", handleJobEvents(e))
 	mux.HandleFunc("GET /v1/jobs/{id}/timeline", handleJobTimeline(e))

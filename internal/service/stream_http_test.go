@@ -478,3 +478,80 @@ func TestServiceMetricsQuantiles(t *testing.T) {
 		}
 	}
 }
+
+// TestSSEResumeAfterEviction: a client that reconnects with
+// Last-Event-ID after its job was evicted by the MaxJobs FIFO must get
+// a prompt 404 — not a hang waiting for events that will never come,
+// and not a silent empty stream.
+func TestSSEResumeAfterEviction(t *testing.T) {
+	e := NewEngine(Options{Workers: 1, Timeout: 60 * time.Second, MaxJobs: 1})
+	t.Cleanup(e.Close)
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	req := &Request{
+		Configs: chainConfigs(2),
+		Spec:    Spec{Check: "reachability", Src: "R1", Subnet: "10.100.2.0/24"},
+	}
+	first, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-first.Done()
+	// A second finished job pushes the map over MaxJobs and evicts the
+	// first, recorder and all.
+	second, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-second.Done()
+	if _, ok := e.Job(first.ID); ok {
+		t.Fatal("first job survived eviction")
+	}
+
+	hreq, err := http.NewRequest("GET", srv.URL+"/v1/jobs/"+first.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Last-Event-ID", "3")
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		t.Fatalf("resume after eviction did not return cleanly: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("resume after eviction: status %d, want 404", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "no such job") {
+		t.Fatalf("unexpected body: %s", body)
+	}
+
+	// The surviving job still replays fine from the same resume point.
+	hreq2, err := http.NewRequest("GET", srv.URL+"/v1/jobs/"+second.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq2.Header.Set("Last-Event-ID", "1")
+	resp2, err := client.Do(hreq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("surviving job resume: status %d, want 200", resp2.StatusCode)
+	}
+	msgs := collectSSE(readSSE(t, bufio.NewReader(resp2.Body)), 2*time.Second)
+	if len(msgs) == 0 {
+		t.Fatal("surviving job replayed no events")
+	}
+	for _, m := range msgs {
+		if m.ID <= 1 {
+			t.Fatalf("replay included event %d despite Last-Event-ID 1", m.ID)
+		}
+	}
+}

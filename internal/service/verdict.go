@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs/cost"
 	"repro/internal/provenance"
 	"repro/internal/tiered"
 )
@@ -56,6 +57,18 @@ type Verdict struct {
 	Solver         *SolverStats    `json:"solver,omitempty"`
 	Proof          *ProofInfo      `json:"proof,omitempty"`
 	Counterexample *Counterexample `json:"counterexample,omitempty"`
+
+	// Cost is the job's hierarchical resource ledger (job → goal → phase
+	// / racer / class), served standalone at GET /v1/jobs/{id}/cost.
+	// Cached verdicts carry no ledger: the work was paid by the original
+	// job, a cache hit costs nothing worth gating on.
+	Cost *cost.Node `json:"cost,omitempty"`
+
+	// Budget is present exactly when the job was cancelled for exceeding
+	// a service budget (Options.WorkBudget / Options.MemBudgetBytes); the
+	// verdict is then neither verified nor falsified — the search was cut
+	// short — and Verified is false.
+	Budget *BudgetInfo `json:"budget_exceeded,omitempty"`
 }
 
 // ProofInfo summarizes the checked DRAT certificate of a verified
@@ -195,5 +208,8 @@ func (v *Verdict) cachedCopy(jobID string) *Verdict {
 	out := *v
 	out.JobID = jobID
 	out.Cached = true
+	// Like origin profiles, the cost ledger stays with the job that paid
+	// it; a cache hit never touched the solver.
+	out.Cost = nil
 	return &out
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/obs/cost"
 	"repro/internal/provenance"
 	"repro/internal/simulator"
 )
@@ -154,18 +155,27 @@ func Check(a *Analysis, opts Options, goal Goal, fallback func() (*core.Result, 
 	if a == nil || !Enabled(opts.Tiers) {
 		return fallback()
 	}
+	snap := cost.TakeSnap()
 	start := time.Now()
 	out := a.Decide(goal)
 	elapsed := time.Since(start)
 	if out.Decided {
 		return Synthesize(out, elapsed, opts.Blame), nil
 	}
+	fastNode := cost.New("fastpath")
+	fastNode.Charge(snap)
 	res, err := fallback()
 	if err != nil {
 		return nil, err
 	}
 	res.Tier = TierSAT
 	res.FastPathElapsed = elapsed
+	// The residue's ledger came from the SAT path; graft the graph
+	// tier's (fruitless) classification window in front so the query's
+	// full bill is in one tree.
+	if res.Cost != nil {
+		res.Cost.Children = append([]*cost.Node{fastNode}, res.Cost.Children...)
+	}
 	return res, nil
 }
 
@@ -175,11 +185,14 @@ func Check(a *Analysis, opts Options, goal Goal, fallback func() (*core.Result, 
 // counterexample with a nil Assignment: the packet and environment are
 // concrete, but there is no SAT model to decode symbolic state from.
 func Synthesize(out Outcome, elapsed time.Duration, blame bool) *core.Result {
+	ledger := cost.New("goal")
+	ledger.Child("fastpath").AddWall(elapsed)
 	res := &core.Result{
 		Verified:        out.Verified,
 		Tier:            TierGraph,
 		FastPathElapsed: elapsed,
 		Elapsed:         elapsed,
+		Cost:            ledger,
 	}
 	if blame {
 		res.Blame = out.Blame
